@@ -1,0 +1,165 @@
+(* Benchmark harness.
+
+   Default mode regenerates every table and figure of the paper's
+   evaluation (printing the same rows/series the paper reports), then
+   runs a Bechamel suite with one Test.make per paper artifact (a
+   scaled-down simulation of that experiment) plus micro-benchmarks of
+   the core data structures.
+
+     dune exec bench/main.exe            # quick regeneration + bechamel
+     dune exec bench/main.exe -- --full  # full-size sweeps (slower)
+     dune exec bench/main.exe -- micro   # bechamel suite only
+     dune exec bench/main.exe -- tables  # experiment tables only *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Experiment regeneration                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_tables scale =
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun report ->
+      Harness.Report.print report;
+      print_newline ())
+    (Harness.Experiments.all ~scale);
+  Printf.printf "(regenerated all paper artifacts in %.1fs)\n\n%!"
+    (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel suite                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A miniature run of one experiment cell: small client count, short
+   window.  One of these per paper table/figure, so the suite exercises
+   every experiment code path under the measurement loop. *)
+let mini_experiment ~workload_of ~config () =
+  let placement = Store.Placement.ring ~n_nodes:9 ~replication_factor:6 () in
+  let setup =
+    {
+      (Harness.Runner.default_setup ~workload:(workload_of placement) ~config) with
+      clients_per_node = 5;
+      warmup_us = 200_000;
+      measure_us = 500_000;
+      jitter = 0.;
+    }
+  in
+  let r = Harness.Runner.run setup in
+  Sys.opaque_identity r.Harness.Runner.committed
+
+let synth params () =
+  mini_experiment
+    ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
+    ~config:(Core.Config.str ()) ()
+
+let experiment_tests =
+  Test.make_grouped ~name:"experiments"
+    [
+      Test.make ~name:"fig3a-synth-a" (Staged.stage (fun () -> synth Workload.Synthetic.synth_a ()));
+      Test.make ~name:"fig3b-synth-b" (Staged.stage (fun () -> synth Workload.Synthetic.synth_b ()));
+      Test.make ~name:"fig4-selftuning"
+        (Staged.stage (fun () ->
+             mini_experiment
+               ~workload_of:(fun pl ->
+                 Workload.Synthetic.make ~params:Workload.Synthetic.synth_b pl)
+               ~config:(Core.Config.str ()) ()));
+      Test.make ~name:"table1-precise-clocks"
+        (Staged.stage (fun () ->
+             mini_experiment
+               ~workload_of:(fun pl ->
+                 Workload.Synthetic.make ~params:Harness.Experiments.table1_base pl)
+               ~config:(Core.Config.precise_sr ()) ()));
+      Test.make ~name:"fig5-tpcc"
+        (Staged.stage (fun () ->
+             mini_experiment
+               ~workload_of:(fun pl -> fst (Workload.Tpcc.make pl))
+               ~config:(Core.Config.str ()) ()));
+      Test.make ~name:"fig6-rubis"
+        (Staged.stage (fun () ->
+             mini_experiment
+               ~workload_of:(fun pl -> Workload.Rubis.make pl)
+               ~config:(Core.Config.str ()) ()));
+    ]
+
+(* Micro-benchmarks of the substrate hot paths. *)
+let micro_tests =
+  let eq_bench () =
+    let q = Dsim.Event_queue.create () in
+    for i = 0 to 999 do
+      Dsim.Event_queue.push q ~time:(i * 7919 mod 1000) i
+    done;
+    let acc = ref 0 in
+    while not (Dsim.Event_queue.is_empty q) do
+      acc := !acc + snd (Dsim.Event_queue.pop q)
+    done;
+    Sys.opaque_identity !acc
+  in
+  let chain_bench () =
+    let c = Store.Chain.create () in
+    for i = 1 to 200 do
+      Store.Chain.insert c
+        (Store.Version.make
+           ~writer:(Store.Txid.make ~origin:0 ~number:i)
+           ~state:Store.Version.Committed ~ts:(i * 3)
+           ~value:(Store.Keyspace.Value.Int i))
+    done;
+    Sys.opaque_identity (Store.Chain.latest_before c ~rs:300)
+  in
+  let rng_bench () =
+    let rng = Dsim.Rng.create ~seed:7 in
+    let acc = ref 0 in
+    for _ = 1 to 1000 do
+      acc := !acc + Dsim.Rng.int rng 1_000_000
+    done;
+    Sys.opaque_identity !acc
+  in
+  let zipf_bench () =
+    let z = Workload.Zipf.make ~n:1000 ~theta:0.9 in
+    let rng = Dsim.Rng.create ~seed:7 in
+    let acc = ref 0 in
+    for _ = 1 to 1000 do
+      acc := !acc + Workload.Zipf.draw z rng
+    done;
+    Sys.opaque_identity !acc
+  in
+  Test.make_grouped ~name:"micro"
+    [
+      Test.make ~name:"event-queue-1k" (Staged.stage eq_bench);
+      Test.make ~name:"chain-200-inserts" (Staged.stage chain_bench);
+      Test.make ~name:"rng-1k" (Staged.stage rng_bench);
+      Test.make ~name:"zipf-1k" (Staged.stage zipf_bench);
+    ]
+
+let run_bechamel () =
+  let tests = Test.make_grouped ~name:"str" [ experiment_tests; micro_tests ] in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "== Bechamel: one Test per paper artifact + substrate micro-benches ==";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ t ] -> Printf.printf "  %-45s %14.0f ns/run\n" name t
+      | Some _ | None -> Printf.printf "  %-45s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let scale = if full then Harness.Experiments.Full else Harness.Experiments.Quick in
+  match List.filter (fun a -> a <> "--full") args with
+  | [ "micro" ] -> run_bechamel ()
+  | [ "tables" ] -> run_tables scale
+  | [] ->
+    run_tables scale;
+    run_bechamel ()
+  | other ->
+    Printf.eprintf "unknown arguments: %s\n" (String.concat " " other);
+    exit 2

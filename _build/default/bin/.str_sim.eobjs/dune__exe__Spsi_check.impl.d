@@ -1,0 +1,1 @@
+bin/spsi_check.ml: Arg Cmd Cmdliner Core Dsim Harness List Printf Spsi Store Term Workload

@@ -1,0 +1,1 @@
+bin/spsi_check.mli:

@@ -1,0 +1,1 @@
+bin/str_sim.ml: Arg Cmd Cmdliner Core Dsim Format Harness List Printf Store Term Workload

@@ -1,0 +1,1 @@
+bin/str_sim.mli:

@@ -1,0 +1,119 @@
+(* Command-line driver: regenerate any table/figure of the paper, or
+   run a single custom simulation.
+
+     str_sim fig3a [--full]     Figure 3(a), Synth-A
+     str_sim fig3b [--full]     Figure 3(b), Synth-B
+     str_sim fig4  [--full]     Figure 4, self-tuning
+     str_sim table1 [--full]    Table 1, Precise Clocks ablation
+     str_sim fig5a|fig5b|fig5c  Figure 5, TPC-C mixes
+     str_sim fig6  [--full]     Figure 6, RUBiS
+     str_sim storage            Precise Clocks storage overhead
+     str_sim all   [--full]     everything
+     str_sim run ...            one custom simulation *)
+
+open Cmdliner
+
+let scale_of_full full = if full then Harness.Experiments.Full else Harness.Experiments.Quick
+
+let full_arg =
+  Arg.(value & flag & info [ "full" ] ~doc:"Run the full-size sweep (slower).")
+
+let print_reports rs = List.iter (fun r -> Harness.Report.print r; print_newline ()) rs
+
+let experiment_cmd name doc f =
+  let term = Term.(const (fun full -> print_reports (f (scale_of_full full))) $ full_arg) in
+  Cmd.v (Cmd.info name ~doc) term
+
+let run_custom protocol workload clients seconds seed =
+  let config =
+    match protocol with
+    | "str" -> Core.Config.str ()
+    | "clocksi" -> Core.Config.clocksi_rep ()
+    | "extspec" -> Core.Config.ext_spec ()
+    | "precise" -> Core.Config.precise ()
+    | "physical-sr" -> Core.Config.physical_sr ()
+    | "precise-sr" -> Core.Config.precise_sr ()
+    | other -> failwith ("unknown protocol: " ^ other)
+  in
+  let placement =
+    Store.Placement.ring ~n_nodes:(Dsim.Topology.size Dsim.Topology.ec2_nine)
+      ~replication_factor:6 ()
+  in
+  let wl =
+    match workload with
+    | "synth-a" -> Workload.Synthetic.make ~params:Workload.Synthetic.synth_a placement
+    | "synth-b" -> Workload.Synthetic.make ~params:Workload.Synthetic.synth_b placement
+    | "tpcc-a" -> fst (Workload.Tpcc.make ~mix:Workload.Tpcc.mix_a placement)
+    | "tpcc-b" -> fst (Workload.Tpcc.make ~mix:Workload.Tpcc.mix_b placement)
+    | "tpcc-c" -> fst (Workload.Tpcc.make ~mix:Workload.Tpcc.mix_c placement)
+    | "rubis" -> Workload.Rubis.make placement
+    | other -> failwith ("unknown workload: " ^ other)
+  in
+  let setup =
+    {
+      (Harness.Runner.default_setup ~workload:wl ~config) with
+      clients_per_node = clients;
+      measure_us = seconds * 1_000_000;
+      seed;
+      self_tune = (if protocol = "str" then `On 1_000_000 else `Off);
+    }
+  in
+  let r = Harness.Runner.run setup in
+  Printf.printf "protocol=%s workload=%s clients/node=%d\n" protocol workload clients;
+  Printf.printf "  throughput     : %.1f tx/s\n" r.Harness.Runner.throughput;
+  Printf.printf "  abort rate     : %.1f%%\n" (100. *. r.Harness.Runner.abort_rate);
+  Printf.printf "  misspeculation : %.1f%%\n" (100. *. r.Harness.Runner.misspec_rate);
+  Printf.printf "  ext misspec    : %.1f%%\n" (100. *. r.Harness.Runner.ext_misspec_rate);
+  Format.printf "  final latency  : %a@." Harness.Metrics.pp_summary
+    r.Harness.Runner.final_latency;
+  if r.Harness.Runner.spec_latency.Harness.Metrics.count > 0 then
+    Format.printf "  spec latency   : %a@." Harness.Metrics.pp_summary
+      r.Harness.Runner.spec_latency;
+  Printf.printf "  WAN messages   : %d\n" r.Harness.Runner.wan_messages;
+  Format.printf "  stats          : %a@." Core.Stats.pp r.Harness.Runner.stats
+
+let run_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt string "str"
+      & info [ "p"; "protocol" ] ~doc:"str | clocksi | extspec | precise | physical-sr")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt string "synth-a"
+      & info [ "w"; "workload" ] ~doc:"synth-a | synth-b | tpcc-a | tpcc-b | tpcc-c | rubis")
+  in
+  let clients =
+    Arg.(value & opt int 10 & info [ "c"; "clients" ] ~doc:"clients per node")
+  in
+  let seconds =
+    Arg.(value & opt int 10 & info [ "t"; "seconds" ] ~doc:"measured (simulated) seconds")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a single simulation and print its metrics")
+    Term.(const run_custom $ protocol $ workload $ clients $ seconds $ seed)
+
+let () =
+  let open Harness.Experiments in
+  let cmds =
+    [
+      experiment_cmd "fig3a" "Figure 3(a): Synth-A" (fun s -> [ fig3 ~scale:s `A ]);
+      experiment_cmd "fig3b" "Figure 3(b): Synth-B" (fun s -> [ fig3 ~scale:s `B ]);
+      experiment_cmd "fig4" "Figure 4: self-tuning" (fun s -> [ fig4 ~scale:s ]);
+      experiment_cmd "table1" "Table 1: Precise Clocks ablation" (fun s -> [ table1 ~scale:s ]);
+      experiment_cmd "fig5a" "Figure 5: TPC-C mix A" (fun s -> [ fig5 ~scale:s `A ]);
+      experiment_cmd "fig5b" "Figure 5: TPC-C mix B" (fun s -> [ fig5 ~scale:s `B ]);
+      experiment_cmd "fig5c" "Figure 5: TPC-C mix C" (fun s -> [ fig5 ~scale:s `C ]);
+      experiment_cmd "fig6" "Figure 6: RUBiS" (fun s -> [ fig6 ~scale:s ]);
+      experiment_cmd "storage" "Precise Clocks storage overhead" (fun s -> [ storage ~scale:s ]);
+      experiment_cmd "ablations" "Extra ablations (DC count, replication factor, remote reads)"
+        (fun s -> ablations ~scale:s);
+      experiment_cmd "all" "All tables and figures" (fun s -> all ~scale:s);
+      run_cmd;
+    ]
+  in
+  let info = Cmd.info "str_sim" ~doc:"STR / SPSI geo-replication simulator" in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/anomaly_tour.ml: Core Dsim Keyspace Placement Printf Store Workload

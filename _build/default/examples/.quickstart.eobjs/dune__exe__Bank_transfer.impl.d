@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Core Dsim Keyspace List Placement Printf Spsi Store Workload

@@ -1,0 +1,1 @@
+examples/failover_demo.ml: Core Dsim Harness Printf Store Workload

@@ -1,0 +1,1 @@
+examples/rubis_session.ml: Core Dsim Harness Hashtbl List Printf Store Workload

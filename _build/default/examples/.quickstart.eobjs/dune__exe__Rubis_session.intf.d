@@ -1,0 +1,1 @@
+examples/rubis_session.mli:

@@ -1,0 +1,1 @@
+examples/selftuning_demo.ml: Array Core Dsim Harness Printf Store Workload

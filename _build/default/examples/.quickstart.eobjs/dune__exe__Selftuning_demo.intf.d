@@ -1,0 +1,1 @@
+examples/selftuning_demo.mli:

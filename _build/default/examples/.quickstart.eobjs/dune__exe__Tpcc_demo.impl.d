@@ -1,0 +1,1 @@
+examples/tpcc_demo.ml: Core Dsim Harness Hashtbl Printf Store Workload

@@ -1,0 +1,51 @@
+(* RUBiS auction site on nine regions: run the default 15% update mix
+   and print the traffic breakdown across the 26 interaction types,
+   plus end-to-end metrics under STR.
+
+     dune exec examples/rubis_session.exe *)
+
+let () =
+  let placement = Store.Placement.ring ~n_nodes:9 ~replication_factor:6 () in
+  let workload = Workload.Rubis.make placement in
+  Printf.printf "RUBiS: %d interaction types, %.1f%% updates by weight\n\n"
+    Workload.Rubis.interaction_count
+    (100. *. Workload.Rubis.update_fraction);
+  let setup =
+    {
+      (Harness.Runner.default_setup ~workload ~config:(Core.Config.str ())) with
+      clients_per_node = 200;
+      warmup_us = 4_000_000;
+      measure_us = 8_000_000;
+      seed = 11;
+    }
+  in
+  let sim, _net, _pl, eng, rng = Harness.Runner.build_cluster setup in
+  workload.Workload.Spec.load eng;
+  let measure_from = setup.Harness.Runner.warmup_us in
+  let measure_to = measure_from + setup.Harness.Runner.measure_us in
+  let shared = Harness.Client.make_shared ~measure_from ~measure_to in
+  for node = 0 to Core.Engine.n_nodes eng - 1 do
+    for _ = 1 to setup.Harness.Runner.clients_per_node do
+      let crng = Dsim.Rng.split rng in
+      Harness.Client.spawn eng workload ~node ~rng:crng ~shared ~stop_at:measure_to
+        ~start_delay:(Dsim.Rng.int crng 500_000)
+    done
+  done;
+  ignore (Dsim.Sim.run ~until:measure_to sim);
+  let stats = Core.Engine.total_stats eng in
+  Printf.printf "cluster stats: %d commits, abort rate %.1f%%, %d speculative reads\n\n"
+    stats.Core.Stats.commits
+    (100. *. Core.Stats.abort_rate stats)
+    stats.Core.Stats.spec_reads;
+  print_endline "per-interaction committed counts and latency:";
+  let rows =
+    Hashtbl.fold (fun label m acc -> (label, Harness.Metrics.summarize m) :: acc)
+      shared.Harness.Client.per_label []
+    |> List.sort (fun (_, a) (_, b) ->
+           compare b.Harness.Metrics.count a.Harness.Metrics.count)
+  in
+  List.iter
+    (fun (label, s) ->
+      Printf.printf "  %-26s n=%5d  p50=%7.1fms\n" label s.Harness.Metrics.count
+        (float_of_int s.Harness.Metrics.p50_us /. 1000.))
+    rows

@@ -1,0 +1,68 @@
+(* The self-tuning feedback loop in action: start on a
+   speculation-friendly workload, then shift the workload mid-run and
+   let the controller re-explore and re-decide.
+
+     dune exec examples/selftuning_demo.exe *)
+
+let () =
+  let sim = Dsim.Sim.create () in
+  let topology = Dsim.Topology.ec2_nine in
+  let node_dc = Array.init 9 (fun i -> i) in
+  let rng = Dsim.Rng.create ~seed:3 in
+  let net = Dsim.Network.create ~sim ~topology ~node_dc ~jitter:0.02 ~rng in
+  let placement = Store.Placement.ring ~n_nodes:9 ~replication_factor:6 () in
+  let config = Core.Config.str () in
+  let eng = Core.Engine.create ~sim ~net ~placement ~config () in
+  (* A mutable workload the clients consult on every transaction. *)
+  let wl_a = Workload.Synthetic.make ~params:Workload.Synthetic.synth_a placement in
+  let wl_b = Workload.Synthetic.make ~params:Workload.Synthetic.synth_b placement in
+  let current = ref wl_a in
+  let switching =
+    {
+      Workload.Spec.name = "switching";
+      load = (fun _ -> ());
+      next_program = (fun rng ~node -> !current.Workload.Spec.next_program rng ~node);
+    }
+  in
+  let horizon = 24_000_000 in
+  let shared = Harness.Client.make_shared ~measure_from:0 ~measure_to:horizon in
+  for node = 0 to 8 do
+    for _ = 1 to 15 do
+      let crng = Dsim.Rng.split rng in
+      Harness.Client.spawn eng switching ~node ~rng:crng ~shared ~stop_at:horizon
+        ~start_delay:(Dsim.Rng.int crng 200_000)
+    done
+  done;
+  let tuner =
+    Core.Self_tuning.install eng ~window_us:1_000_000 ~warmup_us:500_000
+      ~reexplore_every:4 ()
+  in
+  (* Switch workload at t=12s. *)
+  Dsim.Sim.schedule sim ~delay:12_000_000 (fun () ->
+      print_endline "[12.0s] *** workload switches from Synth-A to Synth-B ***";
+      current := wl_b);
+  (* Telemetry: print throughput + tuner state every second. *)
+  let last = ref 0 in
+  let rec telemetry () =
+    Dsim.Sim.schedule sim ~delay:1_000_000 (fun () ->
+        let now = Core.Engine.total_commits eng in
+        let decision =
+          match Core.Self_tuning.decision tuner with
+          | Some true -> "SR on"
+          | Some false -> "SR off"
+          | None -> "exploring"
+        in
+        Printf.printf "[%4.1fs] throughput=%4d tx/s   speculation=%-5b   tuner=%s\n"
+          (Dsim.Sim.to_sec (Dsim.Sim.now sim))
+          (now - !last) config.Core.Config.speculative_reads decision;
+        last := now;
+        if Dsim.Sim.now sim < horizon then telemetry ())
+  in
+  telemetry ();
+  ignore (Dsim.Sim.run ~until:horizon sim);
+  Printf.printf "\ntuner ran %d explore rounds; final decision: %s\n"
+    (Core.Self_tuning.rounds tuner)
+    (match Core.Self_tuning.decision tuner with
+     | Some true -> "speculation enabled"
+     | Some false -> "speculation disabled"
+     | None -> "none")

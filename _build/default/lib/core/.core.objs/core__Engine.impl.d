@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Config Dsim Hashtbl KeyTbl Keyspace List Mvstore Partition_server Placement Printf Stats Store Txid Types

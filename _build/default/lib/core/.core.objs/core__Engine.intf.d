@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Dsim Partition_server Stats Store Types

@@ -1,0 +1,1 @@
+lib/core/partition_server.ml: Config Dsim Keyspace List Mvstore Stats Store Txid Types Version

@@ -1,0 +1,1 @@
+lib/core/partition_server.mli: Config Dsim Keyspace Mvstore Stats Store Txid

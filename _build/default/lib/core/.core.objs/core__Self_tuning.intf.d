@@ -1,0 +1,1 @@
+lib/core/self_tuning.mli: Engine

@@ -1,0 +1,118 @@
+(** Protocol configuration.
+
+    All protocols of the paper's evaluation share one engine and differ
+    only in configuration, mirroring the original implementation where
+    STR and the baselines are variants of the same Antidote extension:
+
+    - {b STR}: speculative reads enabled (or auto-tuned) + Precise Clocks;
+    - {b ClockSI-Rep}: no speculative reads, physical clocks;
+    - {b Ext-Spec}: ClockSI-Rep that additionally externalizes results at
+      local commit (speculative commit), as PLANET-style systems do.
+
+    Table 1's four systems come from toggling [clocks] and
+    [speculative_reads] independently. *)
+
+type clocks = Physical | Precise
+
+(** Consistency level.  [Snapshot_isolation] is the paper's target
+    criterion (SPSI for executing transactions).  [Serializable]
+    implements the paper's first future-work avenue by {e read
+    promotion}: an update transaction's reads are added to its write
+    set at certification time, materializing read-write conflicts as
+    write-write conflicts, which the SI machinery then rejects —
+    a classic, sound reduction (no phantom protection: point reads
+    only).  Read-only transactions stay untouched (a consistent
+    snapshot is already serializable). *)
+type isolation = Snapshot_isolation | Serializable
+
+type t = {
+  clocks : clocks;
+  isolation : isolation;
+  mutable speculative_reads : bool;
+      (** Runtime-toggleable: the self-tuner flips this live. *)
+  externalize_local_commit : bool;
+      (** Ext-Spec: expose results to the client at local commit. *)
+  unsafe_speculation : bool;
+      (** Demonstration mode reproducing the behaviour of prior systems
+          with unrestricted speculative reads (§2, Fig. 1): any reader
+          may observe any pre-committed version and the SPSI snapshot
+          guards (OLC/FFC) are disabled.  This intentionally admits the
+          atomicity/isolation anomalies that SPSI rules out; used by the
+          anomaly-tour example and the checker's negative tests. *)
+  (* --- service-cost model (microseconds of node CPU time) --- *)
+  cost_read : int;  (** serving one read request *)
+  cost_prepare_key : int;  (** certifying + installing one written key *)
+  cost_apply_key : int;  (** committing/aborting one written key *)
+  cost_coord_op : int;  (** coordinator bookkeeping per protocol step *)
+  cost_tx_logic : int;  (** client-side transaction logic per operation *)
+  (* --- clock model --- *)
+  max_clock_skew_us : int;  (** per-node skew drawn uniformly in [-max, max] *)
+  (* --- version GC --- *)
+  prune_every_inserts : int;  (** amortized GC trigger; 0 disables pruning *)
+  prune_horizon_us : int;  (** keep committed versions younger than now - horizon *)
+}
+
+(* Service costs calibrated so that a node saturates at a few hundred
+   transactions per second, the throughput regime of the paper's
+   Erlang/Antidote prototype on EC2 instances; at saturation, work
+   wasted on misspeculated transactions visibly costs throughput, which
+   is what makes speculation counter-productive in adverse workloads
+   (Synth-B). *)
+let default_costs = (60, 40, 20, 40, 20)
+
+let make ?(clocks = Precise) ?(isolation = Snapshot_isolation)
+    ?(speculative_reads = true) ?(externalize_local_commit = false)
+    ?(unsafe_speculation = false) ?(max_clock_skew_us = 500)
+    ?(costs = default_costs) ?(prune_every_inserts = 4096)
+    ?(prune_horizon_us = 2_000_000) () =
+  let cost_read, cost_prepare_key, cost_apply_key, cost_coord_op, cost_tx_logic =
+    costs
+  in
+  {
+    clocks;
+    isolation;
+    speculative_reads;
+    externalize_local_commit;
+    unsafe_speculation;
+    cost_read;
+    cost_prepare_key;
+    cost_apply_key;
+    cost_coord_op;
+    cost_tx_logic;
+    max_clock_skew_us;
+    prune_every_inserts;
+    prune_horizon_us;
+  }
+
+(** The paper's protagonists. *)
+let str ?(speculative_reads = true) () = make ~clocks:Precise ~speculative_reads ()
+
+(** Prior-work strawman with unrestricted speculation (for the Fig. 1
+    anomaly demonstrations only). *)
+let unrestricted_speculation () =
+  make ~clocks:Precise ~speculative_reads:true ~unsafe_speculation:true ()
+
+(** STR upgraded to serializability via read promotion (future work of
+    §7; speculative reads still apply to the promoted write set). *)
+let str_serializable () = make ~clocks:Precise ~isolation:Serializable ()
+
+let clocksi_rep () = make ~clocks:Physical ~speculative_reads:false ()
+
+let ext_spec () =
+  make ~clocks:Physical ~speculative_reads:false ~externalize_local_commit:true ()
+
+(** Table 1 variants. *)
+let physical () = clocksi_rep ()
+let precise () = make ~clocks:Precise ~speculative_reads:false ()
+let physical_sr () = make ~clocks:Physical ~speculative_reads:true ()
+let precise_sr () = make ~clocks:Precise ~speculative_reads:true ()
+
+let name t =
+  match t.clocks, t.speculative_reads, t.externalize_local_commit with
+  | Precise, true, false -> "STR"
+  | Physical, false, true -> "Ext-Spec"
+  | Physical, false, false -> "ClockSI-Rep"
+  | Precise, false, false -> "Precise"
+  | Physical, true, false -> "Physical+SR"
+  | Precise, true, true -> "STR+ext"
+  | Physical, true, true | Precise, false, true -> "custom"

@@ -1,0 +1,791 @@
+(** The STR protocol engine: nodes, transaction coordinators and the
+    certification/replication message flows of Algorithms 1 and 2.
+
+    One engine value represents the whole geo-distributed cluster inside
+    the simulator.  Coordinators (and the emulated clients driving them)
+    run as {!Dsim.Fiber} fibers; partition servers are passive state
+    machines invoked from network-delivery events. *)
+
+open Store
+module Key = Keyspace.Key
+module Value = Keyspace.Value
+module Sim = Dsim.Sim
+module Ivar = Dsim.Ivar
+module Fiber = Dsim.Fiber
+module Network = Dsim.Network
+module Clock = Dsim.Clock
+module Cpu = Dsim.Cpu
+open Types
+
+type node = {
+  id : int;
+  clock : Clock.t;
+  cpu : Cpu.t;
+  servers : (int, Partition_server.t) Hashtbl.t;  (** partition -> replica *)
+  cache : Partition_server.t;
+  active : tx Txid.Tbl.t;  (** local transactions, active or local-committed *)
+  stats : Stats.t;
+  mutable next_tx : int;
+  mutable alive : bool;  (** false after a simulated crash (§5.6 fail-over) *)
+}
+
+type t = {
+  sim : Sim.t;
+  net : Network.t;
+  placement : Placement.t;
+  config : Config.t;
+  nodes : node array;
+  nearest : int array array;  (** node -> partition -> closest replica node *)
+  cur_master : int array;
+      (** current master per partition; differs from the static placement
+          after a fail-over promoted a slave (§5.6) *)
+  mutable observer : (event -> unit) option;
+}
+
+let sim t = t.sim
+let net t = t.net
+let config t = t.config
+let placement t = t.placement
+let n_nodes t = Array.length t.nodes
+let node t i = t.nodes.(i)
+let node_stats t i = t.nodes.(i).stats
+let set_observer t f = t.observer <- Some f
+let clear_observer t = t.observer <- None
+
+let emit t ev = match t.observer with None -> () | Some f -> f ev
+
+(** All protocol messaging goes through here: messages to or from a
+    crashed node are silently dropped — both endpoints are re-checked at
+    delivery time, so messages already in flight when the crash happens
+    are lost with it.  Together with the purge in {!crash} this is a
+    presumed-abort termination for the dead coordinator's in-doubt
+    transactions; true coordinator-state high availability is the
+    orthogonal mechanism the paper defers to (§5.6). *)
+let send eng ~src ~dst f =
+  if eng.nodes.(src).alive then
+    Network.send eng.net ~src ~dst (fun () ->
+        if eng.nodes.(dst).alive && eng.nodes.(src).alive then f ())
+
+(** Current master of a partition (reflects fail-over promotions). *)
+let master_of eng p = eng.cur_master.(p)
+
+(** Live slaves of a partition: its live replicas minus the current
+    master. *)
+let live_slaves eng p =
+  Array.to_list (Placement.replicas eng.placement p)
+  |> List.filter (fun r -> r <> eng.cur_master.(p) && eng.nodes.(r).alive)
+
+let is_alive eng n = eng.nodes.(n).alive
+
+(** The node's cache partition (test and introspection support). *)
+let cache_of eng i = eng.nodes.(i).cache
+
+let server eng ~node:n ~partition:p =
+  match Hashtbl.find_opt eng.nodes.(n).servers p with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Engine.server: node %d does not replicate partition %d" n p)
+
+let create ~sim ~net ~placement ~config ?(seed = 42) () =
+  let n = Network.node_count net in
+  if Placement.n_nodes placement <> n then
+    invalid_arg "Engine.create: placement/network node count mismatch";
+  let rng = Dsim.Rng.create ~seed in
+  let nodes =
+    Array.init n (fun id ->
+        let skew =
+          if config.Config.max_clock_skew_us = 0 then 0
+          else
+            Dsim.Rng.int_range rng ~lo:(-config.Config.max_clock_skew_us)
+              ~hi:config.Config.max_clock_skew_us
+        in
+        let clock = Clock.create ~sim ~skew_us:skew ~drift_ppm:0. in
+        let cpu = Cpu.create sim in
+        let stats = Stats.create () in
+        {
+          id;
+          clock;
+          cpu;
+          servers = Hashtbl.create 16;
+          cache =
+            Partition_server.create ~sim ~clock ~cpu ~config ~node_id:id
+              ~partition:(-1) ~is_cache:true ~stats ();
+          active = Txid.Tbl.create 256;
+          stats;
+          next_tx = 0;
+          alive = true;
+        })
+  in
+  for p = 0 to Placement.n_partitions placement - 1 do
+    Array.iter
+      (fun r ->
+        let nd = nodes.(r) in
+        Hashtbl.replace nd.servers p
+          (Partition_server.create ~sim ~clock:nd.clock ~cpu:nd.cpu ~config
+             ~node_id:r ~partition:p ~stats:nd.stats ()))
+      (Placement.replicas placement p)
+  done;
+  let nearest =
+    Array.init n (fun src ->
+        Array.init (Placement.n_partitions placement) (fun p ->
+            if Placement.replicates placement ~node:src ~partition:p then src
+            else begin
+              let best = ref (-1) and best_lat = ref max_int in
+              Array.iter
+                (fun r ->
+                  let lat = Network.latency_us net ~src ~dst:r in
+                  if lat < !best_lat then begin
+                    best := r;
+                    best_lat := lat
+                  end)
+                (Placement.replicas placement p);
+              !best
+            end))
+  in
+  {
+    sim;
+    net;
+    placement;
+    config;
+    nodes;
+    nearest;
+    cur_master = Array.init (Placement.n_partitions placement) (Placement.master placement);
+    observer = None;
+  }
+
+(** Install an initial committed version of [key] (timestamp 0) at every
+    replica of its partition, bypassing the protocol.  For dataset
+    loading before the measured run. *)
+let load eng key value =
+  let p = Key.partition key in
+  Array.iter
+    (fun r ->
+      Mvstore.load
+        (Partition_server.store (server eng ~node:r ~partition:p))
+        ~writer:(Txid.make ~origin:(-1) ~number:0) key value)
+    (Placement.replicas eng.placement p)
+
+(* ------------------------------------------------------------------ *)
+(* Fiber helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Charge [cost] microseconds on [nd]'s CPU and wait for completion. *)
+let charge nd cost =
+  if cost > 0 then begin
+    let iv = Ivar.create () in
+    Cpu.exec nd.cpu ~cost (fun () -> Ivar.fill iv ());
+    Fiber.await iv
+  end
+
+(** Block the current fiber until [cond ()] holds; re-evaluated after
+    every {!Types.notify} on [tx]. *)
+let rec wait_until tx cond =
+  if not (cond ()) then begin
+    let iv = Ivar.create () in
+    tx.watchers <- (fun () -> ignore (Ivar.fill_if_empty iv ())) :: tx.watchers;
+    Fiber.await iv;
+    wait_until tx cond
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dependency graph                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Register that [tx] speculatively depends on local-committed [dep]
+    (read-from or write-stacking).  Imports [dep]'s FFC and OLC minimum
+    (Alg. 1, lines 13-14). *)
+let add_dep (tx : tx) (dep : tx) =
+  if not (Txid.Set.mem dep.id tx.deps) then begin
+    tx.deps <- Txid.Set.add dep.id tx.deps;
+    tx.all_deps <- Txid.Set.add dep.id tx.all_deps;
+    dep.dependents <- tx :: dep.dependents
+  end;
+  olc_put tx dep.id (olc_min dep);
+  if dep.ffc > tx.ffc then tx.ffc <- dep.ffc
+
+(* ------------------------------------------------------------------ *)
+(* Abort and commit application                                        *)
+(* ------------------------------------------------------------------ *)
+
+let for_each_remote_replica eng tx f =
+  List.iter
+    (fun (p, _) ->
+      Array.iter
+        (fun r -> if r <> tx.origin then f r p)
+        (Placement.replicas eng.placement p))
+    tx.groups
+
+let local_partitions_of eng tx =
+  List.filter_map
+    (fun (p, writes) ->
+      if Placement.replicates eng.placement ~node:tx.origin ~partition:p then
+        Some (p, writes)
+      else None)
+    tx.groups
+
+(** Abort [tx]: cascade to dependents (SPSI-4), remove its speculative
+    versions from the local replicas and the cache partition, and notify
+    every remote replica involved in its global certification.
+    Idempotent; safe to call from any protocol path. *)
+let rec abort_tx eng tx reason =
+  match tx.state with
+  | Aborted _ | Committed -> ()
+  | Active | Local_committed ->
+    let nd = eng.nodes.(tx.origin) in
+    tx.state <- Aborted reason;
+    Stats.record_abort nd.stats reason;
+    (* Rollback is not free: removing speculative versions and unwinding
+       dependents consumes node CPU (fire-and-forget: it delays
+       subsequent work on this node). *)
+    Cpu.exec nd.cpu
+      ~cost:(eng.config.Config.cost_apply_key * List.length tx.wkeys)
+      (fun () -> ());
+    if tx.spec_exposed then nd.stats.Stats.ext_misspec <- nd.stats.Stats.ext_misspec + 1;
+    let dependents = tx.dependents in
+    tx.dependents <- [];
+    List.iter (fun d -> abort_tx eng d Dependency_aborted) dependents;
+    List.iter
+      (fun (p, _) -> Partition_server.abort (server eng ~node:tx.origin ~partition:p) tx.id)
+      (local_partitions_of eng tx);
+    Partition_server.abort nd.cache tx.id;
+    if tx.global_started then
+      for_each_remote_replica eng tx (fun r p ->
+          send eng ~src:tx.origin ~dst:r (fun () ->
+              let srv = server eng ~node:r ~partition:p in
+              Cpu.exec eng.nodes.(r).cpu
+                ~cost:(eng.config.Config.cost_apply_key * List.length (Partition_server.pending_keys srv tx.id))
+                (fun () -> Partition_server.abort ~tombstone:true srv tx.id)));
+    Txid.Tbl.remove nd.active tx.id;
+    emit eng (Ev_abort { id = tx.id; reason; time = Sim.now eng.sim });
+    ignore (Ivar.fill_if_empty tx.outcome (Tx_aborted_out reason));
+    notify tx
+
+(** Final commit with timestamp [ct]: resolve or abort dependents
+    (Alg. 1, lines 37-43), apply at local replicas, drop cached entries,
+    and broadcast the decision to remote replicas. *)
+let commit_apply eng tx ct =
+  let nd = eng.nodes.(tx.origin) in
+  tx.ct <- ct;
+  tx.state <- Committed;
+  tx.ffc <- ct;
+  Txid.Tbl.reset tx.olcset;
+  let dependents = tx.dependents in
+  tx.dependents <- [];
+  List.iter
+    (fun d ->
+      if not (is_aborted d) then
+        if d.rs >= ct then begin
+          d.deps <- Txid.Set.remove tx.id d.deps;
+          olc_remove d tx.id;
+          if ct > d.ffc then d.ffc <- ct;
+          notify d
+        end
+        else abort_tx eng d Snapshot_too_old)
+    dependents;
+  Cpu.exec nd.cpu
+    ~cost:(eng.config.Config.cost_apply_key * List.length tx.wkeys)
+    (fun () -> ());
+  List.iter
+    (fun (p, _) -> Partition_server.commit (server eng ~node:tx.origin ~partition:p) tx.id ~ct)
+    (local_partitions_of eng tx);
+  if tx.unsafe then Partition_server.commit nd.cache tx.id ~ct;
+  for_each_remote_replica eng tx (fun r p ->
+      send eng ~src:tx.origin ~dst:r (fun () ->
+          let srv = server eng ~node:r ~partition:p in
+          Cpu.exec eng.nodes.(r).cpu
+            ~cost:(eng.config.Config.cost_apply_key * List.length (Partition_server.pending_keys srv tx.id))
+            (fun () -> Partition_server.commit srv tx.id ~ct)));
+  nd.stats.Stats.commits <- nd.stats.Stats.commits + 1;
+  Txid.Tbl.remove nd.active tx.id;
+  emit eng (Ev_commit { id = tx.id; ct; time = Sim.now eng.sim });
+  ignore (Ivar.fill_if_empty tx.outcome (Tx_committed ct));
+  notify tx
+
+(* ------------------------------------------------------------------ *)
+(* Transactional API (fiber context)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let begin_tx eng ~origin =
+  let nd = eng.nodes.(origin) in
+  nd.next_tx <- nd.next_tx + 1;
+  let id = Txid.make ~origin ~number:nd.next_tx in
+  let rs = Clock.now nd.clock in
+  let tx =
+    make_tx ~id ~origin ~rs ~start_time:(Sim.now eng.sim)
+      ~sr:eng.config.Config.speculative_reads
+  in
+  Txid.Tbl.replace nd.active id tx;
+  nd.stats.Stats.started <- nd.stats.Stats.started + 1;
+  emit eng (Ev_begin { id; origin; rs; time = Sim.now eng.sim });
+  tx
+
+(** Consume a read result: update FFC/OLCSet and enforce the speculative
+    snapshot-safety wait [min(OLCSet) >= FFC] (Alg. 1, line 15). *)
+let rec read eng tx key =
+  check_live tx;
+  let nd = eng.nodes.(tx.origin) in
+  match KeyTbl.find_opt tx.wbuf key with
+  | Some v -> Some v (* read-your-writes from the private buffer *)
+  | None ->
+    let p = Key.partition key in
+    nd.stats.Stats.reads <- nd.stats.Stats.reads + 1;
+    (* Client-side transaction logic shares the node's CPU (the load
+       injector runs on the server nodes, as in the paper's setup). *)
+    charge nd eng.config.Config.cost_tx_logic;
+    check_live tx;
+    let read_started = Sim.now eng.sim in
+    let iv = Ivar.create () in
+    let origin_local = Placement.replicates eng.placement ~node:tx.origin ~partition:p in
+    let via =
+      if origin_local then `Local
+      else if tx.sr && Partition_server.has_visible nd.cache ~rs:tx.rs key then `Cache
+      else `Remote
+    in
+    (match via with
+     | `Local ->
+       Partition_server.read ~allow_spec:tx.sr
+         (server eng ~node:tx.origin ~partition:p)
+         ~rs:tx.rs ~reader_origin:tx.origin key (Ivar.fill iv)
+     | `Cache ->
+       Partition_server.read ~allow_spec:tx.sr nd.cache ~rs:tx.rs
+         ~reader_origin:tx.origin key (Ivar.fill iv)
+     | `Remote ->
+       nd.stats.Stats.remote_reads <- nd.stats.Stats.remote_reads + 1;
+       let target =
+         let preferred = eng.nearest.(tx.origin).(p) in
+         if eng.nodes.(preferred).alive then preferred
+         else begin
+           (* Fail-over: read from the closest live replica instead. *)
+           let best = ref (-1) and best_lat = ref max_int in
+           Array.iter
+             (fun r ->
+               if eng.nodes.(r).alive then begin
+                 let lat = Network.latency_us eng.net ~src:tx.origin ~dst:r in
+                 if lat < !best_lat then begin
+                   best := r;
+                   best_lat := lat
+                 end
+               end)
+             (Placement.replicas eng.placement p);
+           if !best < 0 then preferred else !best
+         end
+       in
+       send eng ~src:tx.origin ~dst:target (fun () ->
+           Partition_server.read
+             (server eng ~node:target ~partition:p)
+             ~rs:tx.rs ~reader_origin:tx.origin key
+             (fun r ->
+               send eng ~src:target ~dst:tx.origin (fun () -> Ivar.fill iv r))));
+    let r = Fiber.await iv in
+    check_live tx;
+    tx.reads_done <- tx.reads_done + 1;
+    let finish (r : Partition_server.read_reply) speculative =
+      if not eng.config.Config.unsafe_speculation then begin
+        if not (olc_min tx >= tx.ffc || is_aborted tx) then
+          nd.stats.Stats.olc_blocks <- nd.stats.Stats.olc_blocks + 1;
+        wait_until tx (fun () -> olc_min tx >= tx.ffc || is_aborted tx)
+      end;
+      check_live tx;
+      emit eng
+        (Ev_read
+           {
+             id = tx.id;
+             key;
+             writer = r.writer;
+             version_ts = (match r.src with `Committed ts -> ts | _ -> 0);
+             speculative;
+             start_time = read_started;
+             time = Sim.now eng.sim;
+           });
+      (* Serializable isolation: remember the observed value so the read
+         can be promoted to a write at certification time. *)
+      (match eng.config.Config.isolation, r.value with
+       | Config.Serializable, Some v ->
+         if not (KeyTbl.mem tx.rset key) then begin
+           KeyTbl.replace tx.rset key v;
+           tx.rset_keys <- key :: tx.rset_keys
+         end
+       | Config.Serializable, None | Config.Snapshot_isolation, _ -> ());
+      r.value
+    in
+    (match r.src, via with
+     | `Missing, `Cache ->
+       (* The cached version vanished while we were queued; retry (the
+          cache check will now fail and the read goes remote). *)
+       read eng tx key
+     | `Missing, (`Local | `Remote) -> finish r false
+     | `Committed ts, _ ->
+       if ts > tx.ffc then tx.ffc <- ts;
+       finish r false
+     | `Speculative, _ ->
+       let wid = match r.writer with Some w -> w | None -> assert false in
+       (* The writer is a same-node transaction under SPSI; under the
+          unsafe-speculation strawman it can live on any node. *)
+       let writer_home = eng.nodes.(Txid.origin wid) in
+       (match Txid.Tbl.find_opt writer_home.active wid with
+        | None ->
+          (* Writer resolved (committed or aborted) while the reply was in
+             flight; re-read to observe its final outcome. *)
+          read eng tx key
+        | Some tw ->
+          (match tw.state with
+           | Local_committed ->
+             add_dep tx tw;
+             nd.stats.Stats.spec_reads <- nd.stats.Stats.spec_reads + 1;
+             if via = `Cache then nd.stats.Stats.cache_reads <- nd.stats.Stats.cache_reads + 1;
+             finish r true
+           | Committed ->
+             if tw.ct > tx.ffc then tx.ffc <- tw.ct;
+             finish r false
+           | Aborted _ -> read eng tx key
+           | Active -> assert false)))
+
+let write eng tx key value =
+  check_live tx;
+  if not (KeyTbl.mem tx.wbuf key) then tx.wkeys <- key :: tx.wkeys;
+  KeyTbl.replace tx.wbuf key value;
+  emit eng (Ev_write { id = tx.id; key; time = Sim.now eng.sim })
+
+let group_writes tx =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun key ->
+      let p = Key.partition key in
+      let existing = try Hashtbl.find tbl p with Not_found -> [] in
+      Hashtbl.replace tbl p ((key, KeyTbl.find tx.wbuf key) :: existing))
+    tx.wkeys (* wkeys is reverse insertion order, so this restores it *)
+  |> ignore;
+  Hashtbl.fold (fun p writes acc -> (p, writes) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let externalize eng tx =
+  if eng.config.Config.externalize_local_commit && not tx.spec_exposed then begin
+    let nd = eng.nodes.(tx.origin) in
+    tx.spec_exposed <- true;
+    nd.stats.Stats.spec_commits <- nd.stats.Stats.spec_commits + 1;
+    ignore (Ivar.fill_if_empty tx.spec_commit (Sim.now eng.sim))
+  end
+
+(** Commit protocol of Algorithm 1: local certification (local 2PC over
+    local replicas plus the cache partition), local commit, global
+    certification with synchronous master-slave replication, dependency
+    resolution, and final commit.  Returns the final commit timestamp;
+    raises {!Types.Tx_abort} on any abort. *)
+let commit eng tx =
+  check_live tx;
+  let nd = eng.nodes.(tx.origin) in
+  charge nd eng.config.Config.cost_coord_op;
+  check_live tx;
+  if is_read_only tx then begin
+    (* A read-only transaction may still have speculative dependencies;
+       SPSI-4 requires them resolved before confirming to the client. *)
+    wait_until tx (fun () -> Txid.Set.is_empty tx.deps || is_aborted tx);
+    check_live tx;
+    externalize eng tx;
+    tx.state <- Committed;
+    tx.ct <- tx.rs;
+    nd.stats.Stats.commits <- nd.stats.Stats.commits + 1;
+    nd.stats.Stats.read_only_commits <- nd.stats.Stats.read_only_commits + 1;
+    Txid.Tbl.remove nd.active tx.id;
+    emit eng (Ev_commit { id = tx.id; ct = tx.ct; time = Sim.now eng.sim });
+    ignore (Ivar.fill_if_empty tx.outcome (Tx_committed tx.ct));
+    notify tx;
+    tx.ct
+  end
+  else begin
+    (* Read promotion (Serializable): update transactions re-write every
+       value they read, turning read-write conflicts into write-write
+       conflicts that SI certification rejects. *)
+    if eng.config.Config.isolation = Config.Serializable then
+      List.iter
+        (fun key ->
+          if not (KeyTbl.mem tx.wbuf key) then begin
+            KeyTbl.replace tx.wbuf key (KeyTbl.find tx.rset key);
+            tx.wkeys <- key :: tx.wkeys;
+            emit eng (Ev_write { id = tx.id; key; time = Sim.now eng.sim })
+          end)
+        (List.rev tx.rset_keys);
+    let groups = group_writes tx in
+    tx.groups <- groups;
+    let n_writes = List.length tx.wkeys in
+    charge nd (eng.config.Config.cost_prepare_key * n_writes);
+    check_live tx;
+    (* ---- Local certification (atomic within this event) ---- *)
+    let lc = ref (tx.rs + 1) in
+    let wdeps = ref Txid.Set.empty in
+    let conflict = ref false in
+    let nonlocal_writes = ref [] in
+    List.iter
+      (fun (p, writes) ->
+        if not !conflict then
+          if Placement.replicates eng.placement ~node:tx.origin ~partition:p then begin
+            match
+              Partition_server.prepare ~origin_spec:tx.sr
+                (server eng ~node:tx.origin ~partition:p)
+                ~txid:tx.id ~origin:tx.origin ~rs:tx.rs ~writes
+            with
+            | Partition_server.Conflict _ -> conflict := true
+            | Partition_server.Prepared { ts; wdeps = d } ->
+              if ts > !lc then lc := ts;
+              List.iter (fun w -> wdeps := Txid.Set.add w !wdeps) d
+          end
+          else nonlocal_writes := writes @ !nonlocal_writes)
+      groups;
+    (* The cache partition always takes part in the local 2PC: it is
+       what orders same-node writers of non-local keys, whatever their
+       speculation mode (only speculative *reading* of its content is
+       gated).  See Alg. 1, line 18. *)
+    if (not !conflict) && !nonlocal_writes <> [] then begin
+      (* Unsafe transaction: its non-local updates go to the cache
+         partition, which takes part in the local 2PC (Alg. 1, l. 18). *)
+      match
+        Partition_server.prepare ~origin_spec:tx.sr nd.cache ~txid:tx.id
+          ~origin:tx.origin ~rs:tx.rs ~writes:!nonlocal_writes
+      with
+      | Partition_server.Conflict _ -> conflict := true
+      | Partition_server.Prepared { ts; wdeps = d } ->
+        if ts > !lc then lc := ts;
+        List.iter (fun w -> wdeps := Txid.Set.add w !wdeps) d
+    end;
+    if !conflict then begin
+      abort_tx eng tx Local_conflict;
+      raise (Tx_abort Local_conflict)
+    end;
+    Txid.Set.iter
+      (fun wid ->
+        match Txid.Tbl.find_opt nd.active wid with
+        | Some dep when not (is_aborted dep) -> add_dep tx dep
+        | Some _ | None -> ())
+      !wdeps;
+    if !nonlocal_writes <> [] then begin
+      tx.unsafe <- true;
+      olc_put tx tx.id tx.rs (* Alg. 1, line 24 *)
+    end;
+    tx.lc <- !lc;
+    tx.state <- Local_committed;
+    List.iter
+      (fun (p, _) ->
+        Partition_server.local_commit
+          (server eng ~node:tx.origin ~partition:p)
+          tx.id ~lc:!lc)
+      (local_partitions_of eng tx);
+    if tx.unsafe then Partition_server.local_commit nd.cache tx.id ~lc:!lc;
+    emit eng
+      (Ev_local_commit { id = tx.id; lc = !lc; unsafe = tx.unsafe; time = Sim.now eng.sim });
+    externalize eng tx;
+    (* ---- Global certification + synchronous replication ---- *)
+    tx.global_started <- true;
+    (* The dependencies declared to remote replicas: everything the
+       origin ordered this transaction after (fixed at this point). *)
+    let declared_deps = tx.all_deps in
+    let expected = ref 0 in
+    let reply_handler outcome =
+      if not (is_aborted tx) then begin
+        (match outcome with
+         | `Prepared ts ->
+           if ts > tx.max_proposal then tx.max_proposal <- ts;
+           tx.pending_prepares <- tx.pending_prepares - 1
+         | `Aborted -> tx.prepare_failed <- true);
+        notify tx
+      end
+    in
+    let send_replicate ~from slave p writes =
+      send eng ~src:from ~dst:slave (fun () ->
+          let snd = eng.nodes.(slave) in
+          Cpu.exec snd.cpu
+            ~cost:(eng.config.Config.cost_prepare_key * List.length writes)
+            (fun () ->
+              let srv = server eng ~node:slave ~partition:p in
+              (* Remote prepares evict conflicting local speculation and
+                 its dependents (Alg. 2, replicate handler). *)
+              List.iter
+                (fun victim ->
+                  match Txid.Tbl.find_opt snd.active victim with
+                  | Some vtx -> abort_tx eng vtx Evicted
+                  | None -> ())
+                (Partition_server.evict_candidates srv ~writes ~except:tx.id);
+              let outcome =
+                match
+                  Partition_server.prepare ~stack_over:declared_deps srv ~txid:tx.id
+                    ~origin:tx.origin ~rs:tx.rs ~writes
+                with
+                | Partition_server.Prepared { ts; _ } -> `Prepared ts
+                | Partition_server.Conflict _ -> `Aborted
+              in
+              send eng ~src:slave ~dst:tx.origin (fun () ->
+                  reply_handler outcome)))
+    in
+    List.iter
+      (fun (p, writes) ->
+        let m = master_of eng p in
+        let slaves = live_slaves eng p in
+        if m = tx.origin then begin
+          (* We are the master: replicate the prepare to our slaves. *)
+          List.iter
+            (fun s ->
+              incr expected;
+              send_replicate ~from:tx.origin s p writes)
+            slaves
+        end
+        else begin
+          incr expected (* the master's own reply *);
+          List.iter (fun s -> if s <> tx.origin then incr expected) slaves;
+          send eng ~src:tx.origin ~dst:m (fun () ->
+              let mnd = eng.nodes.(m) in
+              Cpu.exec mnd.cpu
+                ~cost:(eng.config.Config.cost_prepare_key * List.length writes)
+                (fun () ->
+                  let srv = server eng ~node:m ~partition:p in
+                  match
+                    Partition_server.prepare ~stack_over:declared_deps srv ~txid:tx.id
+                      ~origin:tx.origin ~rs:tx.rs ~writes
+                  with
+                  | Partition_server.Conflict _ ->
+                    send eng ~src:m ~dst:tx.origin (fun () ->
+                        reply_handler `Aborted)
+                  | Partition_server.Prepared { ts; _ } ->
+                    List.iter
+                      (fun s -> if s <> tx.origin then send_replicate ~from:m s p writes)
+                      slaves;
+                    send eng ~src:m ~dst:tx.origin (fun () ->
+                        reply_handler (`Prepared ts))))
+        end)
+      groups;
+    tx.pending_prepares <- !expected;
+    wait_until tx (fun () ->
+        tx.pending_prepares <= 0 || tx.prepare_failed || is_aborted tx);
+    check_live tx;
+    if tx.prepare_failed then begin
+      abort_tx eng tx Remote_conflict;
+      raise (Tx_abort Remote_conflict)
+    end;
+    (* ---- SPSI-4: all speculative dependencies must resolve ---- *)
+    wait_until tx (fun () -> Txid.Set.is_empty tx.deps || is_aborted tx);
+    check_live tx;
+    let ct = max tx.lc tx.max_proposal in
+    commit_apply eng tx ct;
+    ct
+  end
+
+(** Await the final outcome of a transaction committed (or aborted) by
+    another fiber. *)
+let await_outcome tx = Fiber.await tx.outcome
+
+(* ------------------------------------------------------------------ *)
+(* Cluster-wide introspection                                          *)
+(* ------------------------------------------------------------------ *)
+
+let total_stats eng = Stats.sum (Array.to_list (Array.map (fun n -> n.stats) eng.nodes))
+
+let total_commits eng =
+  Array.fold_left (fun acc n -> acc + n.stats.Stats.commits) 0 eng.nodes
+
+(** Approximate storage split: (data bytes, LastReader metadata bytes)
+    summed over every replica — the §6.1 overhead measurement. *)
+let storage_breakdown eng =
+  let data = ref 0 and meta = ref 0 in
+  Array.iter
+    (fun nd ->
+      Hashtbl.iter
+        (fun _ s ->
+          let d, m = Mvstore.storage_bytes (Partition_server.store s) in
+          data := !data + d;
+          meta := !meta + m)
+        nd.servers)
+    eng.nodes;
+  (!data, !meta)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection and fail-over (§5.6)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Crash node [n].  With the paper's perfect-failure-detection
+    assumption, every surviving node reacts immediately:
+
+    - transactions originated at [n] are aborted cluster-wide (their
+      pre-committed versions at other replicas are removed, unblocking
+      readers; their clients are gone anyway);
+    - in-flight transactions of other nodes whose certification involves
+      a replica on [n] are aborted ([Node_failure]) and retried by their
+      clients against the post-fail-over configuration;
+    - for every partition mastered by [n], the closest live slave is
+      promoted to master (synchronous replication makes any slave
+      up-to-date for all committed and pre-committed state).
+
+    Messages to and from [n] — including those already in flight — are
+    dropped. *)
+let crash eng n =
+  let nd = eng.nodes.(n) in
+  if nd.alive then begin
+    nd.alive <- false;
+    (* Abort n's own transactions: their clients died with the node, and
+       their speculative state must not linger at the survivors. *)
+    let local_txs = Txid.Tbl.fold (fun _ tx acc -> tx :: acc) nd.active [] in
+    List.iter (fun tx -> abort_tx eng tx Node_failure) local_txs;
+    (* The failure detector at every surviving replica drops pre-commits
+       from n that the (dead) coordinator will never resolve.  abort_tx
+       above already sent the removals for global_started transactions,
+       but those sends are dropped at source now that n is dead — purge
+       directly. *)
+    Array.iter
+      (fun other ->
+        if other.alive then
+          Hashtbl.iter
+            (fun _ srv ->
+              List.iter
+                (fun txid ->
+                  if Txid.origin txid = n then Partition_server.abort srv txid)
+                (Partition_server.pending_txids srv))
+            other.servers)
+      eng.nodes;
+    (* Abort survivors' transactions that are waiting on replies from n
+       (their expected-reply count can otherwise never be reached). *)
+    Array.iter
+      (fun other ->
+        if other.alive && other.id <> n then begin
+          let stuck =
+            Txid.Tbl.fold
+              (fun _ tx acc ->
+                let involves_n =
+                  List.exists
+                    (fun (p, _) ->
+                      Array.exists (fun r -> r = n) (Placement.replicas eng.placement p))
+                    tx.groups
+                in
+                if tx.global_started && tx.pending_prepares > 0 && involves_n then
+                  tx :: acc
+                else acc)
+              other.active []
+          in
+          List.iter (fun tx -> abort_tx eng tx Node_failure) stuck
+        end)
+      eng.nodes;
+    (* Promote the closest live slave of every partition n mastered. *)
+    for p = 0 to Placement.n_partitions eng.placement - 1 do
+      if eng.cur_master.(p) = n then begin
+        let candidates =
+          Array.to_list (Placement.replicas eng.placement p)
+          |> List.filter (fun r -> eng.nodes.(r).alive)
+        in
+        match candidates with
+        | [] -> () (* partition lost: all replicas down *)
+        | first :: _ -> eng.cur_master.(p) <- first
+      end
+    done
+  end
+
+(** Validate every version chain in the cluster (test support). *)
+let check_invariants eng =
+  Array.fold_left
+    (fun acc nd ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        Hashtbl.fold
+          (fun _ s acc ->
+            match acc with
+            | Error _ -> acc
+            | Ok () -> Mvstore.check_invariants (Partition_server.store s))
+          nd.servers (Ok ()))
+    (Ok ()) eng.nodes

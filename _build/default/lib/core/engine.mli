@@ -1,0 +1,109 @@
+(** The STR protocol engine: a whole geo-distributed cluster inside the
+    simulator, exposing the transactional API of the paper's coordinator
+    (Algorithm 1) over partition servers (Algorithm 2).
+
+    Clients call {!begin_tx} / {!read} / {!write} / {!commit} from
+    inside a {!Dsim.Fiber} fiber.  [commit] returns the final commit
+    timestamp; any abort (certification conflict, eviction, cascading
+    misspeculation) surfaces as {!Types.Tx_abort} from whichever
+    operation the client is in — the transparent-retry contract of the
+    paper. *)
+
+type node
+(** One simulated server: clock, CPU, partition replicas, cache
+    partition and local transaction registry. *)
+
+type t
+
+val create :
+  sim:Dsim.Sim.t ->
+  net:Dsim.Network.t ->
+  placement:Store.Placement.t ->
+  config:Config.t ->
+  ?seed:int ->
+  unit ->
+  t
+(** Wire one node per network endpoint, with partition replicas placed
+    per [placement].  [seed] drives per-node clock skews. *)
+
+(** {1 Introspection} *)
+
+val sim : t -> Dsim.Sim.t
+val net : t -> Dsim.Network.t
+val config : t -> Config.t
+val placement : t -> Store.Placement.t
+val n_nodes : t -> int
+val node : t -> int -> node
+val node_stats : t -> int -> Stats.t
+
+val server : t -> node:int -> partition:int -> Partition_server.t
+(** The replica of [partition] hosted by [node].
+    @raise Invalid_argument if the node does not replicate it. *)
+
+val cache_of : t -> int -> Partition_server.t
+(** The node's cache partition (§5.2). *)
+
+val set_observer : t -> (Types.event -> unit) -> unit
+(** Install an execution-event observer (e.g. {!Spsi.History.record}). *)
+
+val clear_observer : t -> unit
+
+(** {1 Data loading} *)
+
+val load : t -> Store.Keyspace.Key.t -> Store.Keyspace.Value.t -> unit
+(** Install an initial committed version (timestamp 0) at every replica
+    of the key's partition, bypassing the protocol. *)
+
+(** {1 Transactional API (fiber context)} *)
+
+val begin_tx : t -> origin:int -> Types.tx
+(** Start a transaction at [origin]; its read snapshot is the node's
+    current physical time. *)
+
+val read : t -> Types.tx -> Store.Keyspace.Key.t -> Store.Keyspace.Value.t option
+(** Snapshot read.  May serve from the private write buffer, a local
+    replica, the cache partition (speculatively) or the nearest remote
+    replica; blocks as required by Clock-SI and by the SPSI OLC/FFC
+    guard.  [None] means the key does not exist in the snapshot.
+    @raise Types.Tx_abort if the transaction was aborted meanwhile. *)
+
+val write : t -> Types.tx -> Store.Keyspace.Key.t -> Store.Keyspace.Value.t -> unit
+(** Buffer a write (read-your-writes visible to later {!read}s).
+    @raise Types.Tx_abort if the transaction was aborted meanwhile. *)
+
+val commit : t -> Types.tx -> int
+(** Run local certification, local commit, global certification with
+    synchronous master-slave replication, dependency resolution, and
+    final commit; returns the final commit timestamp.
+    @raise Types.Tx_abort on any certification conflict or cascading
+    abort (the client should retry with a fresh transaction). *)
+
+val await_outcome : Types.tx -> Types.outcome
+(** Block (fiber) until the transaction's final outcome is decided. *)
+
+val abort_tx : t -> Types.tx -> Types.abort_reason -> unit
+(** Force-abort (test support); idempotent, cascades to dependents. *)
+
+(** {1 Fault injection (§5.6)} *)
+
+(** Crash a node: its messages (including in-flight ones) are dropped,
+    its transactions and their remote pre-commits are purged at the
+    survivors (perfect failure detection), survivors' transactions that
+    were awaiting its replies abort with [Node_failure] and get retried
+    by their clients, and the closest live slave of each partition it
+    mastered is promoted.  Idempotent. *)
+val crash : t -> int -> unit
+
+val is_alive : t -> int -> bool
+
+(** {1 Cluster-wide accounting} *)
+
+val total_stats : t -> Stats.t
+val total_commits : t -> int
+
+val storage_breakdown : t -> int * int
+(** [(data_bytes, last_reader_metadata_bytes)] summed over all replicas
+    — the Precise Clocks storage-overhead measurement of §6.1. *)
+
+val check_invariants : t -> (unit, string) result
+(** Validate every version chain in the cluster (test support). *)

@@ -1,0 +1,115 @@
+(** One partition replica: the server side of Algorithm 2.
+
+    A passive, message-driven state machine invoked by the engine either
+    directly (same node) or from a network-delivery event.  It owns the
+    replica's multi-versioned store, serves (possibly blocking) reads,
+    certifies prepares under the write-write conflict rule with
+    speculative stacking, applies lifecycle transitions, and computes
+    prepare-timestamp proposals under Physical or Precise clocks.
+
+    The node's {e cache partition} (§5.2) is the same machinery created
+    with [is_cache:true]: final commit then drops the cached versions
+    (the authoritative copies live on the key's real replicas). *)
+
+open Store
+
+type t
+
+val create :
+  sim:Dsim.Sim.t ->
+  clock:Dsim.Clock.t ->
+  cpu:Dsim.Cpu.t ->
+  config:Config.t ->
+  node_id:int ->
+  partition:int ->
+  ?is_cache:bool ->
+  ?stats:Stats.t ->
+  unit ->
+  t
+
+val store : t -> Mvstore.t
+val node_id : t -> int
+val partition : t -> int
+val blocked_reads : t -> int
+val pending_keys : t -> Txid.t -> Keyspace.Key.t list
+val has_tx : t -> Txid.t -> bool
+
+(** Transactions with uncommitted state at this replica. *)
+val pending_txids : t -> Txid.t list
+
+(** {1 Reads} *)
+
+type read_reply = {
+  value : Keyspace.Value.t option;
+  src : [ `Committed of int  (** final commit timestamp *) | `Speculative | `Missing ];
+  writer : Txid.t option;
+}
+
+(** Serve a read at snapshot [rs] for a transaction originated at
+    [reader_origin]; [reply] fires (possibly much later) with the
+    result.  Implements Alg. 2 [readFrom]: bumps [LastReader], blocks on
+    pre-committed versions and on local-committed versions the reader
+    may not observe speculatively, and delays reads from the future
+    (Clock-SI). *)
+val read :
+  ?allow_spec:bool ->
+  t ->
+  rs:int ->
+  reader_origin:int ->
+  Keyspace.Key.t ->
+  (read_reply -> unit) ->
+  unit
+
+(** Does any version (any state) exist at snapshot [rs]?  Used to route
+    non-local keys through the cache partition. *)
+val has_visible : t -> rs:int -> Keyspace.Key.t -> bool
+
+(** {1 Certification} *)
+
+type prepare_outcome =
+  | Prepared of { ts : int; wdeps : Txid.t list }
+      (** [wdeps]: local-committed transactions this prepare
+          speculatively stacked upon (write-write dependencies) *)
+  | Conflict of Keyspace.Key.t
+
+(** Write-write certification over [writes] (Alg. 2 [prepare]); inserts
+    pre-committed versions and registers the pending set on success.
+    [stack_over] (remote replicas only) lists the transactions the
+    incoming one declares as dependencies: only their uncommitted
+    versions may be stacked upon. *)
+val prepare :
+  ?stack_over:Txid.Set.t ->
+  ?origin_spec:bool ->
+  t ->
+  txid:Txid.t ->
+  origin:int ->
+  rs:int ->
+  writes:(Keyspace.Key.t * Keyspace.Value.t) list ->
+  prepare_outcome
+
+(** Local speculative transactions of {e this} node whose uncommitted
+    versions conflict with an incoming remote prepare; the engine aborts
+    them (and their dependents) before installing the prepare (Alg. 2,
+    replicate handler). *)
+val evict_candidates :
+  t -> writes:(Keyspace.Key.t * Keyspace.Value.t) list -> except:Txid.t -> Txid.t list
+
+(** {1 Lifecycle transitions} *)
+
+(** Pre-committed -> local-committed at timestamp [lc]; wakes blocked
+    readers (local ones may now read speculatively). *)
+val local_commit : t -> Txid.t -> lc:int -> unit
+
+(** Final commit at timestamp [ct]; the cache partition instead drops
+    the versions (Alg. 1, line 44). *)
+val commit : t -> Txid.t -> ct:int -> unit
+
+(** Remove the transaction's versions and wake blocked readers.
+    [tombstone] must be true only for aborts delivered over the network,
+    where the abort can race a prepare forwarded through the partition
+    master: a later prepare for a tombstoned transaction is refused
+    instead of installing zombie versions. *)
+val abort : ?tombstone:bool -> t -> Txid.t -> unit
+
+(** Multi-version GC (also runs amortized inside [prepare]). *)
+val prune : t -> horizon:int -> int

@@ -1,0 +1,59 @@
+(** Feedback-driven self-tuning of speculation (§5.5 of the paper).
+
+    A centralized controller periodically samples cluster throughput,
+    runs an A/B exploration — one window with speculative reads enabled,
+    one with them disabled — and locks in the better configuration,
+    optionally re-exploring later.  Black-box (it only looks at the
+    committed-transaction counters) and transparent to applications. *)
+
+type t
+
+(** What the controller optimizes.  [Throughput] is the paper's
+    criterion; [Throughput_bounded_misspec m] additionally requires the
+    explored misspeculation share of attempts to stay below [m] (a
+    multi-KPI variant of the future work sketched in §7). *)
+type criterion = Throughput | Throughput_bounded_misspec of float
+
+(** Spawn the controller fiber.  Exploration starts after [warmup_us];
+    each measurement lasts [window_us] (the paper samples every 10 s).
+    With [reexplore_every > 0], the A/B comparison re-runs after that
+    many exploit windows (e.g. when triggered by load-change detection;
+    see {!Cusum}). *)
+val install :
+  Engine.t ->
+  window_us:int ->
+  ?warmup_us:int ->
+  ?reexplore_every:int ->
+  ?criterion:criterion ->
+  unit ->
+  t
+
+(** The current decision: [Some true] = speculation enabled, [None] =
+    still exploring. *)
+val decision : t -> bool option
+
+val rounds : t -> int
+
+(** [(throughput_with_sr, throughput_without)] from the last explore
+    round, in committed transactions per second. *)
+val throughputs : t -> float * float
+
+(** Misspeculation share observed in the last SR-enabled explore window. *)
+val explored_misspec : t -> float
+
+val stop : t -> unit
+
+(** CUSUM change detector over throughput samples — the robust
+    load-change detection the paper proposes for re-triggering the
+    self-tuning process. *)
+module Cusum : sig
+  type t
+
+  (** [drift] is the tolerated slack per sample and [threshold] the
+      alarm level, both as fractions of the running mean. *)
+  val create : ?drift:float -> ?threshold:float -> unit -> t
+
+  (** Feed a sample; [true] when a statistically meaningful change is
+      detected (the detector then resets around the new level). *)
+  val observe : t -> float -> bool
+end

@@ -1,0 +1,112 @@
+(** Per-node protocol counters.
+
+    Latency distributions are recorded by the harness clients; the node
+    counters here power throughput, abort-rate and misspeculation-rate
+    reporting plus the self-tuning feedback signal. *)
+
+type t = {
+  mutable started : int;  (** transaction attempts begun *)
+  mutable commits : int;
+  mutable read_only_commits : int;
+  mutable aborts_local : int;
+  mutable aborts_remote : int;
+  mutable aborts_evicted : int;
+  mutable aborts_dependency : int;
+  mutable aborts_stale_snapshot : int;
+  mutable aborts_node_failure : int;
+  mutable spec_reads : int;  (** reads served from local-committed versions *)
+  mutable cache_reads : int;  (** speculative reads served by the cache partition *)
+  mutable reads : int;
+  mutable remote_reads : int;
+  mutable spec_commits : int;  (** Ext-Spec speculative commits externalized *)
+  mutable ext_misspec : int;  (** externalized then finally aborted *)
+  mutable olc_blocks : int;  (** reads delayed by the OLC/FFC guard (Fig. 2) *)
+  mutable server_blocks : int;  (** reads blocked on an unresolved version *)
+}
+
+let create () =
+  {
+    started = 0;
+    commits = 0;
+    read_only_commits = 0;
+    aborts_local = 0;
+    aborts_remote = 0;
+    aborts_evicted = 0;
+    aborts_dependency = 0;
+    aborts_stale_snapshot = 0;
+    aborts_node_failure = 0;
+    spec_reads = 0;
+    cache_reads = 0;
+    reads = 0;
+    remote_reads = 0;
+    spec_commits = 0;
+    ext_misspec = 0;
+    olc_blocks = 0;
+    server_blocks = 0;
+  }
+
+let record_abort t (reason : Types.abort_reason) =
+  match reason with
+  | Local_conflict -> t.aborts_local <- t.aborts_local + 1
+  | Remote_conflict -> t.aborts_remote <- t.aborts_remote + 1
+  | Evicted -> t.aborts_evicted <- t.aborts_evicted + 1
+  | Dependency_aborted -> t.aborts_dependency <- t.aborts_dependency + 1
+  | Snapshot_too_old -> t.aborts_stale_snapshot <- t.aborts_stale_snapshot + 1
+  | Node_failure -> t.aborts_node_failure <- t.aborts_node_failure + 1
+
+let aborts t =
+  t.aborts_local + t.aborts_remote + t.aborts_evicted + t.aborts_dependency
+  + t.aborts_stale_snapshot + t.aborts_node_failure
+
+(** Aborts attributable to failed (internal) speculation. *)
+let misspeculations t = t.aborts_dependency + t.aborts_stale_snapshot
+
+(** Fraction of attempts that aborted, in [0, 1]. *)
+let abort_rate t =
+  let total = t.commits + aborts t in
+  if total = 0 then 0. else float_of_int (aborts t) /. float_of_int total
+
+let misspeculation_rate t =
+  let total = t.commits + aborts t in
+  if total = 0 then 0. else float_of_int (misspeculations t) /. float_of_int total
+
+let ext_misspeculation_rate t =
+  let total = t.commits + aborts t in
+  if total = 0 then 0. else float_of_int t.ext_misspec /. float_of_int total
+
+let add ~into b =
+  into.started <- into.started + b.started;
+  into.commits <- into.commits + b.commits;
+  into.read_only_commits <- into.read_only_commits + b.read_only_commits;
+  into.aborts_local <- into.aborts_local + b.aborts_local;
+  into.aborts_remote <- into.aborts_remote + b.aborts_remote;
+  into.aborts_evicted <- into.aborts_evicted + b.aborts_evicted;
+  into.aborts_dependency <- into.aborts_dependency + b.aborts_dependency;
+  into.aborts_stale_snapshot <- into.aborts_stale_snapshot + b.aborts_stale_snapshot;
+  into.aborts_node_failure <- into.aborts_node_failure + b.aborts_node_failure;
+  into.spec_reads <- into.spec_reads + b.spec_reads;
+  into.cache_reads <- into.cache_reads + b.cache_reads;
+  into.reads <- into.reads + b.reads;
+  into.remote_reads <- into.remote_reads + b.remote_reads;
+  into.spec_commits <- into.spec_commits + b.spec_commits;
+  into.ext_misspec <- into.ext_misspec + b.ext_misspec;
+  into.olc_blocks <- into.olc_blocks + b.olc_blocks;
+  into.server_blocks <- into.server_blocks + b.server_blocks
+
+let sum list =
+  let acc = create () in
+  List.iter (fun s -> add ~into:acc s) list;
+  acc
+
+let copy t =
+  let acc = create () in
+  add ~into:acc t;
+  acc
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>started=%d commits=%d (ro=%d) aborts=%d (local=%d remote=%d evicted=%d dep=%d stale=%d)@,\
+     reads=%d (spec=%d cache=%d remote=%d) spec_commits=%d ext_misspec=%d blocks(olc=%d srv=%d)@]"
+    t.started t.commits t.read_only_commits (aborts t) t.aborts_local t.aborts_remote
+    t.aborts_evicted t.aborts_dependency t.aborts_stale_snapshot t.reads t.spec_reads
+    t.cache_reads t.remote_reads t.spec_commits t.ext_misspec t.olc_blocks t.server_blocks

@@ -1,0 +1,173 @@
+(** Transaction records and lifecycle state shared by the coordinator
+    and the partition servers. *)
+
+open Store
+
+(** Why a transaction (attempt) aborted.  The classification feeds the
+    abort-rate and misspeculation-rate metrics of the evaluation. *)
+type abort_reason =
+  | Local_conflict  (** write-write conflict during local certification *)
+  | Remote_conflict  (** conflict detected by a remote master (global cert) *)
+  | Evicted  (** local speculative state evicted by a remote prepare *)
+  | Dependency_aborted  (** cascading abort: a dependee aborted (SPSI-4) *)
+  | Snapshot_too_old
+      (** a dependee final committed with CT > RS, violating SPSI-1 *)
+  | Node_failure
+      (** a replica involved in this transaction's certification crashed
+          (perfect failure detection, §5.6); the client simply retries *)
+
+let abort_reason_to_string = function
+  | Local_conflict -> "local-conflict"
+  | Remote_conflict -> "remote-conflict"
+  | Evicted -> "evicted"
+  | Dependency_aborted -> "dependency-aborted"
+  | Snapshot_too_old -> "snapshot-too-old"
+  | Node_failure -> "node-failure"
+
+(** Aborts caused by failed speculation (as opposed to plain
+    certification conflicts, which occur in non-speculative protocols
+    too). *)
+let is_misspeculation = function
+  | Dependency_aborted | Snapshot_too_old -> true
+  | Local_conflict | Remote_conflict | Evicted | Node_failure -> false
+
+type tx_state =
+  | Active  (** executing, before local certification *)
+  | Local_committed  (** passed local certification, awaiting global *)
+  | Committed
+  | Aborted of abort_reason
+
+type outcome = Tx_committed of int (* final commit timestamp *) | Tx_aborted_out of abort_reason
+
+(** Raised by coordinator operations when the transaction has been
+    aborted (e.g. by a cascading abort) while the client was executing. *)
+exception Tx_abort of abort_reason
+
+module KeyTbl = Mvstore.KeyTbl
+
+type tx = {
+  id : Txid.t;
+  origin : int;  (** node where the transaction (and its client) live *)
+  rs : int;  (** read snapshot (origin-node physical clock at start) *)
+  start_time : int;  (** simulated time of this attempt's activation *)
+  mutable state : tx_state;
+  sr : bool;
+      (** speculation mode latched at begin: a transaction observes one
+          configuration for its whole lifetime, even if the self-tuner
+          flips the global switch mid-flight *)
+  (* --- SPSI bookkeeping (Alg. 1) --- *)
+  mutable ffc : int;  (** freshest final commit read from, directly or not *)
+  olcset : int Txid.Tbl.t;
+      (** oldest-local-commit set: dependee txid -> its oldest unsafe
+          ancestor's read snapshot; the sentinel ⟨⊥,∞⟩ is implicit *)
+  mutable unsafe : bool;  (** updated some non-locally-replicated key *)
+  (* --- write buffer --- *)
+  wbuf : Keyspace.Value.t KeyTbl.t;
+  mutable wkeys : Keyspace.Key.t list;  (** reverse insertion order *)
+  rset : Keyspace.Value.t KeyTbl.t;
+      (** read set with observed values (tracked only under the
+          Serializable isolation level, for read promotion) *)
+  mutable rset_keys : Keyspace.Key.t list;
+  (* --- dependency graph (node-local by construction) --- *)
+  mutable deps : Txid.Set.t;  (** unresolved dependees this tx read/stacked on *)
+  mutable all_deps : Txid.Set.t;
+      (** every dependee ever recorded (never shrinks); declared to
+          remote replicas so they only stack this transaction's prepare
+          over versions its origin actually ordered it after *)
+  mutable dependents : tx list;  (** unresolved txs that read/stacked on this tx *)
+  (* --- coordination --- *)
+  mutable watchers : (unit -> unit) list;
+      (** callbacks run on any state/bookkeeping change; used to
+          implement condition waits in the coordinator fiber *)
+  mutable lc : int;  (** local commit timestamp *)
+  mutable ct : int;  (** final commit timestamp *)
+  mutable pending_prepares : int;
+  mutable prepare_failed : bool;
+  mutable max_proposal : int;
+  mutable global_started : bool;
+  mutable spec_exposed : bool;  (** Ext-Spec: result externalized at LC *)
+  mutable reads_done : int;
+  mutable groups : (int * (Keyspace.Key.t * Keyspace.Value.t) list) list;
+      (** write-set grouped by partition, fixed at certification time *)
+  outcome : outcome Dsim.Ivar.t;
+  spec_commit : int Dsim.Ivar.t;
+      (** Ext-Spec: filled with the simulated time of the speculative
+          (local) commit that was externalized to the client *)
+}
+
+let make_tx ~id ~origin ~rs ~start_time ~sr =
+  {
+    id;
+    origin;
+    rs;
+    start_time;
+    state = Active;
+    sr;
+    ffc = 0;
+    olcset = Txid.Tbl.create 4;
+    unsafe = false;
+    wbuf = KeyTbl.create 8;
+    wkeys = [];
+    rset = KeyTbl.create 8;
+    rset_keys = [];
+    deps = Txid.Set.empty;
+    all_deps = Txid.Set.empty;
+    dependents = [];
+    watchers = [];
+    lc = 0;
+    ct = 0;
+    pending_prepares = 0;
+    prepare_failed = false;
+    max_proposal = 0;
+    global_started = false;
+    spec_exposed = false;
+    reads_done = 0;
+    groups = [];
+    outcome = Dsim.Ivar.create ();
+    spec_commit = Dsim.Ivar.create ();
+  }
+
+let infinity_ts = max_int
+
+(** Minimum of the OLCSet (∞ when only the sentinel remains). *)
+let olc_min tx = Txid.Tbl.fold (fun _ v acc -> min v acc) tx.olcset infinity_ts
+
+(** Record/refresh an OLCSet entry (Alg. 1, line 13). *)
+let olc_put tx dep_id v = Txid.Tbl.replace tx.olcset dep_id v
+
+let olc_remove tx dep_id = Txid.Tbl.remove tx.olcset dep_id
+
+let is_aborted tx = match tx.state with Aborted _ -> true | _ -> false
+
+let is_read_only tx = tx.wkeys = []
+
+(** Run and clear the condition watchers after any observable change. *)
+let notify tx =
+  match tx.watchers with
+  | [] -> ()
+  | ws ->
+    tx.watchers <- [];
+    List.iter (fun f -> f ()) (List.rev ws)
+
+(** Raise {!Tx_abort} if the transaction was aborted behind the
+    coordinator's back. *)
+let check_live tx =
+  match tx.state with Aborted r -> raise (Tx_abort r) | Active | Local_committed | Committed -> ()
+
+(** Execution events emitted to an optional observer; the SPSI checker
+    reconstructs and validates histories from these. *)
+type event =
+  | Ev_begin of { id : Txid.t; origin : int; rs : int; time : int }
+  | Ev_read of {
+      id : Txid.t;
+      key : Keyspace.Key.t;
+      writer : Txid.t option;  (** creator of the observed version; [None] = key absent *)
+      version_ts : int;
+      speculative : bool;
+      start_time : int;  (** when this read attempt was issued *)
+      time : int;  (** when the value was returned to the transaction *)
+    }
+  | Ev_write of { id : Txid.t; key : Keyspace.Key.t; time : int }
+  | Ev_local_commit of { id : Txid.t; lc : int; unsafe : bool; time : int }
+  | Ev_commit of { id : Txid.t; ct : int; time : int }
+  | Ev_abort of { id : Txid.t; reason : abort_reason; time : int }

@@ -1,0 +1,1 @@
+lib/dsim/clock.ml: Sim

@@ -1,0 +1,1 @@
+lib/dsim/clock.mli: Sim

@@ -1,0 +1,1 @@
+lib/dsim/fiber.ml: Effect Ivar Sim

@@ -1,0 +1,1 @@
+lib/dsim/network.ml: Array Rng Sim Topology

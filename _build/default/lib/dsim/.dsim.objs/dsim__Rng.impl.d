@@ -1,0 +1,1 @@
+lib/dsim/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/dsim/topology.ml: Array Format Printf

@@ -1,0 +1,1 @@
+lib/dsim/topology.mli: Format

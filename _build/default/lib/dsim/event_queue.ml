@@ -1,0 +1,71 @@
+(* Binary min-heap over (time, seq) keys, stored in a growable array.
+   The heap property is: parent key <= child keys, comparing time first and
+   insertion sequence second. *)
+
+type 'a cell = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable cells : 'a cell option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { cells = Array.make 64 None; size = 0; next_seq = 0 }
+
+let is_empty q = q.size = 0
+
+let length q = q.size
+
+let key_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get q i =
+  match q.cells.(i) with
+  | Some c -> c
+  | None -> assert false
+
+let grow q =
+  let cells = Array.make (2 * Array.length q.cells) None in
+  Array.blit q.cells 0 cells 0 q.size;
+  q.cells <- cells
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if key_lt (get q i) (get q parent) then begin
+      let tmp = q.cells.(i) in
+      q.cells.(i) <- q.cells.(parent);
+      q.cells.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && key_lt (get q l) (get q !smallest) then smallest := l;
+  if r < q.size && key_lt (get q r) (get q !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.cells.(i) in
+    q.cells.(i) <- q.cells.(!smallest);
+    q.cells.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q ~time payload =
+  if q.size = Array.length q.cells then grow q;
+  let cell = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  q.cells.(q.size) <- Some cell;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let min_time q = if q.size = 0 then None else Some (get q 0).time
+
+let pop q =
+  if q.size = 0 then raise Not_found;
+  let top = get q 0 in
+  q.size <- q.size - 1;
+  q.cells.(0) <- q.cells.(q.size);
+  q.cells.(q.size) <- None;
+  if q.size > 0 then sift_down q 0;
+  (top.time, top.payload)

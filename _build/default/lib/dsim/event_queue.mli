@@ -1,0 +1,23 @@
+(** Priority queue of timed events for the discrete-event engine.
+
+    Events are ordered by [(time, seq)] where [seq] is a monotonically
+    increasing insertion counter, so events scheduled for the same instant
+    fire in FIFO order.  This guarantees deterministic replay. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+(** [push q ~time ev] enqueues [ev] to fire at [time] (microseconds). *)
+val push : 'a t -> time:int -> 'a -> unit
+
+(** Earliest event time, if any. *)
+val min_time : 'a t -> int option
+
+(** Remove and return the earliest event as [(time, ev)].
+    @raise Not_found if the queue is empty. *)
+val pop : 'a t -> int * 'a

@@ -1,0 +1,27 @@
+type 'a state = Empty of ('a -> unit) list | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let is_full iv = match iv.state with Full _ -> true | Empty _ -> false
+
+let fill iv v =
+  match iv.state with
+  | Full _ -> invalid_arg "Ivar.fill: already full"
+  | Empty waiters ->
+    iv.state <- Full v;
+    (* Waiters registered first fire first. *)
+    List.iter (fun k -> k v) (List.rev waiters)
+
+let fill_if_empty iv v =
+  match iv.state with
+  | Full _ -> false
+  | Empty _ -> fill iv v; true
+
+let peek iv = match iv.state with Full v -> Some v | Empty _ -> None
+
+let on_full iv k =
+  match iv.state with
+  | Full v -> k v
+  | Empty waiters -> iv.state <- Empty (k :: waiters)

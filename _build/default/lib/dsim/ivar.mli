@@ -1,0 +1,22 @@
+(** Single-assignment variables used as the synchronization primitive
+    between simulator fibers. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_full : 'a t -> bool
+
+(** [fill iv v] sets the value and runs all registered callbacks.
+    @raise Invalid_argument if already full. *)
+val fill : 'a t -> 'a -> unit
+
+(** Like [fill] but a no-op when already full; returns whether it filled. *)
+val fill_if_empty : 'a t -> 'a -> bool
+
+(** Read the value if present. *)
+val peek : 'a t -> 'a option
+
+(** Register a callback to run when the ivar is filled; runs immediately
+    (synchronously) if already full. *)
+val on_full : 'a t -> ('a -> unit) -> unit

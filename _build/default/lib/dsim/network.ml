@@ -1,0 +1,67 @@
+type t = {
+  sim : Sim.t;
+  topology : Topology.t;
+  node_dc : int array;
+  jitter : float;
+  rng : Rng.t;
+  mutable messages_sent : int;
+  mutable wan_messages : int;
+  last_delivery : int array array;
+      (** per (src, dst) channel: last scheduled delivery time; channels
+          are FIFO, like the TCP connections of a real deployment *)
+}
+
+let loopback_us = 5
+
+let create ~sim ~topology ~node_dc ~jitter ~rng =
+  Array.iter
+    (fun dc ->
+      if dc < 0 || dc >= Topology.size topology then
+        invalid_arg "Network.create: node_dc out of range")
+    node_dc;
+  let n = Array.length node_dc in
+  {
+    sim;
+    topology;
+    node_dc;
+    jitter;
+    rng;
+    messages_sent = 0;
+    wan_messages = 0;
+    last_delivery = Array.make_matrix n n 0;
+  }
+
+let sim t = t.sim
+let topology t = t.topology
+let node_count t = Array.length t.node_dc
+let dc_of_node t i = t.node_dc.(i)
+
+let latency_us t ~src ~dst =
+  if src = dst then loopback_us
+  else Topology.oneway_us t.topology t.node_dc.(src) t.node_dc.(dst)
+
+let send t ~src ~dst f =
+  let base = latency_us t ~src ~dst in
+  let delay =
+    if t.jitter <= 0. then base
+    else begin
+      let factor = 1. +. (t.jitter *. ((2. *. Rng.float t.rng) -. 1.)) in
+      let d = int_of_float (float_of_int base *. factor) in
+      if d < 1 then 1 else d
+    end
+  in
+  t.messages_sent <- t.messages_sent + 1;
+  if t.node_dc.(src) <> t.node_dc.(dst) then t.wan_messages <- t.wan_messages + 1;
+  (* Enforce FIFO delivery per channel: a message never overtakes an
+     earlier one on the same (src, dst) pair. *)
+  let at = Sim.now t.sim + delay in
+  let at = if at > t.last_delivery.(src).(dst) then at else t.last_delivery.(src).(dst) + 1 in
+  t.last_delivery.(src).(dst) <- at;
+  Sim.schedule_at t.sim ~time:at f
+
+let messages_sent t = t.messages_sent
+let wan_messages t = t.wan_messages
+
+let reset_counters t =
+  t.messages_sent <- 0;
+  t.wan_messages <- 0

@@ -1,0 +1,41 @@
+(** Message-passing substrate between simulated nodes.
+
+    Each node lives in a data center of the {!Topology}; delivering a
+    message costs the one-way DC-to-DC latency, optionally perturbed by
+    multiplicative jitter.  Messages between distinct nodes of the same
+    DC cost the intra-DC latency; a node messaging itself costs a small
+    fixed loopback latency. *)
+
+type t
+
+(** [create ~sim ~topology ~node_dc ~jitter ~rng] wires [n] nodes where
+    node [i] lives in data center [node_dc.(i)].  [jitter] is the
+    relative half-width of the uniform latency perturbation (e.g. 0.05
+    for +/-5%); pass 0. for fully deterministic latencies. *)
+val create :
+  sim:Sim.t ->
+  topology:Topology.t ->
+  node_dc:int array ->
+  jitter:float ->
+  rng:Rng.t ->
+  t
+
+val sim : t -> Sim.t
+val topology : t -> Topology.t
+val node_count : t -> int
+val dc_of_node : t -> int -> int
+
+(** One-way latency in microseconds between two nodes (mean, before jitter). *)
+val latency_us : t -> src:int -> dst:int -> int
+
+(** Deliver [f] at the destination after the network latency.
+    [f] runs as a fresh event (never inline). *)
+val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
+
+(** Total messages sent so far (includes loopback sends). *)
+val messages_sent : t -> int
+
+(** Messages whose source and destination DCs differ. *)
+val wan_messages : t -> int
+
+val reset_counters : t -> unit

@@ -1,0 +1,50 @@
+(* Splitmix64: tiny, fast, and with good statistical quality for
+   simulation purposes.  State is a single 64-bit counter. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Keep 62 bits so the value always fits OCaml's native int, positive. *)
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let split t = { state = next64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod n
+
+let int_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t = Int64.to_float (Int64.shift_right_logical (next64 t) 11) *. 0x1.p-53
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t in
+  (* Guard against log 0. *)
+  let u = if u <= 0. then 1e-12 else u in
+  -.mean *. log u
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,41 @@
+type t = { mutable now : int; queue : (unit -> unit) Event_queue.t }
+
+let create () = { now = 0; queue = Event_queue.create () }
+
+let now t = t.now
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Sim.schedule: negative delay";
+  Event_queue.push t.queue ~time:(t.now + delay) f
+
+let schedule_at t ~time f =
+  let time = if time < t.now then t.now else time in
+  Event_queue.push t.queue ~time f
+
+let run ?until t =
+  let processed = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Event_queue.min_time t.queue with
+    | None -> continue := false
+    | Some time ->
+      (match until with
+       | Some limit when time > limit ->
+         t.now <- limit;
+         continue := false
+       | _ ->
+         let time, f = Event_queue.pop t.queue in
+         t.now <- time;
+         incr processed;
+         f ())
+  done;
+  !processed
+
+let pending t = Event_queue.length t.queue
+
+let us x = x
+let ms x = x * 1_000
+let ms_f x = int_of_float (x *. 1_000.)
+let sec x = x * 1_000_000
+let sec_f x = int_of_float (x *. 1_000_000.)
+let to_sec x = float_of_int x /. 1_000_000.

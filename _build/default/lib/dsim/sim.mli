@@ -1,0 +1,37 @@
+(** Discrete-event simulation engine.
+
+    Simulated time is an [int] count of microseconds since the start of
+    the run.  The engine is single-threaded and deterministic: events
+    scheduled for the same instant fire in scheduling order. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time in microseconds. *)
+val now : t -> int
+
+(** [schedule t ~delay f] runs [f ()] at [now t + delay].
+    @raise Invalid_argument if [delay < 0]. *)
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+
+(** [schedule_at t ~time f] runs [f ()] at absolute [time]; a time in the
+    past fires at the current instant. *)
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+
+(** Run until the queue is empty or [until] (inclusive) is passed.
+    Returns the number of events processed. *)
+val run : ?until:int -> t -> int
+
+(** Number of pending events. *)
+val pending : t -> int
+
+(** Microseconds helpers. *)
+val us : int -> int
+val ms : int -> int
+val ms_f : float -> int
+val sec : int -> int
+val sec_f : float -> int
+
+(** Render a simulated timestamp as seconds for reporting. *)
+val to_sec : int -> float

@@ -1,0 +1,1 @@
+lib/harness/client.ml: Core Dsim Hashtbl Metrics Workload

@@ -1,0 +1,1 @@
+lib/harness/client.mli: Core Dsim Hashtbl Metrics Workload

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Client Core Dsim Float List Metrics Printf Report Runner Store Workload

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Client Core Dsim Metrics Store Workload

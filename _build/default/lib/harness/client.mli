@@ -1,0 +1,38 @@
+(** Closed-loop emulated clients: draw a transaction program from the
+    workload, execute it, retry on abort (fresh snapshot each attempt,
+    as in the paper's load injector), record latency inside the
+    measurement window, think, repeat.
+
+    Records the paper's two latencies: {e final latency} (first
+    activation to final commit, across retries) and, for Ext-Spec,
+    {e speculative latency} (first activation to the successful
+    attempt's speculative commit). *)
+
+type shared = {
+  final_latency : Metrics.t;
+  spec_latency : Metrics.t;
+  mutable measure_from : int;
+  mutable measure_to : int;
+  mutable retries : int;  (** aborted attempts inside the window *)
+  per_label : (string, Metrics.t) Hashtbl.t;  (** final latency per tx type *)
+}
+
+val make_shared : measure_from:int -> measure_to:int -> shared
+
+val in_window : shared -> int -> bool
+
+(** Per-transaction-type recorder (creates it on first use). *)
+val label_metrics : shared -> string -> Metrics.t
+
+(** Spawn one client fiber on [node]; it stops issuing transactions at
+    [stop_at] or when its node crashes.  [start_delay] staggers client
+    start-up so clients do not run in lockstep. *)
+val spawn :
+  Core.Engine.t ->
+  Workload.Spec.t ->
+  node:int ->
+  rng:Dsim.Rng.t ->
+  shared:shared ->
+  stop_at:int ->
+  start_delay:int ->
+  unit

@@ -1,0 +1,589 @@
+(** Reproduction of every table and figure of the paper's evaluation
+    (§6).  Each function runs the corresponding parameter sweep in the
+    simulator and renders a table with the same rows/series the paper
+    plots.  [Quick] uses shorter windows and fewer points (CI-friendly);
+    [Full] matches the experiment index in DESIGN.md. *)
+
+type scale = Quick | Full
+
+(* Windows per workload family.  Think-time workloads (TPC-C, RUBiS)
+   need longer self-tuning windows than the zero-think synthetic ones
+   (the paper samples throughput every 10 s); warmup is sized so the
+   tuner's explore phase finishes before measurement starts. *)
+type timing = { warmup_us : int; measure_us : int; tuner_window_us : int }
+
+let synth_timing = function
+  | Quick -> { warmup_us = 3_000_000; measure_us = 4_000_000; tuner_window_us = 1_000_000 }
+  | Full -> { warmup_us = 3_000_000; measure_us = 10_000_000; tuner_window_us = 1_000_000 }
+
+let macro_timing = function
+  | Quick -> { warmup_us = 7_000_000; measure_us = 5_000_000; tuner_window_us = 2_500_000 }
+  | Full -> { warmup_us = 7_000_000; measure_us = 10_000_000; tuner_window_us = 2_500_000 }
+
+(* The protocols compared in Figs. 3, 5 and 6.  STR runs with the
+   self-tuning controller, as in the paper's default setting. *)
+let protagonists =
+  [
+    ("STR", (fun () -> Core.Config.str ()), true);
+    ("ClockSI-Rep", (fun () -> Core.Config.clocksi_rep ()), false);
+    ("Ext-Spec", (fun () -> Core.Config.ext_spec ()), false);
+  ]
+
+let topology = Dsim.Topology.ec2_nine
+let replication_factor = 6
+
+let placement () =
+  Store.Placement.ring ~n_nodes:(Dsim.Topology.size topology)
+    ~replication_factor ()
+
+let run_protocol ~timing ~workload_of ~clients ~config ~self_tune ~seed =
+  let setup =
+    {
+      Runner.topology;
+      replication_factor;
+      config;
+      workload = workload_of (placement ());
+      clients_per_node = clients;
+      warmup_us = timing.warmup_us;
+      measure_us = timing.measure_us;
+      seed;
+      jitter = 0.02;
+      self_tune = (if self_tune then `On timing.tuner_window_us else `Off);
+    }
+  in
+  Runner.run setup
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: synthetic workloads, three protocols                       *)
+(* ------------------------------------------------------------------ *)
+
+let client_sweep = function Quick -> [ 2; 10; 30 ] | Full -> [ 2; 5; 10; 20; 40; 60 ]
+
+let fig3 ~scale which =
+  let params, name =
+    match which with
+    | `A -> (Workload.Synthetic.synth_a, "Synth-A")
+    | `B -> (Workload.Synthetic.synth_b, "Synth-B")
+  in
+  let report =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "Figure 3 (%s): throughput / abort rate / latency vs clients per node" name)
+      ~headers:
+        [
+          "clients"; "protocol"; "thr(tx/s)"; "abort"; "misspec"; "lat-p50(ms)";
+          "lat-mean(ms)"; "spec-lat(ms)";
+        ]
+  in
+  List.iter
+    (fun clients ->
+      List.iter
+        (fun (pname, mk_config, tune) ->
+          let r =
+            run_protocol ~timing:(synth_timing scale)
+              ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
+              ~clients ~config:(mk_config ()) ~self_tune:tune ~seed:(clients + 17)
+          in
+          let misspec =
+            if pname = "Ext-Spec" then Report.pct r.Runner.ext_misspec_rate
+            else Report.pct r.Runner.misspec_rate
+          in
+          let spec_lat =
+            if r.Runner.spec_latency.Metrics.count = 0 then "-"
+            else Report.ms_of_us r.Runner.spec_latency.Metrics.p50_us
+          in
+          Report.add_row report
+            [
+              string_of_int clients;
+              pname;
+              Report.f1 r.Runner.throughput;
+              Report.pct r.Runner.abort_rate;
+              misspec;
+              Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
+              Report.f1 (r.Runner.final_latency.Metrics.mean_us /. 1000.);
+              spec_lat;
+            ])
+        protagonists)
+    (client_sweep scale);
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: static SR on/off vs self-tuning, normalized                *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 ~scale =
+  let report =
+    Report.create
+      ~title:
+        "Figure 4: normalized throughput of No-SR / SR / Auto (self-tuning) on \
+         Synth-A and Synth-B"
+      ~headers:[ "workload"; "clients"; "No SR"; "SR"; "Auto"; "auto picked" ]
+  in
+  List.iter
+    (fun (wname, params) ->
+      List.iter
+        (fun clients ->
+          let run_variant ~sr ~tune =
+            run_protocol ~timing:(synth_timing scale)
+              ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
+              ~clients
+              ~config:(Core.Config.str ~speculative_reads:sr ())
+              ~self_tune:tune ~seed:(clients + 23)
+          in
+          let no_sr = run_variant ~sr:false ~tune:false in
+          let sr = run_variant ~sr:true ~tune:false in
+          let auto = run_variant ~sr:true ~tune:true in
+          let best =
+            List.fold_left max 1.
+              [ no_sr.Runner.throughput; sr.Runner.throughput; auto.Runner.throughput ]
+          in
+          let norm r = Report.f2 (r.Runner.throughput /. best) in
+          Report.add_row report
+            [
+              wname;
+              string_of_int clients;
+              norm no_sr;
+              norm sr;
+              norm auto;
+              (match auto.Runner.tuner_decision with
+               | Some true -> "SR"
+               | Some false -> "No SR"
+               | None -> "?");
+            ])
+        (client_sweep scale))
+    [ ("Synth-A", Workload.Synthetic.synth_a); ("Synth-B", Workload.Synthetic.synth_b) ];
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: Physical/Precise clocks x speculative reads                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Moderately contended base workload; contention is held constant as
+   transactions grow by scaling the key space by the same factor. *)
+let table1_base =
+  { Workload.Synthetic.default with local_hot = 2; remote_hot = 40; remote_access_prob = 0.3 }
+
+let table1_variants =
+  [
+    ("Physical", fun () -> Core.Config.physical ());
+    ("Precise", fun () -> Core.Config.precise ());
+    ("Physical SR", fun () -> Core.Config.physical_sr ());
+    ("Precise SR", fun () -> Core.Config.precise_sr ());
+  ]
+
+let table1 ~scale =
+  let keys = match scale with Quick -> [ 10; 40 ] | Full -> [ 10; 20; 40; 100 ] in
+  let clients = match scale with Quick -> 10 | Full -> 10 in
+  let report =
+    Report.create
+      ~title:
+        "Table 1: normalized throughput / abort rate, varying keys updated per \
+         transaction"
+      ~headers:("technique" :: List.map (fun k -> Printf.sprintf "%d keys" k) keys)
+  in
+  let columns =
+    List.map
+      (fun nkeys ->
+        let factor = nkeys / 10 in
+        let params = Workload.Synthetic.scale_keys table1_base factor in
+        let results =
+          List.map
+            (fun (vname, mk_config) ->
+              let r =
+                run_protocol ~timing:(synth_timing scale)
+                  ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
+                  ~clients ~config:(mk_config ()) ~self_tune:false ~seed:(nkeys + 3)
+              in
+              (vname, r))
+            table1_variants
+        in
+        let baseline =
+          match List.assoc_opt "Physical" results with
+          | Some r -> Float.max r.Runner.throughput 0.001
+          | None -> 1.
+        in
+        List.map
+          (fun (vname, r) ->
+            ( vname,
+              Printf.sprintf "%s/%s"
+                (Report.f2 (r.Runner.throughput /. baseline))
+                (Report.pct r.Runner.abort_rate) ))
+          results)
+      keys
+  in
+  List.iter
+    (fun (vname, _) ->
+      let cells =
+        List.map (fun col -> match List.assoc_opt vname col with Some c -> c | None -> "-")
+          columns
+      in
+      Report.add_row report (vname :: cells))
+    table1_variants;
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: TPC-C mixes A, B, C                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tpcc_clients = function Quick -> [ 60; 240 ] | Full -> [ 30; 60; 120; 240; 480 ]
+
+let fig5 ~scale which =
+  let mix, name =
+    match which with
+    | `A -> (Workload.Tpcc.mix_a, "TPC-C A (5/83/12)")
+    | `B -> (Workload.Tpcc.mix_b, "TPC-C B (45/43/12)")
+    | `C -> (Workload.Tpcc.mix_c, "TPC-C C (5/43/52)")
+  in
+  let report =
+    Report.create
+      ~title:(Printf.sprintf "Figure 5 (%s): new-order/payment/order-status" name)
+      ~headers:
+        [
+          "clients"; "protocol"; "thr(tx/s)"; "abort"; "misspec"; "lat-p50(ms)";
+          "lat-mean(ms)"; "spec-lat(ms)";
+        ]
+  in
+  List.iter
+    (fun clients ->
+      List.iter
+        (fun (pname, mk_config, tune) ->
+          let r =
+            run_protocol ~timing:(macro_timing scale)
+              ~workload_of:(fun pl -> fst (Workload.Tpcc.make ~mix pl))
+              ~clients ~config:(mk_config ()) ~self_tune:tune ~seed:(clients + 31)
+          in
+          let misspec =
+            if pname = "Ext-Spec" then Report.pct r.Runner.ext_misspec_rate
+            else Report.pct r.Runner.misspec_rate
+          in
+          let spec_lat =
+            if r.Runner.spec_latency.Metrics.count = 0 then "-"
+            else Report.ms_of_us r.Runner.spec_latency.Metrics.p50_us
+          in
+          Report.add_row report
+            [
+              string_of_int clients;
+              pname;
+              Report.f1 r.Runner.throughput;
+              Report.pct r.Runner.abort_rate;
+              misspec;
+              Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
+              Report.f1 (r.Runner.final_latency.Metrics.mean_us /. 1000.);
+              spec_lat;
+            ])
+        protagonists)
+    (tpcc_clients scale);
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: RUBiS                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rubis_clients = function Quick -> [ 120; 450 ] | Full -> [ 60; 120; 250; 450; 700 ]
+
+let fig6 ~scale =
+  (* RUBiS's interesting regime is the slow pile-up of update clients
+     behind the shard-local index keys; give the full scale a longer
+     measurement window so the queueing binds. *)
+  let timing =
+    match scale with
+    | Quick -> macro_timing Quick
+    | Full -> { (macro_timing Full) with measure_us = 20_000_000 }
+  in
+  let report =
+    Report.create
+      ~title:"Figure 6 (RUBiS, 15% update mix, 2-10s think time)"
+      ~headers:
+        [
+          "clients"; "protocol"; "thr(tx/s)"; "abort"; "misspec"; "lat-p50(ms)";
+          "lat-mean(ms)"; "spec-lat(ms)";
+        ]
+  in
+  List.iter
+    (fun clients ->
+      List.iter
+        (fun (pname, mk_config, tune) ->
+          let r =
+            run_protocol ~timing
+              ~workload_of:(fun pl -> Workload.Rubis.make pl)
+              ~clients ~config:(mk_config ()) ~self_tune:tune ~seed:(clients + 41)
+          in
+          let misspec =
+            if pname = "Ext-Spec" then Report.pct r.Runner.ext_misspec_rate
+            else Report.pct r.Runner.misspec_rate
+          in
+          let spec_lat =
+            if r.Runner.spec_latency.Metrics.count = 0 then "-"
+            else Report.ms_of_us r.Runner.spec_latency.Metrics.p50_us
+          in
+          Report.add_row report
+            [
+              string_of_int clients;
+              pname;
+              Report.f1 r.Runner.throughput;
+              Report.pct r.Runner.abort_rate;
+              misspec;
+              Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
+              Report.f1 (r.Runner.final_latency.Metrics.mean_us /. 1000.);
+              spec_lat;
+            ])
+        protagonists)
+    (rubis_clients scale);
+  report
+
+(* ------------------------------------------------------------------ *)
+(* §6.1 Precise Clocks storage overhead                                 *)
+(* ------------------------------------------------------------------ *)
+
+let storage ~scale =
+  let report =
+    Report.create ~title:"Precise Clocks storage overhead (paper: ~9% on TPC-C/RUBiS)"
+      ~headers:[ "benchmark"; "data (KiB)"; "LastReader metadata (KiB)"; "overhead" ]
+  in
+  let measure name workload_of clients =
+    let { warmup_us; measure_us; _ } = macro_timing scale in
+    let setup =
+      {
+        Runner.topology;
+        replication_factor;
+        config = Core.Config.str ();
+        workload = workload_of (placement ());
+        clients_per_node = clients;
+        warmup_us;
+        measure_us;
+        seed = 5;
+        jitter = 0.02;
+        self_tune = `Off;
+      }
+    in
+    let sim, _net, _pl, eng, rng = Runner.build_cluster setup in
+    setup.Runner.workload.Workload.Spec.load eng;
+    let shared =
+      Client.make_shared ~measure_from:0 ~measure_to:(warmup_us + measure_us)
+    in
+    for node = 0 to Core.Engine.n_nodes eng - 1 do
+      for _ = 1 to clients do
+        let crng = Dsim.Rng.split rng in
+        Client.spawn eng setup.Runner.workload ~node ~rng:crng ~shared
+          ~stop_at:(warmup_us + measure_us) ~start_delay:(Dsim.Rng.int crng 200_000)
+      done
+    done;
+    ignore (Dsim.Sim.run ~until:(warmup_us + measure_us) sim);
+    let data, meta = Core.Engine.storage_breakdown eng in
+    Report.add_row report
+      [
+        name;
+        string_of_int (data / 1024);
+        string_of_int (meta / 1024);
+        Report.pct (float_of_int meta /. float_of_int (max 1 data));
+      ]
+  in
+  measure "TPC-C" (fun pl -> fst (Workload.Tpcc.make pl)) 60;
+  measure "RUBiS" (fun pl -> Workload.Rubis.make pl) 120;
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (beyond the paper's artifacts)                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Geo-scale ablation: STR's gain over ClockSI-Rep as the deployment
+    grows from 3 to the paper's 9 data centers (the paper evaluates "on
+    up to nine geo-distributed EC2 data centers"). *)
+let ablation_dcs ~scale =
+  let report =
+    Report.create ~title:"Ablation: data-center count (Synth-A, 20 clients/node)"
+      ~headers:[ "DCs"; "rf"; "STR (tx/s)"; "ClockSI (tx/s)"; "speedup"; "STR lat-p50(ms)" ]
+  in
+  let dcs_list = match scale with Quick -> [ 3; 9 ] | Full -> [ 3; 5; 7; 9 ] in
+  List.iter
+    (fun dcs ->
+      let topo = Dsim.Topology.ec2_prefix dcs in
+      let rf = min 6 dcs in
+      let pl = Store.Placement.ring ~n_nodes:dcs ~replication_factor:rf () in
+      let run config =
+        let timing = synth_timing scale in
+        Runner.run
+          {
+            Runner.topology = topo;
+            replication_factor = rf;
+            config;
+            workload = Workload.Synthetic.make ~params:Workload.Synthetic.synth_a pl;
+            clients_per_node = 20;
+            warmup_us = timing.warmup_us;
+            measure_us = timing.measure_us;
+            seed = dcs;
+            jitter = 0.02;
+            self_tune = `Off;
+          }
+      in
+      let str = run (Core.Config.str ()) in
+      let base = run (Core.Config.clocksi_rep ()) in
+      Report.add_row report
+        [
+          string_of_int dcs;
+          string_of_int rf;
+          Report.f1 str.Runner.throughput;
+          Report.f1 base.Runner.throughput;
+          Report.f2 (str.Runner.throughput /. Float.max 0.001 base.Runner.throughput);
+          Report.ms_of_us str.Runner.final_latency.Metrics.p50_us;
+        ])
+    dcs_list;
+  report
+
+(** Replication-factor ablation: more slave replicas stretch the
+    certification (longer pre-commit locks), which is exactly where
+    speculative reads pay off. *)
+let ablation_rf ~scale =
+  let report =
+    Report.create ~title:"Ablation: replication factor (Synth-A, 20 clients/node)"
+      ~headers:[ "rf"; "STR (tx/s)"; "ClockSI (tx/s)"; "speedup" ]
+  in
+  let rfs = match scale with Quick -> [ 2; 6 ] | Full -> [ 2; 3; 4; 6 ] in
+  List.iter
+    (fun rf ->
+      let pl = Store.Placement.ring ~n_nodes:9 ~replication_factor:rf () in
+      let run config =
+        let timing = synth_timing scale in
+        Runner.run
+          {
+            Runner.topology;
+            replication_factor = rf;
+            config;
+            workload = Workload.Synthetic.make ~params:Workload.Synthetic.synth_a pl;
+            clients_per_node = 20;
+            warmup_us = timing.warmup_us;
+            measure_us = timing.measure_us;
+            seed = rf;
+            jitter = 0.02;
+            self_tune = `Off;
+          }
+      in
+      let str = run (Core.Config.str ()) in
+      let base = run (Core.Config.clocksi_rep ()) in
+      Report.add_row report
+        [
+          string_of_int rf;
+          Report.f1 str.Runner.throughput;
+          Report.f1 base.Runner.throughput;
+          Report.f2 (str.Runner.throughput /. Float.max 0.001 base.Runner.throughput);
+        ])
+    rfs;
+  report
+
+(** Remote-access modeling ablation: reading the remote keys (instead of
+    blind-writing them) stretches the execution phase by WAN round
+    trips; see DESIGN.md §4b. *)
+let ablation_remote_reads ~scale =
+  let report =
+    Report.create
+      ~title:"Ablation: remote keys blind-written vs read-modify-written (Synth-A)"
+      ~headers:[ "remote keys"; "protocol"; "thr(tx/s)"; "abort"; "lat-p50(ms)" ]
+  in
+  List.iter
+    (fun (label, rr) ->
+      List.iter
+        (fun (pname, config) ->
+          let params = { Workload.Synthetic.synth_a with read_remote_keys = rr } in
+          let r =
+            run_protocol ~timing:(synth_timing scale)
+              ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
+              ~clients:10 ~config ~self_tune:false ~seed:3
+          in
+          Report.add_row report
+            [
+              label;
+              pname;
+              Report.f1 r.Runner.throughput;
+              Report.pct r.Runner.abort_rate;
+              Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
+            ])
+        [ ("STR", Core.Config.str ()); ("ClockSI-Rep", Core.Config.clocksi_rep ()) ])
+    [ ("blind-write", false); ("read-modify-write", true) ];
+  report
+
+(** Future-work extension (§7): STR under Serializability (read
+    promotion) vs under SI.  TPC-C's update transactions write everything
+    they read, so promotion is a no-op there; this workload reads eight
+    keys from a shared hot range but updates only two, which is where
+    the stronger criterion starts charging: promoted reads certify (and
+    conflict) like writes. *)
+let ablation_serializability ~scale =
+  let report =
+    Report.create
+      ~title:
+        "Extension: STR under SI vs Serializable (read promotion), read-heavy \
+         update workload"
+      ~headers:[ "isolation"; "clients"; "thr(tx/s)"; "abort"; "lat-p50(ms)" ]
+  in
+  let read_heavy placement =
+    let n_nodes = Store.Placement.n_nodes placement in
+    ignore n_nodes;
+    let next_program rng ~node =
+      (* 8 reads over a 64-key shared local range, 2 of them updated. *)
+      let picks =
+        List.init 8 (fun _ ->
+            Workload.Synthetic.local_key ~partition:node (Dsim.Rng.int rng 64))
+      in
+      let updates = List.filteri (fun i _ -> i < 2) picks in
+      {
+        Workload.Spec.label = "read-heavy";
+        read_only = false;
+        think_us = 0;
+        body =
+          (fun eng tx ->
+            List.iter (fun k -> ignore (Core.Engine.read eng tx k)) picks;
+            List.iter
+              (fun k ->
+                let v = Workload.Spec.read_int eng tx k in
+                Core.Engine.write eng tx k (Store.Keyspace.Value.Int (v + 1)))
+              updates);
+      }
+    in
+    { Workload.Spec.name = "read-heavy"; load = (fun _ -> ()); next_program }
+  in
+  let clients_list = match scale with Quick -> [ 10 ] | Full -> [ 5; 10; 20 ] in
+  List.iter
+    (fun clients ->
+      List.iter
+        (fun (name, config) ->
+          let r =
+            run_protocol ~timing:(synth_timing scale) ~workload_of:read_heavy ~clients
+              ~config ~self_tune:false ~seed:(clients + 51)
+          in
+          Report.add_row report
+            [
+              name;
+              string_of_int clients;
+              Report.f1 r.Runner.throughput;
+              Report.pct r.Runner.abort_rate;
+              Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
+            ])
+        [
+          ("SI (STR)", Core.Config.str ());
+          ("Serializable (STR)", Core.Config.str_serializable ());
+        ])
+    clients_list;
+  report
+
+let ablations ~scale =
+  [
+    ablation_dcs ~scale;
+    ablation_rf ~scale;
+    ablation_remote_reads ~scale;
+    ablation_serializability ~scale;
+  ]
+
+let all ~scale =
+  [
+    fig3 ~scale `A;
+    fig3 ~scale `B;
+    fig4 ~scale;
+    table1 ~scale;
+    fig5 ~scale `A;
+    fig5 ~scale `B;
+    fig5 ~scale `C;
+    fig6 ~scale;
+    storage ~scale;
+  ]
+  @ ablations ~scale

@@ -1,0 +1,39 @@
+(** Reproduction of every table and figure of the paper's evaluation
+    (§6), plus ablations.  Each function runs the parameter sweep in the
+    simulator and renders the same rows/series the paper plots. *)
+
+type scale = Quick | Full
+
+(** Moderately contended base workload of the Table 1 sweep (exposed for
+    the bench suite). *)
+val table1_base : Workload.Synthetic.params
+
+(** Figure 3: synthetic workloads, STR vs ClockSI-Rep vs Ext-Spec. *)
+val fig3 : scale:scale -> [ `A | `B ] -> Report.t
+
+(** Figure 4: static SR on/off vs self-tuning, normalized throughput. *)
+val fig4 : scale:scale -> Report.t
+
+(** Table 1: Physical/Precise clocks x speculative reads, varying
+    transaction size. *)
+val table1 : scale:scale -> Report.t
+
+(** Figure 5: the three TPC-C mixes. *)
+val fig5 : scale:scale -> [ `A | `B | `C ] -> Report.t
+
+(** Figure 6: RUBiS. *)
+val fig6 : scale:scale -> Report.t
+
+(** §6.1 Precise Clocks storage overhead. *)
+val storage : scale:scale -> Report.t
+
+(** {1 Ablations and extensions beyond the paper's artifacts} *)
+
+val ablation_dcs : scale:scale -> Report.t
+val ablation_rf : scale:scale -> Report.t
+val ablation_remote_reads : scale:scale -> Report.t
+val ablation_serializability : scale:scale -> Report.t
+val ablations : scale:scale -> Report.t list
+
+(** Everything: the paper's nine artifacts followed by the ablations. *)
+val all : scale:scale -> Report.t list

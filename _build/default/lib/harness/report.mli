@@ -1,0 +1,23 @@
+(** Fixed-width ASCII tables for experiment reports. *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+val add_row : t -> string list -> unit
+
+(** Rows in insertion order. *)
+val rows : t -> string list list
+
+val render : t -> string
+val print : t -> unit
+
+(** Cell formatting helpers. *)
+val f1 : float -> string
+
+val f2 : float -> string
+
+(** Fraction in [0,1] as a percentage. *)
+val pct : float -> string
+
+(** Microseconds as milliseconds with one decimal. *)
+val ms_of_us : int -> string

@@ -1,0 +1,140 @@
+(** Experiment runner: builds a cluster in the simulator, attaches
+    clients, runs warmup + measurement, and reports the §6 metrics. *)
+
+type setup = {
+  topology : Dsim.Topology.t;
+  replication_factor : int;
+  config : Core.Config.t;
+  workload : Workload.Spec.t;
+  clients_per_node : int;
+  warmup_us : int;
+  measure_us : int;
+  seed : int;
+  jitter : float;
+  self_tune : [ `Off | `On of int (* window_us *) ];
+}
+
+let default_setup ~workload ~config =
+  {
+    topology = Dsim.Topology.ec2_nine;
+    replication_factor = 6;
+    config;
+    workload;
+    clients_per_node = 10;
+    warmup_us = 5_000_000;
+    measure_us = 10_000_000;
+    seed = 1;
+    jitter = 0.02;
+    self_tune = `Off;
+  }
+
+type result = {
+  duration_s : float;  (** measurement window length *)
+  committed : int;
+  throughput : float;  (** committed transactions per second (cluster) *)
+  abort_rate : float;
+  misspec_rate : float;  (** internal misspeculation share of attempts *)
+  ext_misspec_rate : float;  (** Ext-Spec: externalized-then-aborted share *)
+  final_latency : Metrics.summary;
+  spec_latency : Metrics.summary;
+  stats : Core.Stats.t;  (** deltas over the measurement window *)
+  tuner_decision : bool option;
+  wan_messages : int;
+}
+
+let build_cluster setup =
+  let sim = Dsim.Sim.create () in
+  let dcs = Dsim.Topology.size setup.topology in
+  let node_dc = Array.init dcs (fun i -> i) in
+  let rng = Dsim.Rng.create ~seed:setup.seed in
+  let net =
+    Dsim.Network.create ~sim ~topology:setup.topology ~node_dc ~jitter:setup.jitter
+      ~rng:(Dsim.Rng.split rng)
+  in
+  let placement =
+    Store.Placement.ring ~n_nodes:dcs ~replication_factor:setup.replication_factor ()
+  in
+  let eng =
+    Core.Engine.create ~sim ~net ~placement ~config:setup.config ~seed:(Dsim.Rng.next rng) ()
+  in
+  (sim, net, placement, eng, rng)
+
+let snapshot_stats eng =
+  Core.Stats.copy (Core.Engine.total_stats eng)
+
+let delta_stats ~at_start ~at_end =
+  let d = Core.Stats.create () in
+  Core.Stats.add ~into:d at_end;
+  (* subtract *)
+  d.Core.Stats.started <- d.Core.Stats.started - at_start.Core.Stats.started;
+  d.Core.Stats.commits <- d.Core.Stats.commits - at_start.Core.Stats.commits;
+  d.Core.Stats.read_only_commits <-
+    d.Core.Stats.read_only_commits - at_start.Core.Stats.read_only_commits;
+  d.Core.Stats.aborts_local <- d.Core.Stats.aborts_local - at_start.Core.Stats.aborts_local;
+  d.Core.Stats.aborts_remote <- d.Core.Stats.aborts_remote - at_start.Core.Stats.aborts_remote;
+  d.Core.Stats.aborts_evicted <-
+    d.Core.Stats.aborts_evicted - at_start.Core.Stats.aborts_evicted;
+  d.Core.Stats.aborts_dependency <-
+    d.Core.Stats.aborts_dependency - at_start.Core.Stats.aborts_dependency;
+  d.Core.Stats.aborts_stale_snapshot <-
+    d.Core.Stats.aborts_stale_snapshot - at_start.Core.Stats.aborts_stale_snapshot;
+  d.Core.Stats.spec_reads <- d.Core.Stats.spec_reads - at_start.Core.Stats.spec_reads;
+  d.Core.Stats.cache_reads <- d.Core.Stats.cache_reads - at_start.Core.Stats.cache_reads;
+  d.Core.Stats.reads <- d.Core.Stats.reads - at_start.Core.Stats.reads;
+  d.Core.Stats.remote_reads <- d.Core.Stats.remote_reads - at_start.Core.Stats.remote_reads;
+  d.Core.Stats.spec_commits <- d.Core.Stats.spec_commits - at_start.Core.Stats.spec_commits;
+  d.Core.Stats.ext_misspec <- d.Core.Stats.ext_misspec - at_start.Core.Stats.ext_misspec;
+  d
+
+(** Run the experiment.  [observer] optionally receives every engine
+    event (e.g. to feed the SPSI checker in tests). *)
+let run ?observer setup =
+  let sim, net, _placement, eng, rng = build_cluster setup in
+  (match observer with Some f -> Core.Engine.set_observer eng f | None -> ());
+  setup.workload.Workload.Spec.load eng;
+  let measure_from = setup.warmup_us in
+  let measure_to = setup.warmup_us + setup.measure_us in
+  let shared = Client.make_shared ~measure_from ~measure_to in
+  let n = Core.Engine.n_nodes eng in
+  for node = 0 to n - 1 do
+    for _ = 1 to setup.clients_per_node do
+      let crng = Dsim.Rng.split rng in
+      (* Stagger start-up across the first 200ms. *)
+      let start_delay = Dsim.Rng.int crng 200_000 in
+      Client.spawn eng setup.workload ~node ~rng:crng ~shared ~stop_at:measure_to
+        ~start_delay
+    done
+  done;
+  let tuner =
+    match setup.self_tune with
+    | `Off -> None
+    | `On window_us ->
+      Some (Core.Self_tuning.install eng ~window_us ~warmup_us:500_000 ())
+  in
+  (* Warmup, snapshot, measure. *)
+  ignore (Dsim.Sim.run ~until:measure_from sim);
+  let stats0 = snapshot_stats eng in
+  Dsim.Network.reset_counters net;
+  ignore (Dsim.Sim.run ~until:measure_to sim);
+  let stats1 = snapshot_stats eng in
+  (match tuner with Some t -> Core.Self_tuning.stop t | None -> ());
+  (* Let in-flight transactions drain briefly so late commits stop
+     mutating state mid-report (they are outside the window anyway). *)
+  ignore (Dsim.Sim.run ~until:(measure_to + 200_000) sim);
+  let d = delta_stats ~at_start:stats0 ~at_end:stats1 in
+  let duration_s = Dsim.Sim.to_sec setup.measure_us in
+  let committed = d.Core.Stats.commits in
+  {
+    duration_s;
+    committed;
+    throughput = float_of_int committed /. duration_s;
+    abort_rate = Core.Stats.abort_rate d;
+    misspec_rate = Core.Stats.misspeculation_rate d;
+    ext_misspec_rate = Core.Stats.ext_misspeculation_rate d;
+    final_latency = Metrics.summarize shared.Client.final_latency;
+    spec_latency = Metrics.summarize shared.Client.spec_latency;
+    stats = d;
+    tuner_decision =
+      (match tuner with Some t -> Core.Self_tuning.decision t | None -> None);
+    wan_messages = Dsim.Network.wan_messages net;
+  }

@@ -1,0 +1,45 @@
+(** Experiment runner: builds a simulated cluster, attaches closed-loop
+    clients, runs warmup + measurement, and reports the §6 metrics. *)
+
+type setup = {
+  topology : Dsim.Topology.t;
+  replication_factor : int;
+  config : Core.Config.t;
+  workload : Workload.Spec.t;
+  clients_per_node : int;
+  warmup_us : int;
+  measure_us : int;
+  seed : int;
+  jitter : float;  (** relative network-latency jitter, e.g. 0.02 *)
+  self_tune : [ `Off | `On of int  (** tuner window, µs *) ];
+}
+
+(** Nine EC2 regions, replication factor 6, 10 clients/node, 5 s warmup,
+    10 s measurement. *)
+val default_setup : workload:Workload.Spec.t -> config:Core.Config.t -> setup
+
+type result = {
+  duration_s : float;
+  committed : int;
+  throughput : float;  (** committed transactions per second, cluster-wide *)
+  abort_rate : float;
+  misspec_rate : float;  (** internal misspeculation share of attempts *)
+  ext_misspec_rate : float;  (** Ext-Spec: externalized-then-aborted share *)
+  final_latency : Metrics.summary;
+  spec_latency : Metrics.summary;  (** Ext-Spec speculative latency *)
+  stats : Core.Stats.t;  (** counter deltas over the measurement window *)
+  tuner_decision : bool option;
+  wan_messages : int;  (** inter-DC messages during measurement *)
+}
+
+(** Construct the cluster without running (advanced drivers that need
+    the engine, e.g. to attach custom telemetry). *)
+val build_cluster :
+  setup -> Dsim.Sim.t * Dsim.Network.t * Store.Placement.t * Core.Engine.t * Dsim.Rng.t
+
+val snapshot_stats : Core.Engine.t -> Core.Stats.t
+val delta_stats : at_start:Core.Stats.t -> at_end:Core.Stats.t -> Core.Stats.t
+
+(** Run the whole experiment.  [observer] receives every engine event
+    (e.g. {!Spsi.History.record}). *)
+val run : ?observer:(Core.Types.event -> unit) -> setup -> result

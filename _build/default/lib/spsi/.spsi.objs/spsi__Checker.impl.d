@@ -1,0 +1,1 @@
+lib/spsi/checker.ml: Format Hashtbl History Keyspace List Store String Txid

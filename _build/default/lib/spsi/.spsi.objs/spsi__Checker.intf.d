@@ -1,0 +1,1 @@
+lib/spsi/checker.mli: Format History

@@ -1,0 +1,1 @@
+lib/spsi/history.ml: Core Keyspace List Set Store Txid

@@ -1,0 +1,1 @@
+lib/spsi/history.mli: Core Keyspace Set Store Txid

@@ -1,0 +1,121 @@
+(** Execution histories reconstructed from the engine's observer events.
+
+    The checker works on these records: per transaction, the reads it
+    performed (with the version creator observed), its write set, and
+    its lifecycle timestamps. *)
+
+open Store
+module Key = Keyspace.Key
+
+module KeySet = Set.Make (struct
+  type t = Key.t
+
+  let compare = Key.compare
+end)
+
+type read = {
+  key : Key.t;
+  writer : Txid.t option;  (** version creator; [None] = key absent *)
+  version_ts : int;  (** final timestamp for committed reads, else 0 *)
+  speculative : bool;
+  start_time : int;  (** when the read was issued *)
+  time : int;  (** when the value was observed *)
+}
+
+type outcome = Committed of int | Aborted of Core.Types.abort_reason | Unfinished
+
+type tx = {
+  id : Txid.t;
+  origin : int;
+  rs : int;
+  begin_time : int;
+  mutable reads : read list;  (** reverse chronological order *)
+  mutable writes : KeySet.t;
+  mutable lc : int option;
+  mutable lc_time : int;  (** simulated time of local commit, -1 if none *)
+  mutable unsafe : bool;
+  mutable outcome : outcome;
+  mutable end_time : int;
+}
+
+type t = {
+  txs : tx Txid.Tbl.t;
+  mutable order : Txid.t list;  (** begin order, reversed *)
+}
+
+let create () = { txs = Txid.Tbl.create 1024; order = [] }
+
+let find t id = Txid.Tbl.find_opt t.txs id
+
+(** All transactions, in begin order. *)
+let transactions t =
+  List.rev_map (fun id -> Txid.Tbl.find t.txs id) t.order
+
+let committed t =
+  List.filter (fun tx -> match tx.outcome with Committed _ -> true | _ -> false)
+    (transactions t)
+
+let size t = Txid.Tbl.length t.txs
+
+(** Feed one engine event.  Use with [Core.Engine.set_observer]:
+    {[ Core.Engine.set_observer eng (History.record h) ]} *)
+let record t (ev : Core.Types.event) =
+  match ev with
+  | Core.Types.Ev_begin { id; origin; rs; time } ->
+    Txid.Tbl.replace t.txs id
+      {
+        id;
+        origin;
+        rs;
+        begin_time = time;
+        reads = [];
+        writes = KeySet.empty;
+        lc = None;
+        lc_time = -1;
+        unsafe = false;
+        outcome = Unfinished;
+        end_time = -1;
+      };
+    t.order <- id :: t.order
+  | Core.Types.Ev_read { id; key; writer; version_ts; speculative; start_time; time } ->
+    (match Txid.Tbl.find_opt t.txs id with
+     | None -> ()
+     | Some tx ->
+       tx.reads <- { key; writer; version_ts; speculative; start_time; time } :: tx.reads)
+  | Core.Types.Ev_write { id; key; _ } ->
+    (match Txid.Tbl.find_opt t.txs id with
+     | None -> ()
+     | Some tx -> tx.writes <- KeySet.add key tx.writes)
+  | Core.Types.Ev_local_commit { id; lc; unsafe; time } ->
+    (match Txid.Tbl.find_opt t.txs id with
+     | None -> ()
+     | Some tx ->
+       tx.lc <- Some lc;
+       tx.lc_time <- time;
+       tx.unsafe <- unsafe)
+  | Core.Types.Ev_commit { id; ct; time } ->
+    (match Txid.Tbl.find_opt t.txs id with
+     | None -> ()
+     | Some tx ->
+       tx.outcome <- Committed ct;
+       tx.end_time <- time)
+  | Core.Types.Ev_abort { id; reason; time } ->
+    (match Txid.Tbl.find_opt t.txs id with
+     | None -> ()
+     | Some tx ->
+       tx.outcome <- Aborted reason;
+       tx.end_time <- time)
+
+(** Is this the identity used for dataset loading (no real transaction)? *)
+let is_initial_writer (w : Txid.t) = Txid.origin w < 0
+
+(** Committed transactions that wrote [key], with their commit
+    timestamps, sorted by commit timestamp. *)
+let committed_writers t key =
+  Txid.Tbl.fold
+    (fun _ tx acc ->
+      match tx.outcome with
+      | Committed ct when KeySet.mem key tx.writes -> (tx, ct) :: acc
+      | Committed _ | Aborted _ | Unfinished -> acc)
+    t.txs []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)

@@ -1,0 +1,1 @@
+lib/store/chain.ml: List Printf Txid Version

@@ -1,0 +1,1 @@
+lib/store/chain.mli: Txid Version

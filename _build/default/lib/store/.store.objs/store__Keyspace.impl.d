@@ -1,0 +1,1 @@
+lib/store/keyspace.ml: Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/store/mvstore.ml: Chain Hashtbl Keyspace List Printf String Version

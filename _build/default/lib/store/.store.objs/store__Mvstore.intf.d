@@ -1,0 +1,1 @@
+lib/store/mvstore.mli: Chain Hashtbl Keyspace Txid Version

@@ -1,0 +1,1 @@
+lib/store/placement.ml: Array Format Hashtbl Keyspace List Printf String

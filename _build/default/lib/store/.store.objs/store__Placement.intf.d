@@ -1,0 +1,1 @@
+lib/store/placement.mli: Format Keyspace

@@ -1,0 +1,1 @@
+lib/store/txid.ml: Format Hashtbl Map Printf Set

@@ -1,0 +1,1 @@
+lib/store/txid.mli: Format Hashtbl Map Set

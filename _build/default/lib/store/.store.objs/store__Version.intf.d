@@ -1,0 +1,1 @@
+lib/store/version.mli: Format Keyspace Txid

@@ -1,0 +1,93 @@
+(** Per-key multi-version chain, newest timestamp first.
+
+    Invariants maintained (checked by [check_invariants], used from the
+    property tests):
+    - versions are sorted by strictly decreasing timestamp, except that
+      two versions never share a timestamp unless written by the same
+      transaction (which cannot happen);
+    - committed versions form a suffix order: no committed version is
+      older (by position) than a newer committed one with a smaller ts. *)
+
+type t = { mutable versions : Version.t list }
+
+let create () = { versions = [] }
+
+let is_empty c = c.versions = []
+
+let length c = List.length c.versions
+
+let versions c = c.versions
+
+(** Insert keeping the descending-timestamp order; among equal
+    timestamps the newly inserted version goes first (it is newer). *)
+let insert c (v : Version.t) =
+  let rec go = function
+    | [] -> [ v ]
+    | w :: _ as rest when (w : Version.t).ts <= v.ts -> v :: rest
+    | w :: rest -> w :: go rest
+  in
+  c.versions <- go c.versions
+
+(** Newest version regardless of state. *)
+let newest c = match c.versions with [] -> None | v :: _ -> Some v
+
+(** Newest committed version. *)
+let newest_committed c =
+  List.find_opt (fun v -> Version.is_committed v) c.versions
+
+(** Latest version with [ts <= rs] (any state) — the version a reader
+    with read snapshot [rs] lands on (Alg. 2, latest_before). *)
+let latest_before c ~rs =
+  List.find_opt (fun (v : Version.t) -> v.ts <= rs) c.versions
+
+(** Latest committed version with [ts <= rs]. *)
+let latest_committed_before c ~rs =
+  List.find_opt (fun (v : Version.t) -> v.ts <= rs && Version.is_committed v) c.versions
+
+let find_writer c txid =
+  List.find_opt (fun (v : Version.t) -> Txid.equal v.writer txid) c.versions
+
+let remove_writer c txid =
+  c.versions <- List.filter (fun (v : Version.t) -> not (Txid.equal v.writer txid)) c.versions
+
+(** Reposition a version after its timestamp was bumped (pre-commit ->
+    local-commit -> commit transitions only increase timestamps). *)
+let reposition c (v : Version.t) =
+  c.versions <- List.filter (fun w -> w != v) c.versions;
+  insert c v
+
+let uncommitted c = List.filter Version.is_uncommitted c.versions
+
+(** Any version with [ts > after] (used by write-write certification). *)
+let exists_newer_than c ~after =
+  List.exists (fun (v : Version.t) -> v.ts > after) c.versions
+
+(** Drop committed versions older than [horizon], always retaining the
+    newest committed one and every uncommitted version.  Returns the
+    number of versions dropped. *)
+let prune c ~horizon =
+  let kept_newest_committed = ref false in
+  let keep (v : Version.t) =
+    if Version.is_uncommitted v then true
+    else if not !kept_newest_committed then begin
+      kept_newest_committed := true;
+      true
+    end
+    else v.ts >= horizon
+  in
+  let before = List.length c.versions in
+  c.versions <- List.filter keep c.versions;
+  before - List.length c.versions
+
+(** Validate ordering invariants; returns an error description if broken. *)
+let check_invariants c =
+  let rec go = function
+    | [] | [ _ ] -> Ok ()
+    | (a : Version.t) :: ((b : Version.t) :: _ as rest) ->
+      if a.ts < b.ts then
+        Error
+          (Printf.sprintf "chain out of order: %s@%d before %s@%d"
+             (Txid.to_string a.writer) a.ts (Txid.to_string b.writer) b.ts)
+      else go rest
+  in
+  go c.versions

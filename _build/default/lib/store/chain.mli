@@ -1,0 +1,44 @@
+(** Per-key multi-version chain, ordered by decreasing timestamp.
+
+    The chain accepts speculative "stacks": uncommitted versions sit
+    above the committed history; state transitions only increase a
+    version's timestamp and {!reposition} restores ordering. *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val length : t -> int
+
+(** Versions, newest timestamp first. *)
+val versions : t -> Version.t list
+
+(** Insert keeping descending-timestamp order; among equal timestamps
+    the newly inserted version is considered newer. *)
+val insert : t -> Version.t -> unit
+
+val newest : t -> Version.t option
+val newest_committed : t -> Version.t option
+
+(** Latest version with [ts <= rs], any state — what a reader with read
+    snapshot [rs] lands on (Alg. 2 [latest_before]). *)
+val latest_before : t -> rs:int -> Version.t option
+
+val latest_committed_before : t -> rs:int -> Version.t option
+val find_writer : t -> Txid.t -> Version.t option
+val remove_writer : t -> Txid.t -> unit
+
+(** Re-sort one version after its timestamp was bumped by a state
+    transition. *)
+val reposition : t -> Version.t -> unit
+
+val uncommitted : t -> Version.t list
+val exists_newer_than : t -> after:int -> bool
+
+(** Drop committed versions older than [horizon], always retaining the
+    newest committed one and every uncommitted version; returns how many
+    were dropped. *)
+val prune : t -> horizon:int -> int
+
+(** Validate the ordering invariant (property-test support). *)
+val check_invariants : t -> (unit, string) result

@@ -1,0 +1,51 @@
+(** Multi-versioned storage of one partition replica, including the
+    per-key [LastReader] metadata that powers Precise Clocks (§5.3 of
+    the paper): the read snapshot of the most recent reader of each key,
+    tracked at every replica that serves reads. *)
+
+module Key = Keyspace.Key
+module KeyTbl : Hashtbl.S with type key = Key.t
+
+type t
+
+val create : unit -> t
+
+(** The (possibly fresh) chain of a key. *)
+val chain : t -> Key.t -> Chain.t
+
+val chain_opt : t -> Key.t -> Chain.t option
+val key_count : t -> int
+
+(** Initial load, bypassing the protocol: installs a committed version
+    at timestamp [ts] (default 0). *)
+val load : t -> ?ts:int -> writer:Txid.t -> Key.t -> Keyspace.Value.t -> unit
+
+val last_reader : t -> Key.t -> int
+
+(** Raise the key's [LastReader] to [rs] (monotone). *)
+val bump_last_reader : t -> Key.t -> int -> unit
+
+(** Latest version visible at snapshot [rs], any state; does not bump
+    [LastReader] (the partition server does that explicitly). *)
+val latest_before : t -> Key.t -> rs:int -> Version.t option
+
+val latest_committed_before : t -> Key.t -> rs:int -> Version.t option
+val newest_committed : t -> Key.t -> Version.t option
+val insert_version : t -> Key.t -> Version.t -> unit
+val find_version : t -> Key.t -> Txid.t -> Version.t option
+val remove_version : t -> Key.t -> Txid.t -> unit
+val reposition : t -> Key.t -> Version.t -> unit
+
+(** Uncommitted versions currently stacked on the key. *)
+val uncommitted : t -> Key.t -> Version.t list
+
+(** Multi-version GC over every chain; returns versions dropped. *)
+val prune : t -> horizon:int -> int
+
+val reads_served : t -> int
+
+(** [(data_bytes, last_reader_metadata_bytes)] — the §6.1 Precise Clocks
+    storage-overhead accounting. *)
+val storage_bytes : t -> int * int
+
+val check_invariants : t -> (unit, string) result

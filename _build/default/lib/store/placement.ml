@@ -1,0 +1,79 @@
+(** Data placement: which nodes replicate which partitions and who is
+    the master replica of each.
+
+    The paper's deployment ("a replication factor of six, [...] each
+    instance holds one master replica of a partition and slave replicas
+    of five other partitions") corresponds to [ring] with
+    [partitions_per_node = 1] and [replication_factor = 6]. *)
+
+type t = {
+  n_partitions : int;
+  n_nodes : int;
+  master : int array; (* partition -> master node *)
+  replicas : int array array; (* partition -> replica nodes, master first *)
+  hosted : int array array; (* node -> partitions it replicates *)
+}
+
+let n_partitions t = t.n_partitions
+let n_nodes t = t.n_nodes
+
+let master t p = t.master.(p)
+let replicas t p = t.replicas.(p)
+let hosted t n = t.hosted.(n)
+
+let is_master t ~node ~partition = t.master.(partition) = node
+
+let replicates t ~node ~partition =
+  Array.exists (fun r -> r = node) t.replicas.(partition)
+
+(** Slave replicas of [partition] (all replicas but the master). *)
+let slaves t p = Array.sub t.replicas.(p) 1 (Array.length t.replicas.(p) - 1)
+
+let of_replicas ~n_nodes ~replicas =
+  let n_partitions = Array.length replicas in
+  if n_partitions = 0 then invalid_arg "Placement.of_replicas: no partitions";
+  Array.iteri
+    (fun p reps ->
+      if Array.length reps = 0 then invalid_arg "Placement.of_replicas: empty replica set";
+      let seen = Hashtbl.create 8 in
+      Array.iter
+        (fun r ->
+          if r < 0 || r >= n_nodes then invalid_arg "Placement.of_replicas: node out of range";
+          if Hashtbl.mem seen r then
+            invalid_arg (Printf.sprintf "Placement.of_replicas: duplicate replica %d of partition %d" r p);
+          Hashtbl.add seen r ())
+        reps)
+    replicas;
+  let master = Array.map (fun reps -> reps.(0)) replicas in
+  let hosted_lists = Array.make n_nodes [] in
+  Array.iteri
+    (fun p reps -> Array.iter (fun r -> hosted_lists.(r) <- p :: hosted_lists.(r)) reps)
+    replicas;
+  let hosted = Array.map (fun l -> Array.of_list (List.sort compare l)) hosted_lists in
+  { n_partitions; n_nodes; master; replicas; hosted }
+
+(** Ring placement: partition [p] (for [p = node * partitions_per_node + j])
+    is mastered by [node] and replicated on the next
+    [replication_factor - 1] nodes around the ring. *)
+let ring ~n_nodes ~replication_factor ?(partitions_per_node = 1) () =
+  if replication_factor < 1 || replication_factor > n_nodes then
+    invalid_arg "Placement.ring: replication factor out of range";
+  let n_partitions = n_nodes * partitions_per_node in
+  let replicas =
+    Array.init n_partitions (fun p ->
+        let home = p / partitions_per_node in
+        Array.init replication_factor (fun i -> (home + i) mod n_nodes))
+  in
+  of_replicas ~n_nodes ~replicas
+
+(** The partition of a key is carried by the key itself. *)
+let partition_of_key (k : Keyspace.Key.t) = Keyspace.Key.partition k
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>placement (%d nodes, %d partitions):@," t.n_nodes t.n_partitions;
+  Array.iteri
+    (fun p reps ->
+      Format.fprintf ppf "  p%d -> master n%d, replicas [%s]@," p t.master.(p)
+        (String.concat "," (Array.to_list (Array.map string_of_int reps))))
+    t.replicas;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Globally unique transaction identifiers.
+
+    A transaction is identified by the node that originated it and a
+    per-node sequence number.  Identifiers are totally ordered (node
+    first) so they can key ordered containers deterministically. *)
+
+type t = { origin : int; number : int }
+
+let make ~origin ~number = { origin; number }
+
+let origin t = t.origin
+let number t = t.number
+
+let equal a b = a.origin = b.origin && a.number = b.number
+
+let compare a b =
+  match compare a.origin b.origin with
+  | 0 -> compare a.number b.number
+  | c -> c
+
+let hash t = Hashtbl.hash (t.origin, t.number)
+
+let pp ppf t = Format.fprintf ppf "tx%d.%d" t.origin t.number
+let to_string t = Printf.sprintf "tx%d.%d" t.origin t.number
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,46 @@
+(** Timestamped data item versions and their lifecycle.
+
+    A version moves through the states of the STR protocol:
+
+    - [Pre_committed]: inserted during a (local or global) certification
+      prepare; holds a prepare timestamp.  Readers other than the
+      writer's own node block on it (base Clock-SI behaviour).
+    - [Local_committed]: the writer passed local certification; local
+      transactions may read it speculatively (SPSI-1).
+    - [Committed]: final committed with its final commit timestamp.
+
+    Aborted versions are physically removed from their chain, so no
+    [Aborted] state is represented. *)
+
+type state = Pre_committed | Local_committed | Committed
+
+type t = {
+  writer : Txid.t;
+  mutable state : state;
+  mutable ts : int; (* prepare, local-commit, or final-commit timestamp *)
+  value : Keyspace.Value.t;
+  mutable waiters : (unit -> unit) list;
+      (* blocked readers, woken when the writer's outcome is known at
+         this replica *)
+}
+
+let make ~writer ~state ~ts ~value = { writer; state; ts; value; waiters = [] }
+
+let is_committed v = v.state = Committed
+let is_uncommitted v = v.state <> Committed
+
+let add_waiter v k = v.waiters <- k :: v.waiters
+
+(** Pop all blocked readers (caller wakes them). *)
+let take_waiters v =
+  let w = List.rev v.waiters in
+  v.waiters <- [];
+  w
+
+let state_to_string = function
+  | Pre_committed -> "pre-committed"
+  | Local_committed -> "local-committed"
+  | Committed -> "committed"
+
+let pp ppf v =
+  Format.fprintf ppf "%a@%d[%s]" Txid.pp v.writer v.ts (state_to_string v.state)

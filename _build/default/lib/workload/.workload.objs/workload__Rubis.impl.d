@@ -1,0 +1,1 @@
+lib/workload/rubis.ml: Core Dsim Keyspace List Placement Printf Spec Store Zipf

@@ -1,0 +1,1 @@
+lib/workload/rubis.mli: Core Spec Store

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Core Dsim Fun Hashtbl Keyspace List Placement Printf Spec Store Zipf

@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Core Dsim Keyspace List Placement Printf Spec Store

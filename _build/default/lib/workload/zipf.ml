@@ -1,0 +1,40 @@
+(** Zipfian access-skew generator (used by the extended synthetic
+    workloads and the ablation benches).
+
+    Draws ranks in [0, n) with P(k) proportional to 1/(k+1)^theta,
+    using the precomputed-CDF + binary-search method. *)
+
+type t = { n : int; cdf : float array }
+
+let make ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.make: n must be positive";
+  if theta < 0. then invalid_arg "Zipf.make: theta must be >= 0";
+  let weights = Array.init n (fun k -> 1. /. (float_of_int (k + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { n; cdf }
+
+let n t = t.n
+
+(** Draw a rank in [0, n). *)
+let draw t rng =
+  let u = Dsim.Rng.float rng in
+  (* Smallest index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(** Probability mass of rank [k]. *)
+let mass t k =
+  if k < 0 || k >= t.n then invalid_arg "Zipf.mass";
+  if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)

@@ -1,0 +1,15 @@
+(** Zipfian access-skew generator: ranks in [0, n) with probability
+    proportional to 1/(k+1)^theta, via precomputed CDF + binary search. *)
+
+type t
+
+(** @raise Invalid_argument if [n <= 0] or [theta < 0]. *)
+val make : n:int -> theta:float -> t
+
+val n : t -> int
+
+(** Draw a rank in [0, n). *)
+val draw : t -> Dsim.Rng.t -> int
+
+(** Probability mass of rank [k].  @raise Invalid_argument out of range. *)
+val mass : t -> int -> float

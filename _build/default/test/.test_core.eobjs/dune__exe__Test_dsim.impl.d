@@ -1,0 +1,1 @@
+test/test_dsim.ml: Alcotest Array Dsim List Printf QCheck QCheck_alcotest

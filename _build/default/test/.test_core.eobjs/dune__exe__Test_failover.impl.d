@@ -1,0 +1,1 @@
+test/test_failover.ml: Alcotest Array Core Dsim Harness Keyspace List Placement Printf Spsi Store Workload

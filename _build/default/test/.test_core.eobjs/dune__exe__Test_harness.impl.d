@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Core Dsim Harness List QCheck QCheck_alcotest Store String Workload

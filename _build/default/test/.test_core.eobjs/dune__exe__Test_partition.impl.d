@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Core Dsim Keyspace List Mvstore Printf Store Txid Version

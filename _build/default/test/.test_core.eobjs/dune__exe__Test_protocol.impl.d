@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Core Dsim Harness Keyspace List Mvstore Placement Printf Spsi Store Txid Workload

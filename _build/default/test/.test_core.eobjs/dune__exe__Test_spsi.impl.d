@@ -1,0 +1,1 @@
+test/test_spsi.ml: Alcotest Array Core Dsim Harness Keyspace List Placement QCheck QCheck_alcotest Spsi Store Txid Workload

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Chain Keyspace List Mvstore Placement QCheck QCheck_alcotest Store Txid Version

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Core Dsim Fun Harness Hashtbl Keyspace List Mvstore Placement Printf QCheck QCheck_alcotest Spsi Store String Workload

@@ -1,0 +1,310 @@
+(* Unit + property tests for the discrete-event substrate. *)
+
+module Sim = Dsim.Sim
+module EQ = Dsim.Event_queue
+
+let test_event_order () =
+  let q = EQ.create () in
+  EQ.push q ~time:5 "c";
+  EQ.push q ~time:1 "a";
+  EQ.push q ~time:3 "b";
+  EQ.push q ~time:1 "a2";
+  let order = List.init 4 (fun _ -> snd (EQ.pop q)) in
+  Alcotest.(check (list string)) "pop order" [ "a"; "a2"; "b"; "c" ] order
+
+let test_sim_schedule () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:10 (fun () -> log := "b" :: !log);
+  Sim.schedule sim ~delay:5 (fun () ->
+      log := "a" :: !log;
+      Sim.schedule sim ~delay:20 (fun () -> log := "c" :: !log));
+  ignore (Sim.run sim);
+  Alcotest.(check (list string)) "exec order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "final time" 25 (Sim.now sim)
+
+let test_sim_until () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    Sim.schedule sim ~delay:(i * 10) (fun () -> incr fired)
+  done;
+  ignore (Sim.run ~until:55 sim);
+  Alcotest.(check int) "events before cutoff" 5 !fired;
+  Alcotest.(check int) "clock at cutoff" 55 (Sim.now sim);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "rest flushed" 10 !fired
+
+let test_fiber_sleep () =
+  let sim = Sim.create () in
+  let t = ref (-1) in
+  Dsim.Fiber.spawn sim (fun () ->
+      Dsim.Fiber.sleep sim 100;
+      Dsim.Fiber.sleep sim 50;
+      t := Sim.now sim);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "slept 150" 150 !t
+
+let test_ivar_fiber_handoff () =
+  let sim = Sim.create () in
+  let iv = Dsim.Ivar.create () in
+  let got = ref 0 in
+  Dsim.Fiber.spawn sim (fun () -> got := Dsim.Fiber.await iv);
+  Dsim.Fiber.spawn sim (fun () ->
+      Dsim.Fiber.sleep sim 42;
+      Dsim.Ivar.fill iv 7);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "value" 7 !got
+
+let test_clock_skew_monotone () =
+  let sim = Sim.create () in
+  let c = Dsim.Clock.create ~sim ~skew_us:250 ~drift_ppm:100. in
+  let prev = ref (Dsim.Clock.now c) in
+  for _ = 1 to 50 do
+    Sim.schedule sim ~delay:13 (fun () ->
+        let v = Dsim.Clock.now c in
+        Alcotest.(check bool) "monotone" true (v >= !prev);
+        prev := v)
+  done;
+  ignore (Sim.run sim)
+
+let test_clock_delay_until () =
+  let sim = Sim.create () in
+  let c = Dsim.Clock.create ~sim ~skew_us:(-300) ~drift_ppm:0. in
+  let target = 1_000 in
+  let d = Dsim.Clock.delay_until c target in
+  Alcotest.(check bool) "positive delay" true (d > 0);
+  Sim.schedule sim ~delay:d (fun () ->
+      Alcotest.(check bool) "caught up" true (Dsim.Clock.now c >= target));
+  ignore (Sim.run sim)
+
+let test_network_latency () =
+  let sim = Sim.create () in
+  let topology = Dsim.Topology.uniform ~dcs:2 ~rtt_ms:80. ~intra_rtt_ms:0.5 in
+  let rng = Dsim.Rng.create ~seed:1 in
+  let net =
+    Dsim.Network.create ~sim ~topology ~node_dc:[| 0; 0; 1 |] ~jitter:0. ~rng
+  in
+  let arrive = ref (-1) in
+  Dsim.Network.send net ~src:0 ~dst:2 (fun () -> arrive := Sim.now sim);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "one-way 40ms" 40_000 !arrive;
+  Alcotest.(check int) "intra-DC" 250 (Dsim.Network.latency_us net ~src:0 ~dst:1);
+  Alcotest.(check int) "wan count" 1 (Dsim.Network.wan_messages net)
+
+let test_topology_ec2 () =
+  let t = Dsim.Topology.ec2_nine in
+  Alcotest.(check int) "nine DCs" 9 (Dsim.Topology.size t);
+  (* symmetry *)
+  for i = 0 to 8 do
+    for j = 0 to 8 do
+      Alcotest.(check int)
+        (Printf.sprintf "sym %d %d" i j)
+        (Dsim.Topology.oneway_us t i j)
+        (Dsim.Topology.oneway_us t j i)
+    done
+  done;
+  Alcotest.(check string) "first" "virginia" (Dsim.Topology.name t 0);
+  Alcotest.(check bool) "wan >= 10ms" true (Dsim.Topology.rtt_us t 0 8 >= 10_000)
+
+let test_cpu_fifo () =
+  let sim = Sim.create () in
+  let cpu = Dsim.Cpu.create sim in
+  let finishes = ref [] in
+  Dsim.Cpu.exec cpu ~cost:100 (fun () -> finishes := ("a", Sim.now sim) :: !finishes);
+  Dsim.Cpu.exec cpu ~cost:50 (fun () -> finishes := ("b", Sim.now sim) :: !finishes);
+  ignore (Sim.run sim);
+  Alcotest.(check (list (pair string int)))
+    "fifo" [ ("a", 100); ("b", 150) ] (List.rev !finishes)
+
+let test_network_fifo () =
+  (* Messages between a node pair are delivered in send order even with
+     jitter (TCP-like channels). *)
+  let sim = Sim.create () in
+  let topology = Dsim.Topology.uniform ~dcs:2 ~rtt_ms:80. ~intra_rtt_ms:0.5 in
+  let rng = Dsim.Rng.create ~seed:2 in
+  let net = Dsim.Network.create ~sim ~topology ~node_dc:[| 0; 1 |] ~jitter:0.3 ~rng in
+  let order = ref [] in
+  for i = 1 to 50 do
+    Dsim.Network.send net ~src:0 ~dst:1 (fun () -> order := i :: !order);
+    (* Advance time a little between sends. *)
+    ignore (Sim.run ~until:(Sim.now sim + 100) sim)
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "FIFO per channel" (List.init 50 (fun i -> i + 1))
+    (List.rev !order)
+
+let test_fiber_nested_spawn () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Dsim.Fiber.spawn sim (fun () ->
+      log := "outer-start" :: !log;
+      Dsim.Fiber.spawn sim (fun () ->
+          Dsim.Fiber.sleep sim 10;
+          log := "inner" :: !log);
+      Dsim.Fiber.sleep sim 20;
+      log := "outer-end" :: !log);
+  ignore (Sim.run sim);
+  Alcotest.(check (list string)) "nesting order"
+    [ "outer-start"; "inner"; "outer-end" ] (List.rev !log)
+
+let test_fiber_many_waiters_one_ivar () =
+  let sim = Sim.create () in
+  let iv = Dsim.Ivar.create () in
+  let got = ref 0 in
+  for _ = 1 to 10 do
+    Dsim.Fiber.spawn sim (fun () ->
+        let v = Dsim.Fiber.await iv in
+        got := !got + v)
+  done;
+  Dsim.Fiber.spawn sim (fun () ->
+      Dsim.Fiber.sleep sim 5;
+      Dsim.Ivar.fill iv 3);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "all ten resumed" 30 !got
+
+let test_ivar_double_fill () =
+  let iv = Dsim.Ivar.create () in
+  Dsim.Ivar.fill iv 1;
+  Alcotest.check_raises "second fill raises" (Invalid_argument "Ivar.fill: already full")
+    (fun () -> Dsim.Ivar.fill iv 2);
+  Alcotest.(check bool) "fill_if_empty is a no-op" false (Dsim.Ivar.fill_if_empty iv 3);
+  Alcotest.(check (option int)) "value kept" (Some 1) (Dsim.Ivar.peek iv)
+
+let test_topology_prefix_and_validation () =
+  let t5 = Dsim.Topology.ec2_prefix 5 in
+  Alcotest.(check int) "five regions" 5 (Dsim.Topology.size t5);
+  Alcotest.(check string) "fifth is frankfurt" "frankfurt" (Dsim.Topology.name t5 4);
+  Alcotest.(check int) "latency preserved" (Dsim.Topology.oneway_us Dsim.Topology.ec2_nine 0 4)
+    (Dsim.Topology.oneway_us t5 0 4);
+  Alcotest.check_raises "prefix bound" (Invalid_argument "Topology.ec2_prefix") (fun () ->
+      ignore (Dsim.Topology.ec2_prefix 10));
+  Alcotest.check_raises "asymmetric matrix"
+    (Invalid_argument "Topology.of_rtt_ms: matrix not symmetric") (fun () ->
+      ignore
+        (Dsim.Topology.of_rtt_ms ~names:[| "a"; "b" |]
+           ~rtt_ms:[| [| 0.; 10. |]; [| 20.; 0. |] |]
+           ~intra_rtt_ms:0.5))
+
+let test_topology_mean_remote () =
+  let t = Dsim.Topology.uniform ~dcs:4 ~rtt_ms:100. ~intra_rtt_ms:1. in
+  Alcotest.(check int) "mean one-way" 50_000 (Dsim.Topology.mean_remote_oneway_us t 0)
+
+let test_cpu_backlog () =
+  let sim = Sim.create () in
+  let cpu = Dsim.Cpu.create sim in
+  Dsim.Cpu.exec cpu ~cost:500 (fun () -> ());
+  Dsim.Cpu.exec cpu ~cost:300 (fun () -> ());
+  Alcotest.(check int) "backlog" 800 (Dsim.Cpu.backlog_us cpu);
+  Alcotest.(check int) "busy accum" 800 (Dsim.Cpu.busy_us cpu);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "drained" 0 (Dsim.Cpu.backlog_us cpu)
+
+let test_rng_exponential_mean () =
+  let rng = Dsim.Rng.create ~seed:11 in
+  let n = 20_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Dsim.Rng.exponential rng ~mean:50.
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "sample mean %.2f within 5%% of 50" mean)
+    true
+    (abs_float (mean -. 50.) < 2.5)
+
+let prop_rng_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle permutes" ~count:200
+    QCheck.(pair int (list_of_size (QCheck.Gen.int_range 0 30) int))
+    (fun (seed, l) ->
+      let rng = Dsim.Rng.create ~seed in
+      let arr = Array.of_list l in
+      Dsim.Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare l)
+
+(* --- properties --- *)
+
+let prop_event_queue_sorted =
+  QCheck.Test.make ~name:"event queue pops in nondecreasing time order" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let q = EQ.create () in
+      List.iter (fun t -> EQ.push q ~time:t t) times;
+      let rec drain prev =
+        if EQ.is_empty q then true
+        else begin
+          let t, _ = EQ.pop q in
+          t >= prev && drain t
+        end
+      in
+      drain min_int)
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:500
+    QCheck.(pair int (int_range 1 1_000_000))
+    (fun (seed, n) ->
+      let rng = Dsim.Rng.create ~seed in
+      let v = Dsim.Rng.int rng n in
+      v >= 0 && v < n)
+
+let prop_rng_deterministic =
+  QCheck.Test.make ~name:"rng is deterministic per seed" ~count:100 QCheck.int
+    (fun seed ->
+      let a = Dsim.Rng.create ~seed and b = Dsim.Rng.create ~seed in
+      List.init 20 (fun _ -> Dsim.Rng.next a)
+      = List.init 20 (fun _ -> Dsim.Rng.next b))
+
+let prop_rng_float_unit =
+  QCheck.Test.make ~name:"rng float in [0,1)" ~count:500 QCheck.int (fun seed ->
+      let rng = Dsim.Rng.create ~seed in
+      let f = Dsim.Rng.float rng in
+      f >= 0. && f < 1.)
+
+let () =
+  Alcotest.run "dsim"
+    [
+      ( "event-queue",
+        [
+          Alcotest.test_case "fifo at equal times" `Quick test_event_order;
+          QCheck_alcotest.to_alcotest prop_event_queue_sorted;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "schedule order" `Quick test_sim_schedule;
+          Alcotest.test_case "run until" `Quick test_sim_until;
+        ] );
+      ( "fiber",
+        [
+          Alcotest.test_case "sleep" `Quick test_fiber_sleep;
+          Alcotest.test_case "ivar handoff" `Quick test_ivar_fiber_handoff;
+          Alcotest.test_case "nested spawn" `Quick test_fiber_nested_spawn;
+          Alcotest.test_case "many waiters" `Quick test_fiber_many_waiters_one_ivar;
+          Alcotest.test_case "ivar double fill" `Quick test_ivar_double_fill;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotone under skew+drift" `Quick test_clock_skew_monotone;
+          Alcotest.test_case "delay until target" `Quick test_clock_delay_until;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "latencies" `Quick test_network_latency;
+          Alcotest.test_case "ec2 topology" `Quick test_topology_ec2;
+          Alcotest.test_case "FIFO channels" `Quick test_network_fifo;
+          Alcotest.test_case "ec2 prefix + validation" `Quick test_topology_prefix_and_validation;
+          Alcotest.test_case "mean remote latency" `Quick test_topology_mean_remote;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "fifo queueing" `Quick test_cpu_fifo;
+          Alcotest.test_case "backlog accounting" `Quick test_cpu_backlog;
+        ] );
+      ( "rng",
+        [
+          QCheck_alcotest.to_alcotest prop_rng_bounds;
+          QCheck_alcotest.to_alcotest prop_rng_deterministic;
+          QCheck_alcotest.to_alcotest prop_rng_float_unit;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          QCheck_alcotest.to_alcotest prop_rng_shuffle_is_permutation;
+        ] );
+    ]

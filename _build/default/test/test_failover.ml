@@ -1,0 +1,182 @@
+(* Fault-tolerance tests (§5.6): node crashes, perfect failure
+   detection, master fail-over, and cluster consistency afterwards. *)
+
+open Store
+module Key = Keyspace.Key
+module Value = Keyspace.Value
+module Sim = Dsim.Sim
+
+let key ~p name = Key.v ~partition:p name
+
+let make_cluster ?(dcs = 5) ?(rf = 3) () =
+  let sim = Sim.create () in
+  let topology = Dsim.Topology.uniform ~dcs ~rtt_ms:80. ~intra_rtt_ms:0.5 in
+  let node_dc = Array.init dcs (fun i -> i) in
+  let rng = Dsim.Rng.create ~seed:13 in
+  let net = Dsim.Network.create ~sim ~topology ~node_dc ~jitter:0. ~rng in
+  let placement = Placement.ring ~n_nodes:dcs ~replication_factor:rf () in
+  let eng = Core.Engine.create ~sim ~net ~placement ~config:(Core.Config.str ()) () in
+  (sim, placement, eng)
+
+let test_survivors_keep_committing () =
+  let sim, placement, eng = make_cluster () in
+  let k1 = key ~p:1 "x" (* mastered by node 1, replicated on {1,2,3} *) in
+  Core.Engine.load eng k1 (Value.Int 0);
+  (* Crash node 1 at t=50ms. *)
+  Sim.schedule sim ~delay:50_000 (fun () -> Core.Engine.crash eng 1);
+  let committed = ref 0 and failed = ref 0 in
+  (* A node-2 client keeps writing k1 before and after the crash. *)
+  Dsim.Fiber.spawn sim (fun () ->
+      for i = 1 to 6 do
+        let tx = Core.Engine.begin_tx eng ~origin:2 in
+        (match
+           Core.Engine.write eng tx k1 (Value.Int i);
+           Core.Engine.commit eng tx
+         with
+        | _ -> incr committed
+        | exception Core.Types.Tx_abort _ -> incr failed);
+        Dsim.Fiber.sleep sim 100_000
+      done);
+  ignore (Sim.run sim);
+  Alcotest.(check bool)
+    (Printf.sprintf "most writes commit across the fail-over (%d ok, %d aborted)"
+       !committed !failed)
+    true
+    (!committed >= 4);
+  (* The partition has a new live master. *)
+  ignore placement;
+  Alcotest.(check bool) "node 1 dead" false (Core.Engine.is_alive eng 1);
+  match Core.Engine.check_invariants eng with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_in_flight_certification_aborts () =
+  (* A transaction mid-certification against a master that dies must
+     abort with Node_failure rather than hang. *)
+  let sim, _placement, eng = make_cluster () in
+  let k = key ~p:1 "y" in
+  Core.Engine.load eng k (Value.Int 0);
+  let outcome = ref None in
+  Dsim.Fiber.spawn sim (fun () ->
+      let tx = Core.Engine.begin_tx eng ~origin:0 in
+      (* Node 0 does not replicate partition 1 (ring rf=3 on 5 nodes:
+         replicas {1,2,3}): certification goes to master node 1. *)
+      Core.Engine.write eng tx k (Value.Int 9);
+      match Core.Engine.commit eng tx with
+      | _ -> outcome := Some `Committed
+      | exception Core.Types.Tx_abort r -> outcome := Some (`Aborted r));
+  (* Crash the master while the prepare is in flight (one-way is 40ms). *)
+  Sim.schedule sim ~delay:20_000 (fun () -> Core.Engine.crash eng 1);
+  ignore (Sim.run sim);
+  (match !outcome with
+   | Some (`Aborted Core.Types.Node_failure) -> ()
+   | Some `Committed -> Alcotest.fail "must not commit through a dead master"
+   | Some (`Aborted r) ->
+     Alcotest.fail ("unexpected reason: " ^ Core.Types.abort_reason_to_string r)
+   | None -> Alcotest.fail "transaction hung (no outcome)");
+  (* And a retry against the promoted master succeeds. *)
+  let retried = ref false in
+  Dsim.Fiber.spawn sim (fun () ->
+      let tx = Core.Engine.begin_tx eng ~origin:0 in
+      match
+        Core.Engine.write eng tx k (Value.Int 10);
+        Core.Engine.commit eng tx
+      with
+      | _ -> retried := true
+      | exception Core.Types.Tx_abort _ -> ());
+  ignore (Sim.run sim);
+  Alcotest.(check bool) "retry commits via promoted master" true !retried
+
+let test_dead_nodes_speculation_purged () =
+  (* Node 1's transaction local-commits and starts certification, then
+     node 1 dies: its pre-committed versions at the survivors must be
+     removed so readers do not block forever. *)
+  let sim, _placement, eng = make_cluster () in
+  let k = key ~p:1 "z" in
+  Core.Engine.load eng k (Value.Int 1);
+  Dsim.Fiber.spawn sim (fun () ->
+      let tx = Core.Engine.begin_tx eng ~origin:1 in
+      Core.Engine.write eng tx k (Value.Int 2);
+      try ignore (Core.Engine.commit eng tx) with Core.Types.Tx_abort _ -> ());
+  (* Crash while the replicates are in flight. *)
+  Sim.schedule sim ~delay:20_000 (fun () -> Core.Engine.crash eng 1);
+  ignore (Sim.run sim);
+  (* A node-2 reader (replica of partition 1) sees the old committed
+     value, without blocking forever. *)
+  let seen = ref None in
+  Dsim.Fiber.spawn sim (fun () ->
+      let tx = Core.Engine.begin_tx eng ~origin:2 in
+      seen := Core.Engine.read eng tx k;
+      try ignore (Core.Engine.commit eng tx) with Core.Types.Tx_abort _ -> ());
+  ignore (Sim.run sim);
+  Alcotest.(check (option int)) "old value readable" (Some 1)
+    (match !seen with Some (Value.Int i) -> Some i | _ -> None)
+
+let test_crash_is_idempotent () =
+  let sim, _placement, eng = make_cluster () in
+  Core.Engine.crash eng 3;
+  Core.Engine.crash eng 3;
+  Alcotest.(check bool) "dead" false (Core.Engine.is_alive eng 3);
+  ignore (Sim.run sim)
+
+let test_full_run_with_mid_run_crash () =
+  (* Whole-cluster workload with a crash in the middle: survivors keep
+     committing, invariants hold, and the surviving history is clean. *)
+  let sim, placement, eng = make_cluster () in
+  let params =
+    {
+      Workload.Synthetic.default with
+      local_hot = 1;
+      local_space = 50;
+      remote_hot = 5;
+      remote_space = 50;
+    }
+  in
+  let wl = Workload.Synthetic.make ~params placement in
+  let h = Spsi.History.create () in
+  Core.Engine.set_observer eng (Spsi.History.record h);
+  let shared = Harness.Client.make_shared ~measure_from:0 ~measure_to:4_000_000 in
+  let rng = Dsim.Rng.create ~seed:41 in
+  for node = 0 to 4 do
+    for _ = 1 to 4 do
+      let crng = Dsim.Rng.split rng in
+      Harness.Client.spawn eng wl ~node ~rng:crng ~shared ~stop_at:4_000_000
+        ~start_delay:(Dsim.Rng.int crng 50_000)
+    done
+  done;
+  Sim.schedule sim ~delay:1_500_000 (fun () -> Core.Engine.crash eng 4);
+  ignore (Sim.run ~until:5_000_000 sim);
+  let before = Core.Engine.total_commits eng in
+  ignore (Sim.run ~until:6_000_000 sim);
+  ignore before;
+  let stats = Core.Engine.total_stats eng in
+  Alcotest.(check bool) "cluster kept committing" true (stats.Core.Stats.commits > 50);
+  (match Core.Engine.check_invariants eng with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (* Consistency of the surviving committed history: writers that
+     committed must still satisfy first-committer-wins. *)
+  let violations =
+    List.filter
+      (fun (v : Spsi.Checker.violation) -> v.rule = "SPSI-2")
+      (Spsi.Checker.check_spsi h)
+  in
+  match violations with
+  | [] -> ()
+  | vs -> Alcotest.fail (Spsi.Checker.report vs)
+
+let () =
+  Alcotest.run "failover"
+    [
+      ( "crash",
+        [
+          Alcotest.test_case "survivors keep committing" `Quick test_survivors_keep_committing;
+          Alcotest.test_case "in-flight certification aborts" `Quick
+            test_in_flight_certification_aborts;
+          Alcotest.test_case "dead node's speculation purged" `Quick
+            test_dead_nodes_speculation_purged;
+          Alcotest.test_case "idempotent" `Quick test_crash_is_idempotent;
+          Alcotest.test_case "full run with mid-run crash" `Slow
+            test_full_run_with_mid_run_crash;
+        ] );
+    ]

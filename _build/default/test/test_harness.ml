@@ -1,0 +1,206 @@
+(* Tests for the measurement harness: metrics, report rendering, the
+   runner, and client retry behaviour. *)
+
+let test_metrics_percentiles () =
+  let m = Harness.Metrics.create () in
+  for i = 1 to 100 do
+    Harness.Metrics.record m (i * 10)
+  done;
+  let s = Harness.Metrics.summarize m in
+  Alcotest.(check int) "count" 100 s.Harness.Metrics.count;
+  Alcotest.(check int) "p50" 500 s.Harness.Metrics.p50_us;
+  Alcotest.(check int) "p95" 950 s.Harness.Metrics.p95_us;
+  Alcotest.(check int) "max" 1000 s.Harness.Metrics.max_us;
+  Alcotest.(check (float 0.01)) "mean" 505. s.Harness.Metrics.mean_us
+
+let test_metrics_empty () =
+  let s = Harness.Metrics.summarize (Harness.Metrics.create ()) in
+  Alcotest.(check int) "empty count" 0 s.Harness.Metrics.count
+
+let test_metrics_growth () =
+  (* Force the internal buffer to grow several times. *)
+  let m = Harness.Metrics.create () in
+  for i = 1 to 10_000 do
+    Harness.Metrics.record m i
+  done;
+  Alcotest.(check int) "all recorded" 10_000 (Harness.Metrics.count m);
+  Alcotest.(check int) "max" 10_000 (Harness.Metrics.summarize m).Harness.Metrics.max_us
+
+let prop_metrics_p50_is_median =
+  QCheck.Test.make ~name:"p50 equals sorted median element" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (int_bound 100_000))
+    (fun samples ->
+      let m = Harness.Metrics.create () in
+      List.iter (Harness.Metrics.record m) samples;
+      let sorted = List.sort compare samples in
+      let n = List.length samples in
+      let median = List.nth sorted (n / 2 * 1 - (if n mod 2 = 0 && n > 1 then 0 else 0)) in
+      ignore median;
+      let expected = List.nth sorted (int_of_float (0.5 *. float_of_int (n - 1))) in
+      (Harness.Metrics.summarize m).Harness.Metrics.p50_us = expected)
+
+let test_report_render () =
+  let r = Harness.Report.create ~title:"demo" ~headers:[ "a"; "bb" ] in
+  Harness.Report.add_row r [ "1"; "2" ];
+  Harness.Report.add_row r [ "333"; "4" ];
+  let s = Harness.Report.render r in
+  Alcotest.(check bool) "title present" true
+    (String.length s > 0 && String.sub s 0 7 = "== demo");
+  Alcotest.(check int) "two rows" 2 (List.length (Harness.Report.rows r));
+  (* Column width adapts to the widest cell. *)
+  Alcotest.(check bool) "contains padded row" true
+    (let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> l = " 333  4  ") lines)
+
+let small_setup config =
+  let placement = Store.Placement.ring ~n_nodes:3 ~replication_factor:2 () in
+  let params =
+    {
+      Workload.Synthetic.default with
+      local_hot = 2;
+      remote_hot = 10;
+      local_space = 100;
+      remote_space = 100;
+    }
+  in
+  {
+    Harness.Runner.topology = Dsim.Topology.uniform ~dcs:3 ~rtt_ms:40. ~intra_rtt_ms:0.5;
+    replication_factor = 2;
+    config;
+    workload = Workload.Synthetic.make ~params placement;
+    clients_per_node = 4;
+    warmup_us = 500_000;
+    measure_us = 2_000_000;
+    seed = 3;
+    jitter = 0.;
+    self_tune = `Off;
+  }
+
+let test_runner_end_to_end () =
+  let r = Harness.Runner.run (small_setup (Core.Config.str ())) in
+  Alcotest.(check bool) "throughput positive" true (r.Harness.Runner.throughput > 0.);
+  Alcotest.(check bool) "latency recorded" true
+    (r.Harness.Runner.final_latency.Harness.Metrics.count > 0);
+  Alcotest.(check bool) "abort rate within [0,1]" true
+    (r.Harness.Runner.abort_rate >= 0. && r.Harness.Runner.abort_rate <= 1.);
+  Alcotest.(check bool) "wan traffic happened" true (r.Harness.Runner.wan_messages > 0);
+  (* Throughput must equal committed / duration. *)
+  Alcotest.(check (float 0.01)) "throughput consistent"
+    (float_of_int r.Harness.Runner.committed /. r.Harness.Runner.duration_s)
+    r.Harness.Runner.throughput
+
+let test_runner_deterministic () =
+  let r1 = Harness.Runner.run (small_setup (Core.Config.str ())) in
+  let r2 = Harness.Runner.run (small_setup (Core.Config.str ())) in
+  Alcotest.(check int) "same committed count" r1.Harness.Runner.committed
+    r2.Harness.Runner.committed;
+  Alcotest.(check (float 0.0001)) "same abort rate" r1.Harness.Runner.abort_rate
+    r2.Harness.Runner.abort_rate
+
+let test_runner_ext_spec_records_spec_latency () =
+  let r = Harness.Runner.run (small_setup (Core.Config.ext_spec ())) in
+  Alcotest.(check bool) "spec latency recorded" true
+    (r.Harness.Runner.spec_latency.Harness.Metrics.count > 0);
+  Alcotest.(check bool) "spec latency below final" true
+    (r.Harness.Runner.spec_latency.Harness.Metrics.p50_us
+     <= r.Harness.Runner.final_latency.Harness.Metrics.p50_us)
+
+let test_runner_observer () =
+  let events = ref 0 in
+  let _ = Harness.Runner.run ~observer:(fun _ -> incr events) (small_setup (Core.Config.str ())) in
+  Alcotest.(check bool) "observer saw events" true (!events > 100)
+
+let test_delta_stats () =
+  let a = Core.Stats.create () in
+  a.Core.Stats.commits <- 10;
+  a.Core.Stats.reads <- 50;
+  let b = Core.Stats.create () in
+  b.Core.Stats.commits <- 25;
+  b.Core.Stats.reads <- 90;
+  b.Core.Stats.aborts_local <- 3;
+  let d = Harness.Runner.delta_stats ~at_start:a ~at_end:b in
+  Alcotest.(check int) "commit delta" 15 d.Core.Stats.commits;
+  Alcotest.(check int) "read delta" 40 d.Core.Stats.reads;
+  Alcotest.(check int) "abort delta" 3 d.Core.Stats.aborts_local
+
+let test_stats_rates () =
+  let s = Core.Stats.create () in
+  s.Core.Stats.commits <- 60;
+  s.Core.Stats.aborts_local <- 10;
+  s.Core.Stats.aborts_dependency <- 20;
+  s.Core.Stats.aborts_stale_snapshot <- 10;
+  Alcotest.(check (float 1e-9)) "abort rate" 0.4 (Core.Stats.abort_rate s);
+  Alcotest.(check (float 1e-9)) "misspec rate" 0.3 (Core.Stats.misspeculation_rate s);
+  s.Core.Stats.ext_misspec <- 5;
+  Alcotest.(check (float 1e-9)) "ext misspec rate" 0.05
+    (Core.Stats.ext_misspeculation_rate s)
+
+let test_stats_sum () =
+  let a = Core.Stats.create () and b = Core.Stats.create () in
+  a.Core.Stats.commits <- 1;
+  b.Core.Stats.commits <- 2;
+  b.Core.Stats.spec_reads <- 7;
+  let s = Core.Stats.sum [ a; b ] in
+  Alcotest.(check int) "summed commits" 3 s.Core.Stats.commits;
+  Alcotest.(check int) "summed spec reads" 7 s.Core.Stats.spec_reads
+
+let test_client_retries_counted () =
+  (* Very contended single-key workload: retries must show up. *)
+  let placement = Store.Placement.ring ~n_nodes:3 ~replication_factor:2 () in
+  let params =
+    {
+      Workload.Synthetic.default with
+      keys_per_tx = 2;
+      local_hot = 1;
+      local_space = 1;
+      remote_access_prob = 0.5;
+      remote_hot = 1;
+      remote_space = 1;
+    }
+  in
+  let setup =
+    {
+      (small_setup (Core.Config.clocksi_rep ())) with
+      workload = Workload.Synthetic.make ~params placement;
+      clients_per_node = 6;
+    }
+  in
+  let sim, _net, _pl, eng, rng = Harness.Runner.build_cluster setup in
+  setup.Harness.Runner.workload.Workload.Spec.load eng;
+  let shared = Harness.Client.make_shared ~measure_from:0 ~measure_to:2_000_000 in
+  for node = 0 to 2 do
+    for _ = 1 to 6 do
+      let crng = Dsim.Rng.split rng in
+      Harness.Client.spawn eng setup.Harness.Runner.workload ~node ~rng:crng ~shared
+        ~stop_at:2_000_000 ~start_delay:0
+    done
+  done;
+  ignore (Dsim.Sim.run ~until:2_500_000 sim);
+  Alcotest.(check bool) "retries happened" true (shared.Harness.Client.retries > 0)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
+          Alcotest.test_case "empty" `Quick test_metrics_empty;
+          Alcotest.test_case "buffer growth" `Quick test_metrics_growth;
+          QCheck_alcotest.to_alcotest prop_metrics_p50_is_median;
+        ] );
+      ("report", [ Alcotest.test_case "render" `Quick test_report_render ]);
+      ( "runner",
+        [
+          Alcotest.test_case "end to end" `Quick test_runner_end_to_end;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "ext-spec latency" `Quick test_runner_ext_spec_records_spec_latency;
+          Alcotest.test_case "observer" `Quick test_runner_observer;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "delta" `Quick test_delta_stats;
+          Alcotest.test_case "rates" `Quick test_stats_rates;
+          Alcotest.test_case "sum" `Quick test_stats_sum;
+        ] );
+      ("client", [ Alcotest.test_case "retries counted" `Quick test_client_retries_counted ]);
+    ]

@@ -1,0 +1,408 @@
+(* Tests for the SPSI machine checker: hand-built histories that violate
+   each rule, plus whole-cluster executions checked end to end —
+   including the property that randomized STR runs satisfy SPSI while
+   the unrestricted-speculation strawman does not. *)
+
+open Store
+module Key = Keyspace.Key
+module Value = Keyspace.Value
+module H = Spsi.History
+
+let txid o n = Txid.make ~origin:o ~number:n
+let key ~p name = Key.v ~partition:p name
+
+(* Build a history from a compact event script. *)
+let history events =
+  let h = H.create () in
+  List.iter (H.record h) events;
+  h
+
+let ev_begin id origin rs time = Core.Types.Ev_begin { id; origin; rs; time }
+
+let ev_read id k writer version_ts speculative time =
+  Core.Types.Ev_read
+    { id; key = k; writer; version_ts; speculative; start_time = time; time }
+
+let ev_write id k time = Core.Types.Ev_write { id; key = k; time }
+let ev_lc id lc unsafe time = Core.Types.Ev_local_commit { id; lc; unsafe; time }
+let ev_commit id ct time = Core.Types.Ev_commit { id; ct; time }
+let ev_abort id time = Core.Types.Ev_abort { id; reason = Core.Types.Remote_conflict; time }
+
+let has_rule rule violations =
+  List.exists (fun (v : Spsi.Checker.violation) -> v.rule = rule) violations
+
+(* --- rule-by-rule unit tests --------------------------------------- *)
+
+let test_clean_history () =
+  (* T1 commits a write; T2 starts later and reads it: SPSI-clean. *)
+  let t1 = txid 0 1 and t2 = txid 1 1 in
+  let k = key ~p:0 "x" in
+  let h =
+    history
+      [
+        ev_begin t1 0 100 0;
+        ev_write t1 k 1;
+        ev_lc t1 101 false 2;
+        ev_commit t1 110 3;
+        ev_begin t2 1 200 10;
+        ev_read t2 k (Some t1) 110 false 11;
+        ev_commit t2 200 12;
+      ]
+  in
+  Alcotest.(check int) "no violations" 0 (List.length (Spsi.Checker.check_spsi h))
+
+let test_ww_conflict_detected () =
+  (* Two committed transactions, concurrent, writing the same key. *)
+  let t1 = txid 0 1 and t2 = txid 1 1 in
+  let k = key ~p:0 "x" in
+  let h =
+    history
+      [
+        ev_begin t1 0 100 0;
+        ev_write t1 k 1;
+        ev_commit t1 150 5;
+        ev_begin t2 1 120 2 (* rs=120 < t1.ct=150: concurrent *);
+        ev_write t2 k 3;
+        ev_commit t2 160 6;
+      ]
+  in
+  Alcotest.(check bool) "SPSI-2 violation" true
+    (has_rule "SPSI-2" (Spsi.Checker.check_spsi h))
+
+let test_ww_serialized_ok () =
+  let t1 = txid 0 1 and t2 = txid 1 1 in
+  let k = key ~p:0 "x" in
+  let h =
+    history
+      [
+        ev_begin t1 0 100 0;
+        ev_write t1 k 1;
+        ev_commit t1 150 5;
+        ev_begin t2 1 155 6 (* started after t1 committed *);
+        ev_read t2 k (Some t1) 150 false 7;
+        ev_write t2 k 8;
+        ev_commit t2 160 9;
+      ]
+  in
+  Alcotest.(check int) "serialized writers are fine" 0
+    (List.length (Spsi.Checker.check_spsi h))
+
+let test_missed_version () =
+  (* T2's snapshot (rs=200) should include T1's commit at 150, but T2
+     observed the initial version. *)
+  let t1 = txid 0 1 and t2 = txid 1 1 in
+  let k = key ~p:0 "x" in
+  let h =
+    history
+      [
+        ev_begin t1 0 100 0;
+        ev_write t1 k 1;
+        ev_commit t1 150 5;
+        ev_begin t2 1 200 6;
+        ev_read t2 k (Some (txid (-1) 0)) 0 false 7;
+        ev_commit t2 200 8;
+      ]
+  in
+  Alcotest.(check bool) "SPSI-1 missed version" true
+    (has_rule "SPSI-1" (Spsi.Checker.check_spsi h))
+
+let test_read_from_future () =
+  (* T2 observed a version that final-committed after its snapshot. *)
+  let t1 = txid 0 1 and t2 = txid 1 1 in
+  let k = key ~p:0 "x" in
+  let h =
+    history
+      [
+        ev_begin t1 0 100 0;
+        ev_write t1 k 1;
+        ev_commit t1 300 5;
+        ev_begin t2 1 200 2;
+        ev_read t2 k (Some t1) 300 false 6;
+        ev_commit t2 200 8;
+      ]
+  in
+  Alcotest.(check bool) "SPSI-1 future read" true
+    (has_rule "SPSI-1" (Spsi.Checker.check_spsi h))
+
+let test_spsi4_dependency_on_aborted () =
+  (* A committed transaction read speculatively from one that aborted. *)
+  let t1 = txid 0 1 and t2 = txid 0 2 in
+  let k = key ~p:0 "x" in
+  let h =
+    history
+      [
+        ev_begin t1 0 100 0;
+        ev_write t1 k 1;
+        ev_lc t1 101 true 2;
+        ev_begin t2 0 150 3;
+        ev_read t2 k (Some t1) 0 true 4;
+        ev_abort t1 5;
+        ev_commit t2 200 6;
+      ]
+  in
+  Alcotest.(check bool) "SPSI-4 violation" true
+    (has_rule "SPSI-4" (Spsi.Checker.check_spsi h))
+
+let test_speculative_read_remote_writer () =
+  (* Speculative reads must only observe same-node transactions. *)
+  let t1 = txid 0 1 and t2 = txid 1 1 in
+  let k = key ~p:0 "x" in
+  let h =
+    history
+      [
+        ev_begin t1 0 100 0;
+        ev_write t1 k 1;
+        ev_lc t1 101 false 2;
+        ev_begin t2 1 150 3;
+        ev_read t2 k (Some t1) 0 true 4;
+        ev_commit t1 160 5;
+        ev_abort t2 6;
+      ]
+  in
+  Alcotest.(check bool) "SPSI-1 remote speculative read" true
+    (has_rule "SPSI-1" (Spsi.Checker.check_spsi h))
+
+let test_speculative_read_before_lc () =
+  let t1 = txid 0 1 and t2 = txid 0 2 in
+  let k = key ~p:0 "x" in
+  let h =
+    history
+      [
+        ev_begin t1 0 100 0;
+        ev_write t1 k 1;
+        ev_begin t2 0 150 2;
+        ev_read t2 k (Some t1) 0 true 3 (* before t1's local commit! *);
+        ev_lc t1 101 false 4;
+        ev_commit t1 120 5;
+        ev_abort t2 6;
+      ]
+  in
+  Alcotest.(check bool) "read before local commit" true
+    (has_rule "SPSI-1" (Spsi.Checker.check_spsi h))
+
+let test_atomicity_violation () =
+  (* T3 sees T1's write of k1 but an older version of k2 (Fig. 1a). *)
+  let t1 = txid 0 1 and t3 = txid 2 1 in
+  let k1 = key ~p:0 "k1" and k2 = key ~p:1 "k2" in
+  let h =
+    history
+      [
+        ev_begin t1 0 100 0;
+        ev_write t1 k1 1;
+        ev_write t1 k2 1;
+        ev_lc t1 101 true 2;
+        ev_commit t1 110 8;
+        ev_begin t3 2 150 3;
+        ev_read t3 k1 (Some t1) 110 false 9;
+        ev_read t3 k2 (Some (txid (-1) 0)) 0 false 10;
+        ev_abort t3 11;
+      ]
+  in
+  Alcotest.(check bool) "non-atomic snapshot" true
+    (has_rule "SPSI-1" (Spsi.Checker.check_spsi h))
+
+let test_snapshot_conflict_fig2 () =
+  (* Fig. 2: T4 includes unsafe local-committed T1 and committed T3,
+     where T3 read from T2 which conflicts with T1. *)
+  let t1 = txid 0 1 and t2 = txid 1 1 and t3 = txid 2 1 and t4 = txid 0 2 in
+  let a = key ~p:1 "A" and b = key ~p:2 "B" and c = key ~p:0 "C" in
+  let h =
+    history
+      [
+        (* T1 at node 0: reads A's initial version, writes A and C; unsafe. *)
+        ev_begin t1 0 5 0;
+        ev_read t1 a (Some (txid (-1) 0)) 0 false 1;
+        ev_write t1 a 1;
+        ev_write t1 c 1;
+        ev_lc t1 6 true 2;
+        (* T2 at node 1: writes A, commits at 10 (> T1.rs: concurrent). *)
+        ev_begin t2 1 8 3;
+        ev_write t2 a 4;
+        ev_commit t2 10 5;
+        (* T3 at node 2: reads A from T2, writes B, commits at 15. *)
+        ev_begin t3 2 12 6;
+        ev_read t3 a (Some t2) 10 false 7;
+        ev_write t3 b 8;
+        ev_commit t3 15 9;
+        (* T4 at node 0: speculatively reads C from T1, then B from T3. *)
+        ev_begin t4 0 20 10;
+        ev_read t4 c (Some t1) 0 true 11;
+        ev_read t4 b (Some t3) 15 false 12;
+        (* T1 eventually aborts (its conflict with T2 surfaces). *)
+        ev_abort t1 13;
+        ev_abort t4 14;
+      ]
+  in
+  Alcotest.(check bool) "SPSI-3 violation via closure" true
+    (has_rule "SPSI-3" (Spsi.Checker.check_spsi h))
+
+(* --- end-to-end: engine runs checked against the model -------------- *)
+
+let run_cluster ~config ~seed ~clients ~duration_us ~params =
+  let sim = Dsim.Sim.create () in
+  let topology = Dsim.Topology.ec2_prefix 5 in
+  let node_dc = Array.init 5 (fun i -> i) in
+  let rng = Dsim.Rng.create ~seed in
+  let net = Dsim.Network.create ~sim ~topology ~node_dc ~jitter:0.02 ~rng in
+  let placement = Placement.ring ~n_nodes:5 ~replication_factor:3 () in
+  let eng = Core.Engine.create ~sim ~net ~placement ~config () in
+  let h = H.create () in
+  Core.Engine.set_observer eng (H.record h);
+  let workload = Workload.Synthetic.make ~params placement in
+  let shared = Harness.Client.make_shared ~measure_from:0 ~measure_to:duration_us in
+  for node = 0 to 4 do
+    for _ = 1 to clients do
+      let crng = Dsim.Rng.split rng in
+      Harness.Client.spawn eng workload ~node ~rng:crng ~shared ~stop_at:duration_us
+        ~start_delay:(Dsim.Rng.int crng 50_000)
+    done
+  done;
+  ignore (Dsim.Sim.run ~until:(duration_us + 2_000_000) sim);
+  (eng, h)
+
+let contended_params =
+  {
+    Workload.Synthetic.default with
+    local_hot = 1;
+    remote_hot = 2;
+    local_space = 50;
+    remote_space = 50;
+    remote_access_prob = 0.4;
+    (* Read the remote keys too: this creates the remote-read traffic
+       that the unsafe-speculation strawman turns into observable
+       anomalies, and gives the SPSI checks richer histories. *)
+    read_remote_keys = true;
+  }
+
+let test_str_run_satisfies_spsi () =
+  let eng, h = run_cluster ~config:(Core.Config.str ()) ~seed:42 ~clients:4
+      ~duration_us:2_000_000 ~params:contended_params
+  in
+  Alcotest.(check bool) "history is non-trivial" true (H.size h > 50);
+  (match Core.Engine.check_invariants eng with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  match Spsi.Checker.check_spsi h with
+  | [] -> ()
+  | violations -> Alcotest.fail (Spsi.Checker.report violations)
+
+let test_clocksi_run_satisfies_si () =
+  let _eng, h = run_cluster ~config:(Core.Config.clocksi_rep ()) ~seed:43 ~clients:4
+      ~duration_us:2_000_000 ~params:contended_params
+  in
+  match Spsi.Checker.check_si h with
+  | [] -> ()
+  | violations -> Alcotest.fail (Spsi.Checker.report violations)
+
+let test_unrestricted_speculation_violates () =
+  (* The strawman admits anomalies on contended runs; the checker must
+     catch at least one across a few seeds (each seed is not guaranteed
+     to hit the race). *)
+  let found = ref false in
+  let seed = ref 100 in
+  while (not !found) && !seed < 110 do
+    let _eng, h =
+      run_cluster ~config:(Core.Config.unrestricted_speculation ()) ~seed:!seed
+        ~clients:4 ~duration_us:1_500_000 ~params:contended_params
+    in
+    if Spsi.Checker.check_spsi h <> [] then found := true;
+    incr seed
+  done;
+  Alcotest.(check bool) "checker catches unrestricted speculation" true !found
+
+let test_serializable_run_satisfies_spsi () =
+  let _eng, h =
+    run_cluster ~config:(Core.Config.str_serializable ()) ~seed:7 ~clients:4
+      ~duration_us:1_500_000 ~params:contended_params
+  in
+  match Spsi.Checker.check_spsi h with
+  | [] -> ()
+  | violations -> Alcotest.fail (Spsi.Checker.report violations)
+
+let test_ext_spec_run_satisfies_si () =
+  let _eng, h =
+    run_cluster ~config:(Core.Config.ext_spec ()) ~seed:8 ~clients:4
+      ~duration_us:1_500_000 ~params:contended_params
+  in
+  match Spsi.Checker.check_si h with
+  | [] -> ()
+  | violations -> Alcotest.fail (Spsi.Checker.report violations)
+
+let test_nine_node_full_rf_run () =
+  (* The paper's deployment shape: nine DCs, replication factor six. *)
+  let sim = Dsim.Sim.create () in
+  let topology = Dsim.Topology.ec2_nine in
+  let node_dc = Array.init 9 (fun i -> i) in
+  let rng = Dsim.Rng.create ~seed:99 in
+  let net = Dsim.Network.create ~sim ~topology ~node_dc ~jitter:0.02 ~rng in
+  let placement = Placement.ring ~n_nodes:9 ~replication_factor:6 () in
+  let eng = Core.Engine.create ~sim ~net ~placement ~config:(Core.Config.str ()) () in
+  let h = H.create () in
+  Core.Engine.set_observer eng (H.record h);
+  let params = { contended_params with local_space = 200; remote_space = 200 } in
+  let workload = Workload.Synthetic.make ~params placement in
+  let shared = Harness.Client.make_shared ~measure_from:0 ~measure_to:2_000_000 in
+  for node = 0 to 8 do
+    for _ = 1 to 3 do
+      let crng = Dsim.Rng.split rng in
+      Harness.Client.spawn eng workload ~node ~rng:crng ~shared ~stop_at:2_000_000
+        ~start_delay:(Dsim.Rng.int crng 50_000)
+    done
+  done;
+  ignore (Dsim.Sim.run ~until:4_000_000 sim);
+  (match Core.Engine.check_invariants eng with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  match Spsi.Checker.check_spsi h with
+  | [] -> ()
+  | violations -> Alcotest.fail (Spsi.Checker.report violations)
+
+(* Property: across random seeds, STR satisfies SPSI. *)
+let prop_str_spsi =
+  QCheck.Test.make ~name:"randomized STR runs satisfy SPSI" ~count:8
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let _eng, h = run_cluster ~config:(Core.Config.str ()) ~seed ~clients:3
+          ~duration_us:1_000_000 ~params:contended_params
+      in
+      Spsi.Checker.check_spsi h = [])
+
+let prop_physical_sr_spsi =
+  QCheck.Test.make ~name:"Physical+SR runs satisfy SPSI too" ~count:5
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let _eng, h =
+        run_cluster ~config:(Core.Config.physical_sr ()) ~seed ~clients:3
+          ~duration_us:1_000_000 ~params:contended_params
+      in
+      Spsi.Checker.check_spsi h = [])
+
+let () =
+  Alcotest.run "spsi"
+    [
+      ( "checker-rules",
+        [
+          Alcotest.test_case "clean history" `Quick test_clean_history;
+          Alcotest.test_case "ww conflict detected" `Quick test_ww_conflict_detected;
+          Alcotest.test_case "serialized ww ok" `Quick test_ww_serialized_ok;
+          Alcotest.test_case "missed version" `Quick test_missed_version;
+          Alcotest.test_case "read from future" `Quick test_read_from_future;
+          Alcotest.test_case "dependency on aborted" `Quick test_spsi4_dependency_on_aborted;
+          Alcotest.test_case "remote speculative read" `Quick test_speculative_read_remote_writer;
+          Alcotest.test_case "spec read before LC" `Quick test_speculative_read_before_lc;
+          Alcotest.test_case "atomicity (Fig 1a)" `Quick test_atomicity_violation;
+          Alcotest.test_case "snapshot conflict (Fig 2)" `Quick test_snapshot_conflict_fig2;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "STR run satisfies SPSI" `Slow test_str_run_satisfies_spsi;
+          Alcotest.test_case "ClockSI run satisfies SI" `Slow test_clocksi_run_satisfies_si;
+          Alcotest.test_case "strawman violates SPSI" `Slow test_unrestricted_speculation_violates;
+          Alcotest.test_case "serializable run satisfies SPSI" `Slow
+            test_serializable_run_satisfies_spsi;
+          Alcotest.test_case "Ext-Spec run satisfies SI" `Slow test_ext_spec_run_satisfies_si;
+          Alcotest.test_case "nine nodes, rf 6" `Slow test_nine_node_full_rf_run;
+          QCheck_alcotest.to_alcotest prop_str_spsi;
+          QCheck_alcotest.to_alcotest prop_physical_sr_spsi;
+        ] );
+    ]

@@ -1,0 +1,232 @@
+(* Unit + property tests for the multi-version store substrate. *)
+
+open Store
+module Key = Keyspace.Key
+module Value = Keyspace.Value
+
+let txid n = Txid.make ~origin:0 ~number:n
+
+let mkv ?(state = Version.Committed) ~n ~ts () =
+  Version.make ~writer:(txid n) ~state ~ts ~value:(Value.Int n)
+
+let test_chain_visibility () =
+  let c = Chain.create () in
+  Chain.insert c (mkv ~n:1 ~ts:10 ());
+  Chain.insert c (mkv ~n:2 ~ts:20 ());
+  Chain.insert c (mkv ~n:3 ~ts:30 ());
+  let ts_of = function Some (v : Version.t) -> v.ts | None -> -1 in
+  Alcotest.(check int) "rs=25 sees ts20" 20 (ts_of (Chain.latest_before c ~rs:25));
+  Alcotest.(check int) "rs=30 sees ts30" 30 (ts_of (Chain.latest_before c ~rs:30));
+  Alcotest.(check int) "rs=5 sees none" (-1) (ts_of (Chain.latest_before c ~rs:5));
+  Alcotest.(check int) "newest" 30 (ts_of (Chain.newest c))
+
+let test_chain_uncommitted_filtering () =
+  let c = Chain.create () in
+  Chain.insert c (mkv ~n:1 ~ts:10 ());
+  Chain.insert c (mkv ~state:Version.Local_committed ~n:2 ~ts:20 ());
+  Chain.insert c (mkv ~state:Version.Pre_committed ~n:3 ~ts:30 ());
+  Alcotest.(check int) "uncommitted count" 2 (List.length (Chain.uncommitted c));
+  let v = Chain.latest_committed_before c ~rs:100 in
+  Alcotest.(check int) "latest committed" 10
+    (match v with Some v -> v.Version.ts | None -> -1)
+
+let test_chain_remove_and_reposition () =
+  let c = Chain.create () in
+  let v2 = mkv ~state:Version.Pre_committed ~n:2 ~ts:5 () in
+  Chain.insert c (mkv ~n:1 ~ts:10 ());
+  Chain.insert c v2;
+  (* commit v2 with a larger timestamp; it must move above ts=10 *)
+  v2.Version.state <- Version.Committed;
+  v2.Version.ts <- 15;
+  Chain.reposition c v2;
+  Alcotest.(check bool) "invariants hold" true (Chain.check_invariants c = Ok ());
+  Alcotest.(check int) "newest is repositioned" 15
+    (match Chain.newest c with Some v -> v.Version.ts | None -> -1);
+  Chain.remove_writer c (txid 2);
+  Alcotest.(check int) "removed" 1 (Chain.length c)
+
+let test_chain_prune () =
+  let c = Chain.create () in
+  for i = 1 to 10 do
+    Chain.insert c (mkv ~n:i ~ts:(i * 10) ())
+  done;
+  Chain.insert c (mkv ~state:Version.Local_committed ~n:11 ~ts:5 ());
+  let dropped = Chain.prune c ~horizon:70 in
+  Alcotest.(check int) "dropped old committed" 6 dropped;
+  (* newest committed always kept, uncommitted always kept *)
+  Alcotest.(check bool) "uncommitted survives" true
+    (List.length (Chain.uncommitted c) = 1)
+
+let test_mvstore_last_reader () =
+  let s = Mvstore.create () in
+  let k = Key.v ~partition:0 "x" in
+  Alcotest.(check int) "initial" 0 (Mvstore.last_reader s k);
+  Mvstore.bump_last_reader s k 50;
+  Mvstore.bump_last_reader s k 30;
+  Alcotest.(check int) "max retained" 50 (Mvstore.last_reader s k)
+
+let test_mvstore_storage_accounting () =
+  let s = Mvstore.create () in
+  let k = Key.v ~partition:0 "row" in
+  Mvstore.load s ~writer:(txid 0) k (Value.Rec [ ("balance", Value.Int 3) ]);
+  let data, meta = Mvstore.storage_bytes s in
+  Alcotest.(check bool) "data accounted" true (data > 0);
+  Alcotest.(check bool) "one LastReader slot per key" true (meta = 24);
+  Mvstore.bump_last_reader s k 10;
+  let _, meta' = Mvstore.storage_bytes s in
+  Alcotest.(check int) "slot count unchanged" meta meta'
+
+let test_mvstore_prune () =
+  let s = Mvstore.create () in
+  let k = Key.v ~partition:0 "x" in
+  for i = 1 to 8 do
+    Mvstore.load s ~ts:(i * 10) ~writer:(txid i) k (Value.Int i)
+  done;
+  let dropped = Mvstore.prune s ~horizon:60 in
+  Alcotest.(check int) "old versions dropped" 5 dropped;
+  (* The newest committed version always survives. *)
+  Alcotest.(check bool) "latest still visible" true
+    (match Mvstore.newest_committed s k with
+     | Some v -> v.Version.ts = 80
+     | None -> false)
+
+let test_mvstore_insert_find_remove () =
+  let s = Mvstore.create () in
+  let k = Key.v ~partition:0 "y" in
+  let v =
+    Version.make ~writer:(txid 9) ~state:Version.Pre_committed ~ts:5 ~value:(Value.Int 1)
+  in
+  Mvstore.insert_version s k v;
+  Alcotest.(check bool) "findable" true (Mvstore.find_version s k (txid 9) <> None);
+  Alcotest.(check int) "uncommitted listed" 1 (List.length (Mvstore.uncommitted s k));
+  Mvstore.remove_version s k (txid 9);
+  Alcotest.(check bool) "gone" true (Mvstore.find_version s k (txid 9) = None)
+
+let test_placement_ring () =
+  let p = Placement.ring ~n_nodes:9 ~replication_factor:6 () in
+  Alcotest.(check int) "partitions" 9 (Placement.n_partitions p);
+  Alcotest.(check int) "master" 3 (Placement.master p 3);
+  Alcotest.(check int) "replica count" 6 (Array.length (Placement.replicas p 3));
+  Alcotest.(check bool) "wraps" true (Placement.replicates p ~node:0 ~partition:8);
+  Alcotest.(check bool) "not everywhere" false (Placement.replicates p ~node:5 ~partition:8);
+  (* every node hosts exactly rf partitions *)
+  for n = 0 to 8 do
+    Alcotest.(check int) "hosted" 6 (Array.length (Placement.hosted p n))
+  done
+
+let test_placement_validation () =
+  Alcotest.check_raises "rf too big" (Invalid_argument "Placement.ring: replication factor out of range")
+    (fun () -> ignore (Placement.ring ~n_nodes:3 ~replication_factor:4 ()));
+  Alcotest.check_raises "duplicate replica"
+    (Invalid_argument "Placement.of_replicas: duplicate replica 0 of partition 0") (fun () ->
+      ignore (Placement.of_replicas ~n_nodes:2 ~replicas:[| [| 0; 0 |] |]))
+
+let test_value_accessors () =
+  let v =
+    Value.Rec [ ("a", Value.Int 1); ("b", Value.Str "x"); ("c", Value.List [ Value.Int 2 ]) ]
+  in
+  Alcotest.(check int) "field int" 1 (Value.int (Value.field v "a"));
+  Alcotest.(check string) "field str" "x" (Value.str (Value.field v "b"));
+  let v' = Value.set_field v "a" (Value.Int 9) in
+  Alcotest.(check int) "set_field" 9 (Value.int (Value.field v' "a"));
+  Alcotest.(check int) "original untouched" 1 (Value.int (Value.field v "a"));
+  let v'' = Value.set_field v "d" (Value.Int 4) in
+  Alcotest.(check int) "added field" 4 (Value.int (Value.field v'' "d"));
+  Alcotest.check_raises "missing field" (Value.Type_error "missing field \"zz\"") (fun () ->
+      ignore (Value.field v "zz"))
+
+let test_key_basics () =
+  let k = Key.path ~partition:3 [ "order"; "1"; "2" ] in
+  Alcotest.(check string) "name" "order/1/2" (Key.name k);
+  Alcotest.(check int) "partition" 3 (Key.partition k);
+  Alcotest.(check bool) "equal" true (Key.equal k (Key.v ~partition:3 "order/1/2"));
+  Alcotest.(check bool) "differ by partition" false
+    (Key.equal k (Key.v ~partition:4 "order/1/2"))
+
+(* --- properties --- *)
+
+let version_gen =
+  QCheck.Gen.(
+    map2
+      (fun n ts ->
+        let state =
+          match n mod 3 with
+          | 0 -> Version.Committed
+          | 1 -> Version.Local_committed
+          | _ -> Version.Pre_committed
+        in
+        mkv ~state ~n ~ts ())
+      (int_range 1 1000) (int_range 0 1000))
+
+let prop_chain_sorted =
+  QCheck.Test.make ~name:"chain stays sorted under inserts" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 40) version_gen))
+    (fun versions ->
+      let c = Chain.create () in
+      List.iter (Chain.insert c) versions;
+      Chain.check_invariants c = Ok ())
+
+let prop_latest_before_correct =
+  QCheck.Test.make ~name:"latest_before returns max ts <= rs" ~count:300
+    (QCheck.pair
+       (QCheck.make QCheck.Gen.(list_size (int_range 0 40) version_gen))
+       (QCheck.int_range 0 1000))
+    (fun (versions, rs) ->
+      let c = Chain.create () in
+      List.iter (Chain.insert c) versions;
+      let expect =
+        List.filter (fun (v : Version.t) -> v.ts <= rs) versions
+        |> List.fold_left (fun acc (v : Version.t) -> max acc v.ts) (-1)
+      in
+      match Chain.latest_before c ~rs with
+      | None -> expect = -1
+      | Some v -> v.Version.ts = expect)
+
+let prop_prune_keeps_visibility =
+  QCheck.Test.make ~name:"prune never drops the newest committed version" ~count:300
+    (QCheck.pair
+       (QCheck.make QCheck.Gen.(list_size (int_range 1 40) version_gen))
+       (QCheck.int_range 0 1000))
+    (fun (versions, horizon) ->
+      let c = Chain.create () in
+      List.iter (Chain.insert c) versions;
+      let newest_before = Chain.newest_committed c in
+      ignore (Chain.prune c ~horizon);
+      match newest_before with
+      | None -> true
+      | Some v ->
+        (match Chain.newest_committed c with
+         | Some v' -> v'.Version.ts = v.Version.ts
+         | None -> false))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "chain",
+        [
+          Alcotest.test_case "visibility" `Quick test_chain_visibility;
+          Alcotest.test_case "uncommitted filtering" `Quick test_chain_uncommitted_filtering;
+          Alcotest.test_case "remove/reposition" `Quick test_chain_remove_and_reposition;
+          Alcotest.test_case "prune" `Quick test_chain_prune;
+          QCheck_alcotest.to_alcotest prop_chain_sorted;
+          QCheck_alcotest.to_alcotest prop_latest_before_correct;
+          QCheck_alcotest.to_alcotest prop_prune_keeps_visibility;
+        ] );
+      ( "mvstore",
+        [
+          Alcotest.test_case "last reader" `Quick test_mvstore_last_reader;
+          Alcotest.test_case "storage accounting" `Quick test_mvstore_storage_accounting;
+          Alcotest.test_case "prune" `Quick test_mvstore_prune;
+          Alcotest.test_case "insert/find/remove" `Quick test_mvstore_insert_find_remove;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "ring" `Quick test_placement_ring;
+          Alcotest.test_case "validation" `Quick test_placement_validation;
+        ] );
+      ( "keyspace",
+        [
+          Alcotest.test_case "values" `Quick test_value_accessors;
+          Alcotest.test_case "keys" `Quick test_key_basics;
+        ] );
+    ]
