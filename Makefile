@@ -1,0 +1,19 @@
+.PHONY: all build test check mc lint
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+lint:
+	dune build bin/lint.exe && ./_build/default/bin/lint.exe lib
+
+# Deep model-checking configuration (exhausts the dcs=2/keys=2/txs=3
+# schedule tree; takes on the order of a minute).
+mc:
+	dune build @mc
+
+check: test mc

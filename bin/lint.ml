@@ -1,0 +1,21 @@
+(* Determinism lint driver: scan OCaml sources for nondeterminism
+   hazards (see Check.Lint).  Usage: lint [PATH ...]; defaults to lib/.
+   Exits 1 when any finding survives the allow markers. *)
+
+let () =
+  let paths =
+    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | ps -> ps
+  in
+  let findings =
+    try List.concat_map Check.Lint.scan_path paths
+    with Sys_error msg ->
+      Printf.eprintf "lint: %s\n" msg;
+      exit 2
+  in
+  List.iter (fun f -> print_endline (Check.Lint.to_string f)) findings;
+  match findings with
+  | [] -> ()
+  | fs ->
+    Printf.eprintf "lint: %d finding(s); fix or annotate with (* lint: allow <rule> ... *)\n"
+      (List.length fs);
+    exit 1

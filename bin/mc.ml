@@ -1,0 +1,98 @@
+(* Bounded model checker driver: exhaustively enumerate event-schedule
+   interleavings of a small STR deployment and check the SPSI + liveness
+   oracles at every quiescent state.
+
+     mc --dcs 2 --keys 2 --txs 3              # clean engine, deep search
+     mc --dcs 2 --keys 2 --txs 2 --broken ww  # must find violations
+
+   Exit status: 0 when the outcome matches the expectation flags
+   (--expect-clean / --expect-violation; no flag = report only), 1
+   otherwise. *)
+
+open Cmdliner
+
+let run dcs keys txs rf broken max_runs max_depth expect quiet =
+  let config =
+    match broken with
+    | None -> Check.Scenario.config ()
+    | Some `Ww -> Check.Scenario.config ~skip_ww_check:true ()
+    | Some `Spec -> Check.Scenario.config ~unsafe_speculation:true ()
+  in
+  let s =
+    try Check.Scenario.make ~rf ~config ~dcs ~keys ~txs ()
+    with Invalid_argument msg ->
+      Format.eprintf "mc: %s@." msg;
+      exit 2
+  in
+  let report =
+    Check.Explorer.explore ~max_runs ~max_depth ~oracle:Check.Oracle.check s
+  in
+  let clean = report.Check.Explorer.violation = None in
+  if not quiet then Format.printf "%a" Check.Explorer.pp_report report
+  else
+    Format.printf "interleavings=%d states=%d %s@."
+      (Check.Explorer.interleavings report)
+      report.Check.Explorer.states
+      (if clean then "clean" else "VIOLATION");
+  if (not quiet) && clean && not report.Check.Explorer.exhausted then
+    Format.printf "(run limit hit before exhausting the tree — raise --max-runs)@.";
+  match expect with
+  | None -> 0
+  | Some `Clean -> if clean then 0 else 1
+  | Some `Violation ->
+    if clean then begin
+      Format.printf "expected a violation, found none@.";
+      1
+    end
+    else 0
+
+let dcs = Arg.(value & opt int 2 & info [ "dcs" ] ~docv:"N" ~doc:"Data centers (= nodes).")
+let keys = Arg.(value & opt int 2 & info [ "keys" ] ~docv:"N" ~doc:"Keys.")
+let txs = Arg.(value & opt int 3 & info [ "txs" ] ~docv:"N" ~doc:"Transactions.")
+
+let rf =
+  Arg.(value & opt int 1 & info [ "rf" ] ~docv:"N" ~doc:"Replication factor.")
+
+let broken =
+  let variants = [ ("ww", Some `Ww); ("spec", Some `Spec) ] in
+  Arg.(
+    value
+    & opt (enum (("none", None) :: variants)) None
+    & info [ "broken" ] ~docv:"VARIANT"
+        ~doc:
+          "Deliberately broken engine variant: $(b,ww) skips write-write \
+           certification (no pre-commit locks), $(b,spec) lifts the SPSI \
+           speculative-read guards.")
+
+let max_runs =
+  Arg.(
+    value & opt int 200_000
+    & info [ "max-runs" ] ~docv:"N" ~doc:"Stop after N explored schedules.")
+
+let max_depth =
+  Arg.(
+    value & opt int 4_000
+    & info [ "max-depth" ] ~docv:"N"
+        ~doc:"Stop branching past N choice points per run (runaway guard).")
+
+let expect =
+  let flags =
+    [
+      (Some `Clean, Arg.info [ "expect-clean" ] ~doc:"Exit 1 unless no violation was found.");
+      ( Some `Violation,
+        Arg.info [ "expect-violation" ]
+          ~doc:"Exit 1 unless a violation was found (broken-variant validation)." );
+    ]
+  in
+  Arg.(value & vflag None flags)
+
+let quiet =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"One-line summary only.")
+
+let cmd =
+  let doc = "bounded model checking of SPSI on small STR deployments" in
+  Cmd.v
+    (Cmd.info "mc" ~doc)
+    Term.(const run $ dcs $ keys $ txs $ rf $ broken $ max_runs $ max_depth $ expect $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,26 @@
+(** Determinism lint: syntactic scan of OCaml sources for patterns that
+    leak nondeterminism into the simulator — [hashtbl-order] (exposed
+    hash-table iteration), [raw-random] (global [Random] instead of
+    {!Dsim.Rng}), [wall-clock] (host time), [poly-compare] (structural
+    compare as a comparator).  Comments and string literals are stripped
+    before matching; a site can be suppressed with an inline
+    [(* lint: allow <rule> ... *)] marker on the same or the preceding
+    line(s). *)
+
+type finding = { file : string; line : int; rule : string; message : string }
+
+val to_string : finding -> string
+val pp_finding : Format.formatter -> finding -> unit
+
+(** Names of the rules, for marker validation: [hashtbl-order],
+    [raw-random], [wall-clock], [poly-compare]. *)
+val rule_names : string list
+
+(** Scan a source string ([file] is only used in findings). *)
+val scan_source : file:string -> string -> finding list
+
+val scan_file : string -> finding list
+
+(** Recursively scan a file or directory ([.ml]/[.mli] only; [_build]
+    and dot-entries are skipped). *)
+val scan_path : string -> finding list

@@ -1,0 +1,79 @@
+(** Safety and liveness oracles evaluated at quiescent (terminal)
+    states of a model-checking run.
+
+    On top of the full SPSI suite ({!Spsi.Checker}), three properties
+    only a model checker can judge — they quantify over the {e end} of
+    the execution, which a sampled simulation run never reliably
+    reaches:
+
+    - {b MC-deadlock} — at quiescence every transaction has an outcome.
+      The event queue is empty, so an Unfinished transaction is blocked
+      forever: a lost wakeup or a pre-commit lock cycle.
+    - {b MC-lost-lc} — a transaction that local-committed cannot be left
+      undecided: local commit hands the transaction to global
+      certification, which must terminate (commit or abort).
+    - {b MC-monotonic-rs} — per node, snapshot timestamps are
+      non-decreasing in begin order (reads from a node-local monotone
+      clock).
+
+    Plus the engine's own store invariants (version-chain well-
+    formedness), reported as {b MC-store}. *)
+
+open Store
+module H = Spsi.History
+
+let v rule detail = { Spsi.Checker.rule; detail }
+
+let check_deadlock (h : H.t) =
+  List.filter_map
+    (fun (tx : H.tx) ->
+      match tx.outcome with
+      | H.Unfinished ->
+        Some
+          (v "MC-deadlock"
+             (Printf.sprintf "%s still undecided at quiescence (began rs=%d)"
+                (Txid.to_string tx.id) tx.rs))
+      | H.Committed _ | H.Aborted _ -> None)
+    (H.transactions h)
+
+let check_lost_local_commit (h : H.t) =
+  List.filter_map
+    (fun (tx : H.tx) ->
+      match tx.outcome, tx.lc with
+      | H.Unfinished, Some lc ->
+        Some
+          (v "MC-lost-lc"
+             (Printf.sprintf "%s local-committed (lc=%d) but never resolved"
+                (Txid.to_string tx.id) lc))
+      | _ -> None)
+    (H.transactions h)
+
+let check_monotonic_rs (h : H.t) =
+  (* transactions h is in begin order; track the last rs per origin *)
+  let last = Hashtbl.create 8 in
+  List.filter_map
+    (fun (tx : H.tx) ->
+      let prev = Option.value (Hashtbl.find_opt last tx.origin) ~default:min_int in
+      Hashtbl.replace last tx.origin tx.rs;
+      if tx.rs < prev then
+        Some
+          (v "MC-monotonic-rs"
+             (Printf.sprintf "%s began with rs=%d after a node-%d sibling with rs=%d"
+                (Txid.to_string tx.id) tx.rs tx.origin prev))
+      else None)
+    (H.transactions h)
+
+let check_store eng =
+  match Core.Engine.check_invariants eng with
+  | Ok () -> []
+  | Error e -> [ v "MC-store" e ]
+
+(** The full oracle suite at a terminal state.  Deterministic: the SPSI
+    checker canonicalizes its output, and the MC rules follow begin
+    order. *)
+let check (w : Scenario.world) =
+  Spsi.Checker.check_spsi w.history
+  @ check_deadlock w.history
+  @ check_lost_local_commit w.history
+  @ check_monotonic_rs w.history
+  @ check_store w.eng

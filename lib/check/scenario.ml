@@ -1,0 +1,115 @@
+(** Tiny, fully deterministic STR deployments for the bounded model
+    checker.
+
+    All nondeterminism is squeezed out of the world itself — zero
+    service costs, zero clock skew, zero latency jitter, a fixed
+    transaction program per transaction index, no client retries — so
+    that the {e only} branching left is which network delivery fires
+    next, i.e. exactly the choices {!Dsim.Sim}'s controlled mode exposes
+    to the {!Explorer}. *)
+
+open Store
+
+type t = {
+  dcs : int;  (** data centers = nodes = partitions *)
+  keys : int;
+  txs : int;
+  rf : int;  (** replication factor (1 exercises the cache/unsafe path) *)
+  config : Core.Config.t;
+}
+
+let zero_costs = (0, 0, 0, 0, 0)
+
+(** Speculative STR with every environmental source of nondeterminism
+    disabled.  [skip_ww_check] / [unsafe_speculation] select the broken
+    engine variants the checker's own validation runs must catch. *)
+let config ?(skip_ww_check = false) ?(unsafe_speculation = false) () =
+  Core.Config.make ~clocks:Core.Config.Precise ~speculative_reads:true
+    ~unsafe_speculation ~skip_ww_check ~max_clock_skew_us:0 ~costs:zero_costs
+    ~prune_every_inserts:0 ()
+
+let make ?(rf = 1) ?config:(cfg = config ()) ~dcs ~keys ~txs () =
+  if dcs < 2 then invalid_arg "Scenario.make: need at least 2 DCs";
+  if keys < 1 || txs < 1 then invalid_arg "Scenario.make: need keys, txs >= 1";
+  if rf < 1 || rf > dcs then invalid_arg "Scenario.make: rf out of range";
+  { dcs; keys; txs; rf; config = cfg }
+
+(** Key [i] lives on partition [i mod dcs], so consecutive keys are
+    mastered by different nodes and every multi-key transaction needs
+    global certification. *)
+let key_of s i = Keyspace.Key.v ~partition:(i mod s.dcs) (Printf.sprintf "k%d" i)
+
+(** Deterministic program of transaction [j]:
+    [(origin node, keys read, keys written)].  Each transaction reads
+    {e every} key — remote keys go through the cache/speculative path
+    and generate cross-DC read traffic, which is where the interesting
+    races live — then writes two consecutive keys, so any two
+    transactions with adjacent indices conflict on a key and the write
+    sets span two partitions (two masters to certify at).  When there
+    are at least three transactions the last one is a read-only
+    observer: it always commits, so any forbidden observation (a
+    non-atomic snapshot, a doomed speculative version) survives into
+    the checked history instead of being masked by the observer's own
+    certification abort. *)
+let program s j =
+  let origin = j mod s.dcs in
+  let reads = List.init s.keys (fun i -> (j + i) mod s.keys) in
+  if s.txs >= 3 && j = s.txs - 1 then (origin, reads, [])
+  else
+    let w1 = j mod s.keys and w2 = (j + 1) mod s.keys in
+    (origin, reads, if w1 = w2 then [ w1 ] else [ w1; w2 ])
+
+type world = {
+  sim : Dsim.Sim.t;
+  eng : Core.Engine.t;
+  history : Spsi.History.t;
+}
+
+(** Build the deployment and spawn one client fiber per transaction;
+    nothing runs until {!start}.  When [chooser] is given the simulator
+    is switched to controlled mode first (before any event exists). *)
+let prepare ?chooser s =
+  let sim = Dsim.Sim.create () in
+  (match chooser with Some c -> Dsim.Sim.set_chooser sim c | None -> ());
+  let topology = Dsim.Topology.uniform ~dcs:s.dcs ~rtt_ms:50. ~intra_rtt_ms:0.5 in
+  let node_dc = Array.init s.dcs (fun i -> i) in
+  let rng = Dsim.Rng.create ~seed:1 in
+  let net = Dsim.Network.create ~sim ~topology ~node_dc ~jitter:0. ~rng in
+  let placement = Placement.ring ~n_nodes:s.dcs ~replication_factor:s.rf () in
+  let eng = Core.Engine.create ~sim ~net ~placement ~config:s.config () in
+  let history = Spsi.History.create () in
+  Core.Engine.set_observer eng (Spsi.History.record history);
+  for i = 0 to s.keys - 1 do
+    Core.Engine.load eng (key_of s i) (Keyspace.Value.Int 0)
+  done;
+  for j = 0 to s.txs - 1 do
+    let origin, reads, writes = program s j in
+    Dsim.Fiber.spawn sim (fun () ->
+        (* The observer begins mid-flight of the writers' certification
+           (after one-way delivery, before the round trip completes), so
+           its snapshot covers their in-flight pre-committed versions —
+           the window the SPSI read guards must protect. *)
+        if writes = [] then Dsim.Fiber.sleep sim 40_000;
+        let tx = Core.Engine.begin_tx eng ~origin in
+        try
+          List.iter (fun i -> ignore (Core.Engine.read eng tx (key_of s i))) reads;
+          List.iter
+            (fun i ->
+              Core.Engine.write eng tx (key_of s i) (Keyspace.Value.Int (j + 1)))
+            writes;
+          ignore (Core.Engine.commit eng tx)
+        with Core.Types.Tx_abort _ -> ()
+          (* no retry: each schedule decides each transaction's fate
+             exactly once, keeping the state space finite *))
+  done;
+  { sim; eng; history }
+
+(** Run the world to quiescence (the event queue drains completely —
+    there are no periodic timers in this configuration). *)
+let start w = ignore (Dsim.Sim.run w.sim)
+
+(** Convenience: build and run under the default FIFO schedule. *)
+let run ?chooser s =
+  let w = prepare ?chooser s in
+  start w;
+  w

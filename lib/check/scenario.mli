@@ -1,0 +1,43 @@
+(** Tiny, fully deterministic STR deployments for the bounded model
+    checker: all environmental nondeterminism (costs, skew, jitter,
+    retries) is disabled, so the only branching left is which network
+    delivery fires next. *)
+
+type t = {
+  dcs : int;  (** data centers = nodes = partitions *)
+  keys : int;
+  txs : int;
+  rf : int;  (** replication factor (1 exercises the cache/unsafe path) *)
+  config : Core.Config.t;
+}
+
+(** Speculative STR with deterministic environment.  [skip_ww_check] and
+    [unsafe_speculation] select deliberately broken engine variants for
+    the checker's validation runs. *)
+val config :
+  ?skip_ww_check:bool -> ?unsafe_speculation:bool -> unit -> Core.Config.t
+
+val make : ?rf:int -> ?config:Core.Config.t -> dcs:int -> keys:int -> txs:int -> unit -> t
+
+val key_of : t -> int -> Store.Keyspace.Key.t
+
+(** [(origin, keys read, keys written)] of transaction [j] — a fixed
+    function of the index. *)
+val program : t -> int -> int * int list * int list
+
+type world = {
+  sim : Dsim.Sim.t;
+  eng : Core.Engine.t;
+  history : Spsi.History.t;
+}
+
+(** Build the deployment and spawn one fiber per transaction without
+    running anything.  A [chooser] switches the simulator to controlled
+    mode first. *)
+val prepare : ?chooser:(Dsim.Sim.candidate array -> int) -> t -> world
+
+(** Run to quiescence (drains the event queue completely). *)
+val start : world -> unit
+
+(** {!prepare} + {!start}. *)
+val run : ?chooser:(Dsim.Sim.candidate array -> int) -> t -> world

@@ -39,6 +39,12 @@ type t = {
           guards (OLC/FFC) are disabled.  This intentionally admits the
           atomicity/isolation anomalies that SPSI rules out; used by the
           anomaly-tour example and the checker's negative tests. *)
+  skip_ww_check : bool;
+      (** Fault-injection mode for the model checker's validation runs:
+          partition servers skip write-write conflict detection during
+          [prepare] (every prepare succeeds), i.e. the pre-commit lock
+          of Algorithm 2 is never taken.  The resulting first-committer-
+          wins violations must be caught by the SPSI oracle. *)
   (* --- service-cost model (microseconds of node CPU time) --- *)
   cost_read : int;  (** serving one read request *)
   cost_prepare_key : int;  (** certifying + installing one written key *)
@@ -62,9 +68,9 @@ let default_costs = (60, 40, 20, 40, 20)
 
 let make ?(clocks = Precise) ?(isolation = Snapshot_isolation)
     ?(speculative_reads = true) ?(externalize_local_commit = false)
-    ?(unsafe_speculation = false) ?(max_clock_skew_us = 500)
-    ?(costs = default_costs) ?(prune_every_inserts = 4096)
-    ?(prune_horizon_us = 2_000_000) () =
+    ?(unsafe_speculation = false) ?(skip_ww_check = false)
+    ?(max_clock_skew_us = 500) ?(costs = default_costs)
+    ?(prune_every_inserts = 4096) ?(prune_horizon_us = 2_000_000) () =
   let cost_read, cost_prepare_key, cost_apply_key, cost_coord_op, cost_tx_logic =
     costs
   in
@@ -74,6 +80,7 @@ let make ?(clocks = Precise) ?(isolation = Snapshot_isolation)
     speculative_reads;
     externalize_local_commit;
     unsafe_speculation;
+    skip_ww_check;
     cost_read;
     cost_prepare_key;
     cost_apply_key;

@@ -456,8 +456,9 @@ let group_writes tx =
       Hashtbl.replace tbl p ((key, KeyTbl.find tx.wbuf key) :: existing))
     tx.wkeys (* wkeys is reverse insertion order, so this restores it *)
   |> ignore;
+  (* lint: allow hashtbl-order — groups are sorted by partition below *)
   Hashtbl.fold (fun p writes acc -> (p, writes) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let externalize eng tx =
   if eng.config.Config.externalize_local_commit && not tx.spec_exposed then begin
@@ -687,6 +688,7 @@ let storage_breakdown eng =
   let data = ref 0 and meta = ref 0 in
   Array.iter
     (fun nd ->
+      (* lint: allow hashtbl-order — summing bytes is order-insensitive *)
       Hashtbl.iter
         (fun _ s ->
           let d, m = Mvstore.storage_bytes (Partition_server.store s) in
@@ -721,7 +723,12 @@ let crash eng n =
     nd.alive <- false;
     (* Abort n's own transactions: their clients died with the node, and
        their speculative state must not linger at the survivors. *)
-    let local_txs = Txid.Tbl.fold (fun _ tx acc -> tx :: acc) nd.active [] in
+    let local_txs =
+      (* lint: allow hashtbl-order — sorted before the abort sweep so the
+         cascade order (and hence the event schedule) is deterministic *)
+      Txid.Tbl.fold (fun _ tx acc -> tx :: acc) nd.active []
+      |> List.sort (fun (a : tx) b -> Txid.compare a.id b.id)
+    in
     List.iter (fun tx -> abort_tx eng tx Node_failure) local_txs;
     (* The failure detector at every surviving replica drops pre-commits
        from n that the (dead) coordinator will never resolve.  abort_tx
@@ -731,6 +738,8 @@ let crash eng n =
     Array.iter
       (fun other ->
         if other.alive then
+          (* lint: allow hashtbl-order — per-server purges touch disjoint
+             stores; pending_txids itself is sorted *)
           Hashtbl.iter
             (fun _ srv ->
               List.iter
@@ -745,6 +754,7 @@ let crash eng n =
       (fun other ->
         if other.alive && other.id <> n then begin
           let stuck =
+            (* lint: allow hashtbl-order — sorted before the abort sweep *)
             Txid.Tbl.fold
               (fun _ tx acc ->
                 let involves_n =
@@ -757,6 +767,7 @@ let crash eng n =
                   tx :: acc
                 else acc)
               other.active []
+            |> List.sort (fun (a : tx) b -> Txid.compare a.id b.id)
           in
           List.iter (fun tx -> abort_tx eng tx Node_failure) stuck
         end)
@@ -775,6 +786,68 @@ let crash eng n =
     done
   end
 
+(* ------------------------------------------------------------------ *)
+(* State fingerprinting (model-checker support)                        *)
+(* ------------------------------------------------------------------ *)
+
+let fnv_mix h x = (h lxor x) * 0x100000001b3
+
+(** Structural hash of the protocol-visible cluster state, independent
+    of hash-table iteration order (everything is sorted before mixing).
+    Two engine values with equal fingerprints are, with overwhelming
+    probability, in the same protocol state — the model checker uses
+    this to prune interleavings that converged. *)
+let fingerprint eng =
+  let h = ref 0x811c9dc5 in
+  let add x = h := fnv_mix !h x in
+  let addb b = add (if b then 1 else 0) in
+  Array.iter
+    (fun nd ->
+      add nd.id;
+      addb nd.alive;
+      add nd.next_tx;
+      let txs =
+        (* lint: allow hashtbl-order — sorted before hashing *)
+        Txid.Tbl.fold (fun _ tx acc -> tx :: acc) nd.active []
+        |> List.sort (fun (a : tx) b -> Txid.compare a.id b.id)
+      in
+      List.iter
+        (fun (tx : tx) ->
+          add (Txid.origin tx.id);
+          add (Txid.number tx.id);
+          add
+            (match tx.state with
+            | Active -> 1
+            | Types.Local_committed -> 2
+            | Types.Committed -> 3
+            | Aborted _ -> 4);
+          add tx.rs;
+          add tx.ffc;
+          add tx.lc;
+          add tx.ct;
+          addb tx.unsafe;
+          add tx.pending_prepares;
+          addb tx.prepare_failed;
+          add tx.max_proposal;
+          addb tx.global_started;
+          add (olc_min tx);
+          add (Txid.Set.cardinal tx.deps))
+        txs;
+      let parts =
+        (* lint: allow hashtbl-order — sorted before hashing *)
+        Hashtbl.fold (fun p s acc -> (p, s) :: acc) nd.servers []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      List.iter
+        (fun (p, s) ->
+          add p;
+          add (Mvstore.fingerprint (Partition_server.store s)))
+        parts;
+      add (Mvstore.fingerprint (Partition_server.store nd.cache)))
+    eng.nodes;
+  Array.iter add eng.cur_master;
+  !h
+
 (** Validate every version chain in the cluster (test support). *)
 let check_invariants eng =
   Array.fold_left
@@ -782,6 +855,8 @@ let check_invariants eng =
       match acc with
       | Error _ -> acc
       | Ok () ->
+        (* lint: allow hashtbl-order — all replicas must pass; order only
+           picks which error message surfaces first *)
         Hashtbl.fold
           (fun _ s acc ->
             match acc with

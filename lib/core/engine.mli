@@ -107,3 +107,10 @@ val storage_breakdown : t -> int * int
 
 val check_invariants : t -> (unit, string) result
 (** Validate every version chain in the cluster (test support). *)
+
+val fingerprint : t -> int
+(** Structural hash of the protocol-visible cluster state (transaction
+    records, version chains, masterships), independent of hash-table
+    iteration order.  Model-checker support: equal fingerprints mean
+    (modulo hash collisions) the interleavings converged to the same
+    state. *)

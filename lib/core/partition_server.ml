@@ -68,8 +68,12 @@ let pending_keys t txid =
 
 let has_tx t txid = Txid.Tbl.mem t.pending txid
 
-(** Transactions with uncommitted state at this replica. *)
-let pending_txids t = Txid.Tbl.fold (fun id _ acc -> id :: acc) t.pending []
+(** Transactions with uncommitted state at this replica, sorted by
+    transaction id for deterministic downstream iteration. *)
+let pending_txids t =
+  (* lint: allow hashtbl-order — result is sorted below *)
+  Txid.Tbl.fold (fun id _ acc -> id :: acc) t.pending []
+  |> List.sort Txid.compare
 
 (* ------------------------------------------------------------------ *)
 (* Reads                                                               *)
@@ -190,7 +194,7 @@ let prepare ?(stack_over = Txid.Set.empty) ?(origin_spec = true) t ~txid ~origin
   let wdeps = ref Txid.Set.empty in
   List.iter
     (fun (key, _) ->
-      if !conflict = None then begin
+      if !conflict = None && not t.config.skip_ww_check then begin
         (match Mvstore.newest_committed t.store key with
          | Some newest when newest.ts > rs -> conflict := Some key
          | Some _ | None -> ());

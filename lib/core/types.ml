@@ -130,6 +130,7 @@ let make_tx ~id ~origin ~rs ~start_time ~sr =
 let infinity_ts = max_int
 
 (** Minimum of the OLCSet (∞ when only the sentinel remains). *)
+(* lint: allow hashtbl-order — min is order-insensitive *)
 let olc_min tx = Txid.Tbl.fold (fun _ v acc -> min v acc) tx.olcset infinity_ts
 
 (** Record/refresh an OLCSet entry (Alg. 1, line 13). *)

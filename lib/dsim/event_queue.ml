@@ -61,6 +61,20 @@ let push q ~time payload =
 
 let min_time q = if q.size = 0 then None else Some (get q 0).time
 
+(** [(time, seq)] of the earliest event, if any.  The sequence number is
+    the queue-local insertion counter, so it is deterministic across
+    replayed runs — the model checker uses it as a stable event
+    identity. *)
+let peek_key q = if q.size = 0 then None else Some ((get q 0).time, (get q 0).seq)
+
+let fold_keys f q acc =
+  let acc = ref acc in
+  for i = 0 to q.size - 1 do
+    let c = get q i in
+    acc := f (c.time, c.seq) !acc
+  done;
+  !acc
+
 let pop q =
   if q.size = 0 then raise Not_found;
   let top = get q 0 in

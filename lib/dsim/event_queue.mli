@@ -18,6 +18,15 @@ val push : 'a t -> time:int -> 'a -> unit
 (** Earliest event time, if any. *)
 val min_time : 'a t -> int option
 
+(** [(time, seq)] of the earliest event, if any.  [seq] is the
+    queue-local insertion counter: deterministic across replayed runs,
+    which makes it a stable event identity for controlled schedulers. *)
+val peek_key : 'a t -> (int * int) option
+
+(** Fold over the [(time, seq)] keys of all queued events, in
+    unspecified (heap-internal) order — combine commutatively. *)
+val fold_keys : (int * int -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+
 (** Remove and return the earliest event as [(time, ev)].
     @raise Not_found if the queue is empty. *)
 val pop : 'a t -> int * 'a

@@ -57,7 +57,7 @@ let send t ~src ~dst f =
   let at = Sim.now t.sim + delay in
   let at = if at > t.last_delivery.(src).(dst) then at else t.last_delivery.(src).(dst) + 1 in
   t.last_delivery.(src).(dst) <- at;
-  Sim.schedule_at t.sim ~time:at f
+  Sim.schedule_msg t.sim ~time:at ~src ~dst f
 
 let messages_sent t = t.messages_sent
 let wan_messages t = t.wan_messages

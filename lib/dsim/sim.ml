@@ -1,37 +1,170 @@
-type t = { mutable now : int; queue : (unit -> unit) Event_queue.t }
+(* The engine runs in one of two modes:
 
-let create () = { now = 0; queue = Event_queue.create () }
+   - [Heap] (default): a single priority queue; events fire in strict
+     (time, insertion) order.  This is the mode every benchmark and test
+     harness uses, and its behaviour is unchanged.
+
+   - [Controlled]: events are split into {e lanes} — one [Internal] lane
+     for timers, CPU completions and fiber wakeups, plus one lane per
+     directed network channel — and an external {e chooser} picks which
+     lane's head event fires next.  Within a lane, order stays FIFO by
+     (time, seq), so per-channel FIFO delivery and the determinism of
+     local processing are preserved, while the chooser is free to
+     reorder deliveries {e across} channels (equivalently: to assign
+     each message an arbitrary finite latency).  Firing an event whose
+     timestamp lies behind the current instant advances nothing; firing
+     one from the future advances [now] to it.  Simulated time therefore
+     never regresses, and every monotone-clock guarantee holds in both
+     modes.  This is the hook the bounded model checker in [lib/check]
+     drives. *)
+
+type tag = Internal | Chan of { src : int; dst : int }
+
+let compare_tag a b =
+  match a, b with
+  | Internal, Internal -> 0
+  | Internal, Chan _ -> -1
+  | Chan _, Internal -> 1
+  | Chan a, Chan b -> (
+    match compare (a.src : int) b.src with 0 -> compare (a.dst : int) b.dst | c -> c)
+
+let pp_tag ppf = function
+  | Internal -> Format.pp_print_string ppf "internal"
+  | Chan { src; dst } -> Format.fprintf ppf "chan %d->%d" src dst
+
+type candidate = { tag : tag; time : int; seq : int }
+
+type lane = { ltag : tag; events : (unit -> unit) Event_queue.t }
+
+type controlled = {
+  mutable lanes : lane list;  (** sorted by [ltag]; lanes are never removed *)
+  chooser : candidate array -> int;
+}
+
+type mode = Heap of (unit -> unit) Event_queue.t | Controlled of controlled
+
+type t = { mutable now : int; mutable mode : mode }
+
+let create () = { now = 0; mode = Heap (Event_queue.create ()) }
 
 let now t = t.now
 
+let pending t =
+  match t.mode with
+  | Heap q -> Event_queue.length q
+  | Controlled c ->
+    List.fold_left (fun acc l -> acc + Event_queue.length l.events) 0 c.lanes
+
+let set_chooser t chooser =
+  if pending t > 0 then invalid_arg "Sim.set_chooser: events already scheduled";
+  t.mode <- Controlled { lanes = []; chooser }
+
+let lane_for c tag =
+  let rec find = function
+    | l :: _ when compare_tag l.ltag tag = 0 -> Some l
+    | l :: rest when compare_tag l.ltag tag < 0 -> find rest
+    | _ -> None
+  in
+  match find c.lanes with
+  | Some l -> l
+  | None ->
+    let l = { ltag = tag; events = Event_queue.create () } in
+    let rec insert = function
+      | [] -> [ l ]
+      | x :: rest when compare_tag x.ltag tag < 0 -> x :: insert rest
+      | rest -> l :: rest
+    in
+    c.lanes <- insert c.lanes;
+    l
+
+let push_tagged t ~time ~tag f =
+  match t.mode with
+  | Heap q -> Event_queue.push q ~time f
+  | Controlled c -> Event_queue.push (lane_for c tag).events ~time f
+
 let schedule t ~delay f =
   if delay < 0 then invalid_arg "Sim.schedule: negative delay";
-  Event_queue.push t.queue ~time:(t.now + delay) f
+  push_tagged t ~time:(t.now + delay) ~tag:Internal f
 
 let schedule_at t ~time f =
   let time = if time < t.now then t.now else time in
-  Event_queue.push t.queue ~time f
+  push_tagged t ~time ~tag:Internal f
+
+(** Schedule a network delivery on channel [src -> dst].  In [Heap] mode
+    this is exactly {!schedule_at}; in [Controlled] mode the event goes
+    to the channel's own lane, where the chooser may defer it behind
+    events of other lanes (but never behind later messages of the same
+    channel). *)
+let schedule_msg t ~time ~src ~dst f =
+  let time = if time < t.now then t.now else time in
+  push_tagged t ~time ~tag:(Chan { src; dst }) f
+
+(** Order-insensitive hash of the pending-event multiset, as [(tag,
+    time, seq)] triples (payload closures are not hashable; determinism
+    makes them a function of the schedule anyway).  [Heap] mode returns
+    0 — only the model checker, which runs in [Controlled] mode, needs
+    this. *)
+let pending_fingerprint t =
+  match t.mode with
+  | Heap _ -> 0
+  | Controlled c ->
+    List.fold_left
+      (fun acc l ->
+        let th = Hashtbl.hash l.ltag in
+        Event_queue.fold_keys
+          (fun (time, seq) acc -> acc + Hashtbl.hash (th, time, seq))
+          l.events acc)
+      0 c.lanes
+
+let candidates c =
+  List.filter_map
+    (fun l ->
+      match Event_queue.peek_key l.events with
+      | None -> None
+      | Some (time, seq) -> Some ({ tag = l.ltag; time; seq }, l))
+    c.lanes
 
 let run ?until t =
   let processed = ref 0 in
   let continue = ref true in
   while !continue do
-    match Event_queue.min_time t.queue with
-    | None -> continue := false
-    | Some time ->
-      (match until with
-       | Some limit when time > limit ->
-         t.now <- limit;
-         continue := false
-       | _ ->
-         let time, f = Event_queue.pop t.queue in
-         t.now <- time;
-         incr processed;
-         f ())
+    match t.mode with
+    | Heap q -> (
+      match Event_queue.min_time q with
+      | None -> continue := false
+      | Some time -> (
+        match until with
+        | Some limit when time > limit ->
+          t.now <- limit;
+          continue := false
+        | _ ->
+          let time, f = Event_queue.pop q in
+          t.now <- time;
+          incr processed;
+          f ()))
+    | Controlled c -> (
+      match candidates c with
+      | [] -> continue := false
+      | cands -> (
+        let min_t =
+          List.fold_left (fun acc (cd, _) -> min acc cd.time) max_int cands
+        in
+        match until with
+        | Some limit when min_t > limit ->
+          t.now <- limit;
+          continue := false
+        | _ ->
+          let arr = Array.of_list (List.map fst cands) in
+          let idx = if Array.length arr = 1 then 0 else c.chooser arr in
+          if idx < 0 || idx >= Array.length arr then
+            invalid_arg "Sim.run: chooser returned an out-of-range index";
+          let _, lane = List.nth cands idx in
+          let time, f = Event_queue.pop lane.events in
+          if time > t.now then t.now <- time;
+          incr processed;
+          f ()))
   done;
   !processed
-
-let pending t = Event_queue.length t.queue
 
 let us x = x
 let ms x = x * 1_000

@@ -2,11 +2,49 @@
 
     Simulated time is an [int] count of microseconds since the start of
     the run.  The engine is single-threaded and deterministic: events
-    scheduled for the same instant fire in scheduling order. *)
+    scheduled for the same instant fire in scheduling order.
+
+    A {e controlled} mode ({!set_chooser}) additionally exposes the
+    scheduling nondeterminism of an asynchronous network to an external
+    scheduler: events are partitioned into lanes (one per directed
+    network channel, plus one internal lane), each lane stays FIFO, and
+    the chooser picks which lane's head event fires next.  Reordering
+    deliveries across channels is equivalent to assigning each message
+    an arbitrary finite latency; the bounded model checker in
+    [lib/check] enumerates these choices exhaustively. *)
 
 type t
 
 val create : unit -> t
+
+(** {1 Controlled scheduling (model-checker hook)} *)
+
+(** Event-lane identity: [Internal] covers timers, CPU completions and
+    fiber wakeups (always FIFO); [Chan] is one directed network
+    channel. *)
+type tag = Internal | Chan of { src : int; dst : int }
+
+val compare_tag : tag -> tag -> int
+val pp_tag : Format.formatter -> tag -> unit
+
+(** Head event of a lane, as offered to the chooser.  [seq] is the
+    lane-local insertion counter: deterministic across replays of the
+    same choice sequence, hence a stable event identity. *)
+type candidate = { tag : tag; time : int; seq : int }
+
+(** Switch this simulator into controlled mode.  The chooser receives
+    the head events of all non-empty lanes (sorted by {!compare_tag})
+    and returns the index to fire; it is only consulted when at least
+    two lanes are non-empty.  Firing an event from the future advances
+    [now] to its timestamp; firing a deferred event does not move time
+    backwards.  Must be called before any event is scheduled.
+    @raise Invalid_argument if events are already pending. *)
+val set_chooser : t -> (candidate array -> int) -> unit
+
+(** [schedule_msg t ~time ~src ~dst f] schedules a network delivery on
+    channel [src -> dst].  Identical to {!schedule_at} in default mode;
+    in controlled mode the event lands in the channel's own lane. *)
+val schedule_msg : t -> time:int -> src:int -> dst:int -> (unit -> unit) -> unit
 
 (** Current simulated time in microseconds. *)
 val now : t -> int
@@ -25,6 +63,11 @@ val run : ?until:int -> t -> int
 
 (** Number of pending events. *)
 val pending : t -> int
+
+(** Order-insensitive hash of the pending-event multiset (controlled
+    mode; 0 in default mode).  Part of the model checker's state
+    fingerprint. *)
+val pending_fingerprint : t -> int
 
 (** Microseconds helpers. *)
 val us : int -> int

@@ -30,7 +30,7 @@ let summarize t =
   if t.n = 0 then empty_summary
   else begin
     let data = Array.sub t.samples 0 t.n in
-    Array.sort compare data;
+    Array.sort Int.compare data;
     let pct p =
       let idx = int_of_float (p *. float_of_int (t.n - 1)) in
       data.(idx)

@@ -59,9 +59,18 @@ let check_ww_committed h =
             Hashtbl.replace per_key ks ((tx, ct) :: existing))
           tx.writes)
     (H.transactions h);
-  Hashtbl.iter
-    (fun ks group ->
-      let sorted = List.sort (fun (_, a) (_, b) -> compare a b) group in
+  (* Iterate keys in sorted order: report content would be the same in
+     any order once sorted at the entry points, but keeping every
+     intermediate list deterministic makes the checker byte-stable under
+     replay, which the model checker relies on. *)
+  let keys =
+    (* lint: allow hashtbl-order — keys are sorted before use *)
+    Hashtbl.fold (fun ks _ acc -> ks :: acc) per_key [] |> List.sort String.compare
+  in
+  List.iter
+    (fun ks ->
+      let group = Hashtbl.find per_key ks in
+      let sorted = List.sort (fun (_, a) (_, b) -> Int.compare a b) group in
       let rec pairs = function
         | [] -> ()
         | ((t1 : H.tx), ct1) :: rest ->
@@ -77,7 +86,7 @@ let check_ww_committed h =
           pairs rest
       in
       pairs sorted)
-    per_key;
+    keys;
   !violations
 
 (* ------------------------------------------------------------------ *)
@@ -347,13 +356,27 @@ let check_snapshot_conflicts h =
 (* Entry points                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(** Canonical report order: by (rule, detail).  The individual checks
+    accumulate violations in traversal order, which is an implementation
+    detail; sorting here makes [check_spsi]/[check_si] deterministic
+    functions of the history, so reports are byte-stable across runs and
+    usable as replay oracles. *)
+let canonicalize violations =
+  List.sort_uniq
+    (fun a b ->
+      match String.compare a.rule b.rule with
+      | 0 -> String.compare a.detail b.detail
+      | c -> c)
+    violations
+
 (** All SPSI checks. *)
 let check_spsi h =
-  check_ww_committed h
-  @ check_snapshot_reads h
-  @ check_speculative_reads h
-  @ check_snapshot_atomicity h
-  @ check_snapshot_conflicts h
+  canonicalize
+    (check_ww_committed h
+    @ check_snapshot_reads h
+    @ check_speculative_reads h
+    @ check_snapshot_atomicity h
+    @ check_snapshot_conflicts h)
 
 (** SI checks for a non-speculative protocol run: the SPSI checks plus
     the assertion that no speculative read ever happened. *)
@@ -373,7 +396,7 @@ let check_si h =
           tx.reads)
       (H.transactions h)
   in
-  spec @ check_spsi h
+  canonicalize (spec @ check_spsi h)
 
 let report violations =
   String.concat "\n"

@@ -20,11 +20,14 @@ type violation = { rule : string; detail : string }
 
 val pp_violation : Format.formatter -> violation -> unit
 
-(** All SPSI checks; empty list = the history is SPSI-compliant. *)
+(** All SPSI checks; empty list = the history is SPSI-compliant.
+    Violations are returned deduplicated and sorted by (rule, detail),
+    so the report is a deterministic function of the history. *)
 val check_spsi : History.t -> violation list
 
 (** SI checks for a non-speculative run: {!check_spsi} plus the
-    assertion that no speculative read ever happened. *)
+    assertion that no speculative read ever happened.  Deterministic,
+    like {!check_spsi}. *)
 val check_si : History.t -> violation list
 
 (** Individual rule groups (exposed for targeted tests). *)

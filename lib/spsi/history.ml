@@ -106,12 +106,61 @@ let record t (ev : Core.Types.event) =
        tx.outcome <- Aborted reason;
        tx.end_time <- time)
 
+(** Structural hash of the recorded history, independent of hash-table
+    iteration order (transactions are visited sorted by id; a
+    transaction's reads are hashed in program order).  Model-checker
+    support: two interleavings whose histories hash differently are
+    definitely distinct; equal hashes mean convergence with
+    overwhelming probability. *)
+let fingerprint t =
+  let mix h x = (h lxor x) * 0x100000001b3 in
+  let mix_str h s =
+    let acc = ref h in
+    String.iter (fun ch -> acc := mix !acc (Char.code ch)) s;
+    !acc
+  in
+  let mix_txid h (id : Txid.t) = mix (mix h (Txid.origin id)) (Txid.number id) in
+  let txs =
+    (* lint: allow hashtbl-order — sorted before hashing *)
+    Txid.Tbl.fold (fun _ tx acc -> tx :: acc) t.txs []
+    |> List.sort (fun a b -> Txid.compare a.id b.id)
+  in
+  List.fold_left
+    (fun h tx ->
+      let h = mix_txid h tx.id in
+      let h = mix (mix (mix h tx.origin) tx.rs) tx.begin_time in
+      let h =
+        List.fold_left
+          (fun h r ->
+            let h = mix_str (mix h (Key.partition r.key)) (Key.name r.key) in
+            let h =
+              match r.writer with None -> mix h 0 | Some w -> mix_txid h w
+            in
+            mix (mix (mix h r.version_ts) (if r.speculative then 1 else 0)) r.time)
+          h (List.rev tx.reads)
+      in
+      let h =
+        KeySet.fold
+          (fun k h -> mix_str (mix h (Key.partition k)) (Key.name k))
+          tx.writes h
+      in
+      let h = mix h (match tx.lc with None -> -1 | Some lc -> lc) in
+      let h =
+        match tx.outcome with
+        | Committed ct -> mix (mix h 1) ct
+        | Aborted _ -> mix h 2
+        | Unfinished -> mix h 3
+      in
+      mix (mix h (if tx.unsafe then 1 else 0)) tx.end_time)
+    0x811c9dc5 txs
+
 (** Is this the identity used for dataset loading (no real transaction)? *)
 let is_initial_writer (w : Txid.t) = Txid.origin w < 0
 
 (** Committed transactions that wrote [key], with their commit
     timestamps, sorted by commit timestamp. *)
 let committed_writers t key =
+  (* lint: allow hashtbl-order — result is sorted below *)
   Txid.Tbl.fold
     (fun _ tx acc ->
       match tx.outcome with

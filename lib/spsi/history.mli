@@ -46,6 +46,10 @@ val transactions : t -> tx list
 val committed : t -> tx list
 val size : t -> int
 
+(** Structural hash of the whole history, independent of hash-table
+    iteration order (model-checker state fingerprint component). *)
+val fingerprint : t -> int
+
 (** The pseudo-identity used for dataset loading. *)
 val is_initial_writer : Txid.t -> bool
 

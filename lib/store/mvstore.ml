@@ -85,6 +85,7 @@ let uncommitted t key =
 
 let prune t ~horizon =
   let dropped = ref 0 in
+  (* lint: allow hashtbl-order — summing a count is order-insensitive *)
   KeyTbl.iter (fun _ c -> dropped := !dropped + Chain.prune c ~horizon) t.chains;
   t.versions_pruned <- t.versions_pruned + !dropped;
   !dropped
@@ -98,6 +99,7 @@ let reads_served t = t.reads_served
     replica, since in steady state every live key has been read. *)
 let storage_bytes t =
   let data = ref 0 in
+  (* lint: allow hashtbl-order — summing byte counts is order-insensitive *)
   KeyTbl.iter
     (fun key c ->
       data := !data + 24 + String.length (Key.name key);
@@ -113,6 +115,8 @@ let storage_bytes t =
 
 (** Run the chain invariant checker over every key. *)
 let check_invariants t =
+  (* lint: allow hashtbl-order — all chains must pass; order only picks
+     which error message surfaces first *)
   KeyTbl.fold
     (fun key c acc ->
       match acc with
@@ -122,3 +126,47 @@ let check_invariants t =
          | Ok () -> Ok ()
          | Error e -> Error (Printf.sprintf "%s: %s" (Key.to_string key) e)))
     t.chains (Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* State fingerprinting (model-checker support)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a-style mixing over native ints; quality is ample for the
+   model checker's visited-state dedup (collisions only cost a pruned
+   branch, never a false violation). *)
+let mix h x = (h lxor x) * 0x100000001b3
+
+let mix_string h s =
+  let h = ref (mix h (String.length s)) in
+  String.iter (fun c -> h := mix !h (Char.code c)) s;
+  !h
+
+(** Order-independent structural hash of the full replica state —
+    version chains (writer, state, timestamp per version) and the
+    [LastReader] table.  Every hash-table iteration is folded through a
+    sorted key list so the result is a pure function of the state. *)
+let fingerprint t =
+  let keys =
+    (* lint: allow hashtbl-order — keys are sorted before hashing *)
+    KeyTbl.fold (fun k _ acc -> k :: acc) t.chains []
+    |> List.sort Key.compare
+  in
+  List.fold_left
+    (fun h key ->
+      let h = mix_string (mix h (Key.partition key)) (Key.name key) in
+      let h = mix h (last_reader t key) in
+      List.fold_left
+        (fun h (v : Version.t) ->
+          let h = mix h (Txid.origin v.writer) in
+          let h = mix h (Txid.number v.writer) in
+          let h =
+            mix h
+              (match v.state with
+               | Version.Pre_committed -> 1
+               | Version.Local_committed -> 2
+               | Version.Committed -> 3)
+          in
+          mix h v.ts)
+        h
+        (Chain.versions (chain t key)))
+    0x811c9dc5 keys

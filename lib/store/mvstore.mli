@@ -49,3 +49,7 @@ val reads_served : t -> int
 val storage_bytes : t -> int * int
 
 val check_invariants : t -> (unit, string) result
+
+(** Order-independent structural hash of the replica state (chains +
+    [LastReader] metadata); model-checker visited-state dedup. *)
+val fingerprint : t -> int

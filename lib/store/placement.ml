@@ -49,7 +49,7 @@ let of_replicas ~n_nodes ~replicas =
   Array.iteri
     (fun p reps -> Array.iter (fun r -> hosted_lists.(r) <- p :: hosted_lists.(r)) reps)
     replicas;
-  let hosted = Array.map (fun l -> Array.of_list (List.sort compare l)) hosted_lists in
+  let hosted = Array.map (fun l -> Array.of_list (List.sort Int.compare l)) hosted_lists in
   { n_partitions; n_nodes; master; replicas; hosted }
 
 (** Ring placement: partition [p] (for [p = node * partitions_per_node + j])

@@ -14,9 +14,13 @@ let number t = t.number
 let equal a b = a.origin = b.origin && a.number = b.number
 
 let compare a b =
-  match compare a.origin b.origin with
-  | 0 -> compare a.number b.number
+  match Int.compare a.origin b.origin with
+  | 0 -> Int.compare a.number b.number
   | c -> c
+
+(* Unambiguous alias for the structural comparator above, so functor
+   arguments below visibly do not capture the polymorphic [compare]. *)
+let compare_id = compare
 
 let hash t = Hashtbl.hash (t.origin, t.number)
 
@@ -25,12 +29,12 @@ let to_string t = Printf.sprintf "tx%d.%d" t.origin t.number
 
 module Map = Map.Make (struct
   type nonrec t = t
-  let compare = compare
+  let compare = compare_id
 end)
 
 module Set = Set.Make (struct
   type nonrec t = t
-  let compare = compare
+  let compare = compare_id
 end)
 
 module Tbl = Hashtbl.Make (struct
