@@ -1,4 +1,4 @@
-.PHONY: all build test check mc lint
+.PHONY: all build test check mc lint bench bench-quick
 
 all: build
 
@@ -17,3 +17,16 @@ mc:
 	dune build @mc
 
 check: test mc
+
+# Full benchmark pass: regenerate the paper tables, run the bechamel
+# suite, then write BENCH.json and diff it against the committed
+# baseline (bench/BENCH.baseline.json).
+bench:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe
+	./_build/default/bench/main.exe json
+
+# Machine-readable report + baseline diff only (fast; what CI runs).
+bench-quick:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe json

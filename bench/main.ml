@@ -9,7 +9,8 @@
      dune exec bench/main.exe            # quick regeneration + bechamel
      dune exec bench/main.exe -- --full  # full-size sweeps (slower)
      dune exec bench/main.exe -- micro   # bechamel suite only
-     dune exec bench/main.exe -- tables  # experiment tables only *)
+     dune exec bench/main.exe -- tables  # experiment tables only
+     dune exec bench/main.exe -- json    # write BENCH.json + diff baseline *)
 
 open Bechamel
 open Toolkit
@@ -35,7 +36,7 @@ let run_tables scale =
 (* A miniature run of one experiment cell: small client count, short
    window.  One of these per paper table/figure, so the suite exercises
    every experiment code path under the measurement loop. *)
-let mini_experiment ~workload_of ~config () =
+let mini_experiment_result ~workload_of ~config () =
   let placement = Store.Placement.ring ~n_nodes:9 ~replication_factor:6 () in
   let setup =
     {
@@ -46,7 +47,10 @@ let mini_experiment ~workload_of ~config () =
       jitter = 0.;
     }
   in
-  let r = Harness.Runner.run setup in
+  Harness.Runner.run setup
+
+let mini_experiment ~workload_of ~config () =
+  let r = mini_experiment_result ~workload_of ~config () in
   Sys.opaque_identity r.Harness.Runner.committed
 
 let synth params () =
@@ -96,16 +100,36 @@ let micro_tests =
     done;
     Sys.opaque_identity !acc
   in
+  (* Protocol-shaped chain workout: every insert is preceded by the
+     timestamp-proposal lookup ([latest_before] at infinity, as
+     [Partition_server.proposal_for] does) and followed by a
+     mid-history snapshot read (as transaction reads do); the tail is
+     the commit path — reposition of a bumped version — and a GC
+     prune.  This is the per-prepare cost profile of the simulator's
+     innermost loop. *)
   let chain_bench () =
     let c = Store.Chain.create () in
+    let acc = ref 0 in
     for i = 1 to 200 do
+      (match Store.Chain.latest_before c ~rs:max_int with
+       | Some v -> acc := !acc + v.Store.Version.ts
+       | None -> ());
       Store.Chain.insert c
         (Store.Version.make
            ~writer:(Store.Txid.make ~origin:0 ~number:i)
            ~state:Store.Version.Committed ~ts:(i * 3)
-           ~value:(Store.Keyspace.Value.Int i))
+           ~value:(Store.Keyspace.Value.Int i));
+      (match Store.Chain.latest_before c ~rs:(i * 3 / 2) with
+       | Some v -> acc := !acc + v.Store.Version.ts
+       | None -> ())
     done;
-    Sys.opaque_identity (Store.Chain.latest_before c ~rs:300)
+    (match Store.Chain.newest c with
+     | Some v ->
+       v.Store.Version.ts <- 601;
+       Store.Chain.reposition c v
+     | None -> ());
+    acc := !acc + Store.Chain.prune c ~horizon:300;
+    Sys.opaque_identity !acc
   in
   let rng_bench () =
     let rng = Dsim.Rng.create ~seed:7 in
@@ -132,8 +156,9 @@ let micro_tests =
       Test.make ~name:"zipf-1k" (Staged.stage zipf_bench);
     ]
 
-let run_bechamel () =
-  let tests = Test.make_grouped ~name:"str" [ experiment_tests; micro_tests ] in
+(* Run a bechamel suite and return [(name, ns_per_run option)] rows
+   sorted by name. *)
+let bechamel_rows tests =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -141,14 +166,104 @@ let run_bechamel () =
   in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  print_endline "== Bechamel: one Test per paper artifact + substrate micro-benches ==";
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  List.iter
+  List.map
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
-      | Some [ t ] -> Printf.printf "  %-45s %14.0f ns/run\n" name t
-      | Some _ | None -> Printf.printf "  %-45s (no estimate)\n" name)
-    (List.sort compare rows)
+      | Some [ t ] -> (name, Some t)
+      | Some _ | None -> (name, None))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let run_bechamel () =
+  let tests = Test.make_grouped ~name:"str" [ experiment_tests; micro_tests ] in
+  print_endline "== Bechamel: one Test per paper artifact + substrate micro-benches ==";
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some t -> Printf.printf "  %-45s %14.0f ns/run\n" name t
+      | None -> Printf.printf "  %-45s (no estimate)\n" name)
+    (bechamel_rows tests)
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report (BENCH.json)                                 *)
+(* ------------------------------------------------------------------ *)
+
+module BJ = Harness.Bench_json
+
+(* Quick-experiment cells: one per protocol on the synthetic workload
+   the paper's Fig. 3(a) uses; throughput/abort-rate go into the
+   report so baseline diffs catch protocol-level slowdowns, not just
+   data-structure ones. *)
+let json_experiment_cells =
+  [
+    ("str", fun () -> Core.Config.str ());
+    ("clocksi-rep", fun () -> Core.Config.clocksi_rep ());
+    ("ext-spec", fun () -> Core.Config.ext_spec ());
+  ]
+
+let baseline_paths = [ "bench/BENCH.baseline.json"; "BENCH.baseline.json" ]
+
+let strip_group name =
+  match String.index_opt name '/' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+let run_json () =
+  let t0 = Unix.gettimeofday () in
+  let micro =
+    List.filter_map
+      (fun (name, est) ->
+        match est with
+        | Some ns -> Some { BJ.bench_name = strip_group name; ns_per_run = ns }
+        | None -> None)
+      (bechamel_rows micro_tests)
+  in
+  let experiments =
+    List.map
+      (fun (proto, config) ->
+        let r =
+          mini_experiment_result
+            ~workload_of:(fun pl ->
+              Workload.Synthetic.make ~params:Workload.Synthetic.synth_a pl)
+            ~config:(config ()) ()
+        in
+        {
+          BJ.protocol = proto;
+          workload = "synth-a";
+          throughput = r.Harness.Runner.throughput;
+          abort_rate = r.Harness.Runner.abort_rate;
+        })
+      json_experiment_cells
+  in
+  let report =
+    BJ.make ~micro ~experiments ~wall_clock_s:(Unix.gettimeofday () -. t0)
+  in
+  (match BJ.validate report with
+   | Ok () -> ()
+   | Error e ->
+     Printf.eprintf "internal error: generated report invalid: %s\n" e;
+     exit 1);
+  (match BJ.write_file "BENCH.json" report with
+   | Ok () -> Printf.printf "wrote BENCH.json (%d micro, %d experiment cells)\n"
+                (List.length micro) (List.length experiments)
+   | Error e ->
+     Printf.eprintf "cannot write BENCH.json: %s\n" e;
+     exit 1);
+  match List.find_opt Sys.file_exists baseline_paths with
+  | None ->
+    print_endline "no baseline (bench/BENCH.baseline.json); skipping diff"
+  | Some path -> (
+    match BJ.read_file path with
+    | Error e ->
+      Printf.eprintf "cannot read baseline %s: %s\n" path e;
+      exit 1
+    | Ok baseline -> (
+      match BJ.diff ~baseline ~current:report with
+      | Error e ->
+        Printf.eprintf "cannot diff against %s: %s\n" path e;
+        exit 1
+      | Ok deltas ->
+        Printf.printf "== diff vs %s ==\n%s" path (BJ.render_diff deltas)))
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -157,6 +272,7 @@ let () =
   match List.filter (fun a -> a <> "--full") args with
   | [ "micro" ] -> run_bechamel ()
   | [ "tables" ] -> run_tables scale
+  | [ "json" ] -> run_json ()
   | [] ->
     run_tables scale;
     run_bechamel ()

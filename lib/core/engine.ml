@@ -239,7 +239,7 @@ let rec abort_tx eng tx reason =
        dependents consumes node CPU (fire-and-forget: it delays
        subsequent work on this node). *)
     Cpu.exec nd.cpu
-      ~cost:(eng.config.Config.cost_apply_key * List.length tx.wkeys)
+      ~cost:(eng.config.Config.cost_apply_key * tx.n_wkeys)
       (fun () -> ());
     if tx.spec_exposed then nd.stats.Stats.ext_misspec <- nd.stats.Stats.ext_misspec + 1;
     let dependents = tx.dependents in
@@ -254,7 +254,7 @@ let rec abort_tx eng tx reason =
           send eng ~src:tx.origin ~dst:r (fun () ->
               let srv = server eng ~node:r ~partition:p in
               Cpu.exec eng.nodes.(r).cpu
-                ~cost:(eng.config.Config.cost_apply_key * List.length (Partition_server.pending_keys srv tx.id))
+                ~cost:(eng.config.Config.cost_apply_key * Partition_server.pending_key_count srv tx.id)
                 (fun () -> Partition_server.abort ~tombstone:true srv tx.id)));
     Txid.Tbl.remove nd.active tx.id;
     emit eng (Ev_abort { id = tx.id; reason; time = Sim.now eng.sim });
@@ -284,7 +284,7 @@ let commit_apply eng tx ct =
         else abort_tx eng d Snapshot_too_old)
     dependents;
   Cpu.exec nd.cpu
-    ~cost:(eng.config.Config.cost_apply_key * List.length tx.wkeys)
+    ~cost:(eng.config.Config.cost_apply_key * tx.n_wkeys)
     (fun () -> ());
   List.iter
     (fun (p, _) -> Partition_server.commit (server eng ~node:tx.origin ~partition:p) tx.id ~ct)
@@ -294,7 +294,7 @@ let commit_apply eng tx ct =
       send eng ~src:tx.origin ~dst:r (fun () ->
           let srv = server eng ~node:r ~partition:p in
           Cpu.exec eng.nodes.(r).cpu
-            ~cost:(eng.config.Config.cost_apply_key * List.length (Partition_server.pending_keys srv tx.id))
+            ~cost:(eng.config.Config.cost_apply_key * Partition_server.pending_key_count srv tx.id)
             (fun () -> Partition_server.commit srv tx.id ~ct)));
   nd.stats.Stats.commits <- nd.stats.Stats.commits + 1;
   Txid.Tbl.remove nd.active tx.id;
@@ -443,7 +443,10 @@ let rec read eng tx key =
 
 let write eng tx key value =
   check_live tx;
-  if not (KeyTbl.mem tx.wbuf key) then tx.wkeys <- key :: tx.wkeys;
+  if not (KeyTbl.mem tx.wbuf key) then begin
+    tx.wkeys <- key :: tx.wkeys;
+    tx.n_wkeys <- tx.n_wkeys + 1
+  end;
   KeyTbl.replace tx.wbuf key value;
   emit eng (Ev_write { id = tx.id; key; time = Sim.now eng.sim })
 
@@ -504,12 +507,13 @@ let commit eng tx =
           if not (KeyTbl.mem tx.wbuf key) then begin
             KeyTbl.replace tx.wbuf key (KeyTbl.find tx.rset key);
             tx.wkeys <- key :: tx.wkeys;
+            tx.n_wkeys <- tx.n_wkeys + 1;
             emit eng (Ev_write { id = tx.id; key; time = Sim.now eng.sim })
           end)
         (List.rev tx.rset_keys);
     let groups = group_writes tx in
     tx.groups <- groups;
-    let n_writes = List.length tx.wkeys in
+    let n_writes = tx.n_wkeys in
     charge nd (eng.config.Config.cost_prepare_key * n_writes);
     check_live tx;
     (* ---- Local certification (atomic within this event) ---- *)
@@ -591,11 +595,11 @@ let commit eng tx =
         notify tx
       end
     in
-    let send_replicate ~from slave p writes =
+    let send_replicate ~from ~nw slave p writes =
       send eng ~src:from ~dst:slave (fun () ->
           let snd = eng.nodes.(slave) in
           Cpu.exec snd.cpu
-            ~cost:(eng.config.Config.cost_prepare_key * List.length writes)
+            ~cost:(eng.config.Config.cost_prepare_key * nw)
             (fun () ->
               let srv = server eng ~node:slave ~partition:p in
               (* Remote prepares evict conflicting local speculation and
@@ -621,12 +625,13 @@ let commit eng tx =
       (fun (p, writes) ->
         let m = master_of eng p in
         let slaves = live_slaves eng p in
+        let nw = List.length writes in
         if m = tx.origin then begin
           (* We are the master: replicate the prepare to our slaves. *)
           List.iter
             (fun s ->
               incr expected;
-              send_replicate ~from:tx.origin s p writes)
+              send_replicate ~from:tx.origin ~nw s p writes)
             slaves
         end
         else begin
@@ -635,7 +640,7 @@ let commit eng tx =
           send eng ~src:tx.origin ~dst:m (fun () ->
               let mnd = eng.nodes.(m) in
               Cpu.exec mnd.cpu
-                ~cost:(eng.config.Config.cost_prepare_key * List.length writes)
+                ~cost:(eng.config.Config.cost_prepare_key * nw)
                 (fun () ->
                   let srv = server eng ~node:m ~partition:p in
                   match
@@ -647,7 +652,8 @@ let commit eng tx =
                         reply_handler `Aborted)
                   | Partition_server.Prepared { ts; _ } ->
                     List.iter
-                      (fun s -> if s <> tx.origin then send_replicate ~from:m s p writes)
+                      (fun s ->
+                        if s <> tx.origin then send_replicate ~from:m ~nw s p writes)
                       slaves;
                     send eng ~src:m ~dst:tx.origin (fun () ->
                         reply_handler (`Prepared ts))))

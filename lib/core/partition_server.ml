@@ -27,7 +27,7 @@ type t = {
   is_cache : bool;
   stats : Stats.t option;  (** node-level counters, when attached *)
   store : Mvstore.t;
-  pending : Key.t list Txid.Tbl.t;  (** keys this replica holds uncommitted, per tx *)
+  pending : Key.t array Txid.Tbl.t;  (** keys this replica holds uncommitted, per tx *)
   tombstones : unit Txid.Tbl.t;
       (** aborts that arrived before the corresponding replicate (an
           abort from the coordinator can race a prepare forwarded by the
@@ -64,7 +64,17 @@ let partition t = t.partition
 let blocked_reads t = t.blocked_reads
 
 let pending_keys t txid =
-  match Txid.Tbl.find_opt t.pending txid with Some ks -> ks | None -> []
+  match Txid.Tbl.find_opt t.pending txid with
+  | Some ks -> Array.to_list ks
+  | None -> []
+
+(** Number of keys this replica holds uncommitted for [txid].  O(1);
+    the engine's cost expressions use this instead of walking the key
+    list. *)
+let pending_key_count t txid =
+  match Txid.Tbl.find_opt t.pending txid with
+  | Some ks -> Array.length ks
+  | None -> 0
 
 let has_tx t txid = Txid.Tbl.mem t.pending txid
 
@@ -233,12 +243,13 @@ let prepare ?(stack_over = Txid.Set.empty) ?(origin_spec = true) t ~txid ~origin
         Mvstore.insert_version t.store key
           (Version.make ~writer:txid ~state:Version.Pre_committed ~ts ~value))
       writes;
-    Txid.Tbl.replace t.pending txid (List.map fst writes);
+    let keys = Array.of_list (List.map fst writes) in
+    Txid.Tbl.replace t.pending txid keys;
     (* Amortized multi-version GC: every [prune_every_inserts] inserted
        versions, drop committed versions older than the horizon (no live
        snapshot can be that old: transactions span at most a couple of
        WAN round trips). *)
-    t.inserts_since_prune <- t.inserts_since_prune + List.length writes;
+    t.inserts_since_prune <- t.inserts_since_prune + Array.length keys;
     if
       t.config.prune_every_inserts > 0
       && t.inserts_since_prune >= t.config.prune_every_inserts
@@ -298,12 +309,15 @@ let restack t key ~above ~floor =
     displaced
 
 let update_versions t txid f =
-  List.iter
-    (fun key ->
-      match Mvstore.find_version t.store key txid with
-      | None -> ()
-      | Some v -> f key v)
-    (pending_keys t txid)
+  match Txid.Tbl.find_opt t.pending txid with
+  | None -> ()
+  | Some keys ->
+    Array.iter
+      (fun key ->
+        match Mvstore.find_version t.store key txid with
+        | None -> ()
+        | Some v -> f key v)
+      keys
 
 (** Convert this tx's pre-committed versions to local-committed with
     timestamp [lc]; wakes readers blocked on them (local ones may now

@@ -32,6 +32,11 @@ val node_id : t -> int
 val partition : t -> int
 val blocked_reads : t -> int
 val pending_keys : t -> Txid.t -> Keyspace.Key.t list
+
+(** Number of keys held uncommitted for the transaction; O(1) (cost
+    expressions in the engine use this instead of walking the list). *)
+val pending_key_count : t -> Txid.t -> int
+
 val has_tx : t -> Txid.t -> bool
 
 (** Transactions with uncommitted state at this replica. *)

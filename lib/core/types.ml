@@ -64,6 +64,7 @@ type tx = {
   (* --- write buffer --- *)
   wbuf : Keyspace.Value.t KeyTbl.t;
   mutable wkeys : Keyspace.Key.t list;  (** reverse insertion order *)
+  mutable n_wkeys : int;  (** [List.length wkeys], maintained on insert *)
   rset : Keyspace.Value.t KeyTbl.t;
       (** read set with observed values (tracked only under the
           Serializable isolation level, for read promotion) *)
@@ -108,6 +109,7 @@ let make_tx ~id ~origin ~rs ~start_time ~sr =
     unsafe = false;
     wbuf = KeyTbl.create 8;
     wkeys = [];
+    n_wkeys = 0;
     rset = KeyTbl.create 8;
     rset_keys = [];
     deps = Txid.Set.empty;
@@ -140,7 +142,7 @@ let olc_remove tx dep_id = Txid.Tbl.remove tx.olcset dep_id
 
 let is_aborted tx = match tx.state with Aborted _ -> true | _ -> false
 
-let is_read_only tx = tx.wkeys = []
+let is_read_only tx = tx.n_wkeys = 0
 
 (** Run and clear the condition watchers after any observable change. *)
 let notify tx =

@@ -1,85 +1,129 @@
-(* Binary min-heap over (time, seq) keys, stored in a growable array.
-   The heap property is: parent key <= child keys, comparing time first and
-   insertion sequence second. *)
+(* Binary min-heap over (time, seq) keys.  The heap property is:
+   parent key <= child keys, comparing time first and insertion
+   sequence second.
 
-type 'a cell = { time : int; seq : int; payload : 'a }
+   Keys live in parallel unboxed [int] arrays ([times]/[seqs]) with the
+   payloads in a third parallel array, so a push allocates nothing
+   (amortized) — the previous ['a cell option array] boxed every
+   element in two heap blocks, which showed up as allocation and
+   pointer-chasing in the simulator's innermost loop.
+
+   The payload array is created lazily on the first push (using that
+   payload as the fill), so no sentinel of type ['a] is ever
+   fabricated; a freed slot keeps a reference to an element that is
+   still in the heap (or, when the queue drains empty, to the last
+   popped payload until the next push overwrites it) — at most one
+   payload is retained beyond its lifetime, never a growing set. *)
 
 type 'a t = {
-  mutable cells : 'a cell option array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;  (** [| |] until the first push *)
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { cells = Array.make 64 None; size = 0; next_seq = 0 }
+let initial_capacity = 64
+
+let create () =
+  {
+    times = Array.make initial_capacity 0;
+    seqs = Array.make initial_capacity 0;
+    payloads = [||];
+    size = 0;
+    next_seq = 0;
+  }
 
 let is_empty q = q.size = 0
 
 let length q = q.size
 
-let key_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let get q i =
-  match q.cells.(i) with
-  | Some c -> c
-  | None -> assert false
-
 let grow q =
-  let cells = Array.make (2 * Array.length q.cells) None in
-  Array.blit q.cells 0 cells 0 q.size;
-  q.cells <- cells
-
-let rec sift_up q i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if key_lt (get q i) (get q parent) then begin
-      let tmp = q.cells.(i) in
-      q.cells.(i) <- q.cells.(parent);
-      q.cells.(parent) <- tmp;
-      sift_up q parent
-    end
-  end
-
-let rec sift_down q i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < q.size && key_lt (get q l) (get q !smallest) then smallest := l;
-  if r < q.size && key_lt (get q r) (get q !smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = q.cells.(i) in
-    q.cells.(i) <- q.cells.(!smallest);
-    q.cells.(!smallest) <- tmp;
-    sift_down q !smallest
-  end
+  let cap = 2 * Array.length q.times in
+  let times = Array.make cap 0 in
+  Array.blit q.times 0 times 0 q.size;
+  q.times <- times;
+  let seqs = Array.make cap 0 in
+  Array.blit q.seqs 0 seqs 0 q.size;
+  q.seqs <- seqs;
+  let payloads = Array.make cap q.payloads.(0) in
+  Array.blit q.payloads 0 payloads 0 q.size;
+  q.payloads <- payloads
 
 let push q ~time payload =
-  if q.size = Array.length q.cells then grow q;
-  let cell = { time; seq = q.next_seq; payload } in
-  q.next_seq <- q.next_seq + 1;
-  q.cells.(q.size) <- Some cell;
+  if Array.length q.payloads = 0 then
+    q.payloads <- Array.make (Array.length q.times) payload
+  else if q.size = Array.length q.times then grow q;
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  (* Hole-based sift-up: slide larger parents down, write once. *)
+  let i = ref q.size in
   q.size <- q.size + 1;
-  sift_up q (q.size - 1)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pt = q.times.(p) in
+    if time < pt || (time = pt && seq < q.seqs.(p)) then begin
+      q.times.(!i) <- pt;
+      q.seqs.(!i) <- q.seqs.(p);
+      q.payloads.(!i) <- q.payloads.(p);
+      i := p
+    end
+    else continue := false
+  done;
+  q.times.(!i) <- time;
+  q.seqs.(!i) <- seq;
+  q.payloads.(!i) <- payload
 
-let min_time q = if q.size = 0 then None else Some (get q 0).time
+let min_time q = if q.size = 0 then None else Some q.times.(0)
 
 (** [(time, seq)] of the earliest event, if any.  The sequence number is
     the queue-local insertion counter, so it is deterministic across
     replayed runs — the model checker uses it as a stable event
     identity. *)
-let peek_key q = if q.size = 0 then None else Some ((get q 0).time, (get q 0).seq)
+let peek_key q = if q.size = 0 then None else Some (q.times.(0), q.seqs.(0))
 
 let fold_keys f q acc =
   let acc = ref acc in
   for i = 0 to q.size - 1 do
-    let c = get q i in
-    acc := f (c.time, c.seq) !acc
+    acc := f (q.times.(i), q.seqs.(i)) !acc
   done;
   !acc
 
 let pop q =
   if q.size = 0 then raise Not_found;
-  let top = get q 0 in
-  q.size <- q.size - 1;
-  q.cells.(0) <- q.cells.(q.size);
-  q.cells.(q.size) <- None;
-  if q.size > 0 then sift_down q 0;
-  (top.time, top.payload)
+  let time = q.times.(0) and payload = q.payloads.(0) in
+  let n = q.size - 1 in
+  q.size <- n;
+  if n > 0 then begin
+    (* Move the last element into the root hole and sift it down. *)
+    let mt = q.times.(n) and ms = q.seqs.(n) and mp = q.payloads.(n) in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (q.times.(r) < q.times.(l)
+                || (q.times.(r) = q.times.(l) && q.seqs.(r) < q.seqs.(l)))
+          then r
+          else l
+        in
+        if q.times.(c) < mt || (q.times.(c) = mt && q.seqs.(c) < ms) then begin
+          q.times.(!i) <- q.times.(c);
+          q.seqs.(!i) <- q.seqs.(c);
+          q.payloads.(!i) <- q.payloads.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    q.times.(!i) <- mt;
+    q.seqs.(!i) <- ms;
+    q.payloads.(!i) <- mp
+  end;
+  (time, payload)

@@ -1,0 +1,470 @@
+(* Machine-readable benchmark reports; see bench_json.mli. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(* --- printer -------------------------------------------------------- *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Shortest decimal form that round-trips; integers print without a
+   fractional part so baselines stay readable. *)
+let num_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    s
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  let indent n = Buffer.add_string buf (String.make n ' ') in
+  let rec go n = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (num_to_string f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+    | Arr [] -> Buffer.add_string buf "[]"
+    | Arr items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          indent (n + 2);
+          go (n + 2) item)
+        items;
+      Buffer.add_char buf '\n';
+      indent n;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          indent (n + 2);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf "\": ";
+          go (n + 2) item)
+        fields;
+      Buffer.add_char buf '\n';
+      indent n;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- parser --------------------------------------------------------- *)
+
+exception Parse_error of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> advance (); Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance (); Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance (); Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          pos := !pos + 4;
+          (* reports are ASCII; decode BMP code points naively *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        Arr (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some c -> if c = '-' || (c >= '0' && c <= '9') then parse_number () else fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    else Ok v
+  with
+  | Parse_error (at, msg) -> Error (Printf.sprintf "parse error at offset %d: %s" at msg)
+  | Failure msg -> Error msg
+
+(* --- report shape --------------------------------------------------- *)
+
+type micro = { bench_name : string; ns_per_run : float }
+
+type experiment = {
+  protocol : string;
+  workload : string;
+  throughput : float;
+  abort_rate : float;
+}
+
+let schema_version = 1
+
+let make ~micro ~experiments ~wall_clock_s =
+  Obj
+    [
+      ("schema_version", Num (float_of_int schema_version));
+      ("wall_clock_s", Num wall_clock_s);
+      ( "micro",
+        Arr
+          (List.map
+             (fun m ->
+               Obj
+                 [ ("name", Str m.bench_name); ("ns_per_run", Num m.ns_per_run) ])
+             micro) );
+      ( "experiments",
+        Arr
+          (List.map
+             (fun e ->
+               Obj
+                 [
+                   ("protocol", Str e.protocol);
+                   ("workload", Str e.workload);
+                   ("throughput", Num e.throughput);
+                   ("abort_rate", Num e.abort_rate);
+                 ])
+             experiments) );
+    ]
+
+let field name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let get_num name obj =
+  match field name obj with
+  | Some (Num f) when Float.is_finite f -> Ok f
+  | Some (Num _) -> Error (Printf.sprintf "%S is not finite" name)
+  | Some _ -> Error (Printf.sprintf "%S is not a number" name)
+  | None -> Error (Printf.sprintf "missing key %S" name)
+
+let get_str name obj =
+  match field name obj with
+  | Some (Str s) when s <> "" -> Ok s
+  | Some (Str _) -> Error (Printf.sprintf "%S is empty" name)
+  | Some _ -> Error (Printf.sprintf "%S is not a string" name)
+  | None -> Error (Printf.sprintf "missing key %S" name)
+
+let get_arr name obj =
+  match field name obj with
+  | Some (Arr items) -> Ok items
+  | Some _ -> Error (Printf.sprintf "%S is not an array" name)
+  | None -> Error (Printf.sprintf "missing key %S" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let rec all_ok f = function
+  | [] -> Ok ()
+  | x :: rest ->
+    let* () = f x in
+    all_ok f rest
+
+let check_unique what names =
+  let sorted = List.sort String.compare names in
+  let rec dup = function
+    | a :: b :: _ when String.equal a b -> Some a
+    | _ :: rest -> dup rest
+    | [] -> None
+  in
+  match dup sorted with
+  | Some name -> Error (Printf.sprintf "duplicate %s %S" what name)
+  | None -> Ok ()
+
+let validate report =
+  let* version = get_num "schema_version" report in
+  if int_of_float version <> schema_version then
+    Error
+      (Printf.sprintf "schema_version %d expected, got %g" schema_version
+         version)
+  else
+    let* _wall = get_num "wall_clock_s" report in
+    let* micro = get_arr "micro" report in
+    let* () =
+      all_ok
+        (fun row ->
+          let* _name = get_str "name" row in
+          let* _ns = get_num "ns_per_run" row in
+          Ok ())
+        micro
+    in
+    let* experiments = get_arr "experiments" report in
+    let* () =
+      all_ok
+        (fun row ->
+          let* _p = get_str "protocol" row in
+          let* _w = get_str "workload" row in
+          let* _t = get_num "throughput" row in
+          let* _a = get_num "abort_rate" row in
+          Ok ())
+        experiments
+    in
+    let micro_names =
+      List.filter_map (fun row -> Result.to_option (get_str "name" row)) micro
+    in
+    let* () = check_unique "micro benchmark" micro_names in
+    let exp_names =
+      List.filter_map
+        (fun row ->
+          match (get_str "protocol" row, get_str "workload" row) with
+          | Ok p, Ok w -> Some (p ^ "/" ^ w)
+          | _ -> None)
+        experiments
+    in
+    check_unique "experiment cell" exp_names
+
+(* --- diffing -------------------------------------------------------- *)
+
+type verdict = Improved | Unchanged | Regressed
+
+type delta = {
+  metric : string;
+  baseline : float;
+  current : float;
+  ratio : float;
+  verdict : verdict;
+}
+
+(* Micro estimates wobble run to run even on a quiet machine; only call
+   a regression when the drift clearly exceeds bechamel's noise floor. *)
+let micro_regress_ratio = 1.30
+let micro_improve_ratio = 0.80
+let tput_regress_ratio = 0.85
+let tput_improve_ratio = 1.15
+
+let metric_rows which name_of report =
+  match get_arr which report with
+  | Error _ -> []
+  | Ok rows ->
+    List.filter_map
+      (fun row ->
+        match name_of row with
+        | Ok name -> Some (name, row)
+        | Error _ -> None)
+      rows
+
+let diff ~baseline ~current =
+  let* () = validate baseline in
+  let* () = validate current in
+  let collect which name_of value_of ~regressed_when_ratio_above
+      ~improved_when_ratio_below =
+    let base = metric_rows which name_of baseline in
+    let cur = metric_rows which name_of current in
+    List.filter_map
+      (fun (name, brow) ->
+        match List.assoc_opt name cur with
+        | None -> None
+        | Some crow -> (
+          match (value_of brow, value_of crow) with
+          | Ok b, Ok c when b > 0. ->
+            let ratio = c /. b in
+            let verdict =
+              if ratio > regressed_when_ratio_above then Regressed
+              else if ratio < improved_when_ratio_below then Improved
+              else Unchanged
+            in
+            Some
+              { metric = which ^ "/" ^ name; baseline = b; current = c; ratio; verdict }
+          | _ -> None))
+      base
+  in
+  let micro =
+    collect "micro"
+      (fun row -> get_str "name" row)
+      (fun row -> get_num "ns_per_run" row)
+      ~regressed_when_ratio_above:micro_regress_ratio
+      ~improved_when_ratio_below:micro_improve_ratio
+  in
+  let exps =
+    collect "experiments"
+      (fun row ->
+        let* p = get_str "protocol" row in
+        let* w = get_str "workload" row in
+        Ok (p ^ "/" ^ w))
+      (fun row -> get_num "throughput" row)
+      (* throughput: lower is worse, so the verdict bands flip *)
+      ~regressed_when_ratio_above:Float.infinity
+      ~improved_when_ratio_below:Float.neg_infinity
+    |> List.map (fun d ->
+           let verdict =
+             if d.ratio < tput_regress_ratio then Regressed
+             else if d.ratio > tput_improve_ratio then Improved
+             else Unchanged
+           in
+           { d with verdict })
+  in
+  Ok (micro @ exps)
+
+let verdict_tag = function
+  | Improved -> "IMPROVED"
+  | Unchanged -> "ok"
+  | Regressed -> "REGRESSED"
+
+let render_diff deltas =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %-40s %12.1f -> %12.1f  (%.2fx)\n"
+           (verdict_tag d.verdict) d.metric d.baseline d.current d.ratio))
+    deltas;
+  let regressed =
+    List.length (List.filter (fun d -> d.verdict = Regressed) deltas)
+  in
+  Buffer.add_string buf
+    (if regressed = 0 then "no regressions vs baseline\n"
+     else Printf.sprintf "%d metric(s) REGRESSED vs baseline\n" regressed);
+  Buffer.contents buf
+
+(* --- file helpers --------------------------------------------------- *)
+
+let write_file path report =
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_string report));
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let read_file path =
+  try
+    let ic = open_in path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse text
+  with Sys_error msg -> Error msg

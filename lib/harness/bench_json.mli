@@ -1,0 +1,78 @@
+(** Machine-readable benchmark reports (BENCH.json).
+
+    The bench driver emits one report per run: bechamel micro-benchmark
+    estimates (ns/run) plus quick-experiment throughput/abort-rate cells
+    per protocol.  A committed baseline lets CI (and humans) diff two
+    runs and flag hot-path regressions without eyeballing bechamel
+    tables.
+
+    The module is dependency-free on purpose: it carries its own tiny
+    JSON value type, printer and parser rather than pulling a JSON
+    library into the image. *)
+
+(** {1 JSON values} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Pretty-printed with two-space indentation and a trailing newline —
+    stable output suitable for committing as a baseline. *)
+
+val parse : string -> (json, string) result
+(** Parse the JSON subset this module emits (numbers, strings, bools,
+    null, arrays, objects).  Errors carry a character offset. *)
+
+(** {1 Report shape} *)
+
+type micro = { bench_name : string; ns_per_run : float }
+
+type experiment = {
+  protocol : string;
+  workload : string;
+  throughput : float;  (** committed tx/s, cluster-wide *)
+  abort_rate : float;
+}
+
+val schema_version : int
+
+val make :
+  micro:micro list -> experiments:experiment list -> wall_clock_s:float -> json
+(** Assemble a report. [wall_clock_s] is the total bench wall-clock,
+    recorded so baseline diffs can report harness-level drift too. *)
+
+val validate : json -> (unit, string) result
+(** Structural check: schema version matches, required keys present,
+    every number finite, names unique and non-empty. *)
+
+(** {1 Baseline diffing} *)
+
+type verdict = Improved | Unchanged | Regressed
+
+type delta = {
+  metric : string;  (** e.g. "micro/chain-200-inserts" *)
+  baseline : float;
+  current : float;
+  ratio : float;  (** current / baseline *)
+  verdict : verdict;
+}
+
+val diff : baseline:json -> current:json -> (delta list, string) result
+(** Compare two valid reports metric by metric.  Micro benchmarks
+    regress when ns/run grows by more than 30%; experiment throughput
+    regresses when it drops by more than 15% (abort rates are reported
+    but informational — they are workload properties, not performance).
+    Metrics present on only one side are skipped. *)
+
+val render_diff : delta list -> string
+(** Human-readable multi-line summary of {!diff} output. *)
+
+(** {1 File helpers} *)
+
+val write_file : string -> json -> (unit, string) result
+val read_file : string -> (json, string) result

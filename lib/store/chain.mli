@@ -2,43 +2,68 @@
 
     The chain accepts speculative "stacks": uncommitted versions sit
     above the committed history; state transitions only increase a
-    version's timestamp and {!reposition} restores ordering. *)
+    version's timestamp and {!reposition} restores ordering.
+
+    Backed by a growable array sorted by timestamp: appending the
+    newest version (the protocol's common case) is O(1) amortized, the
+    snapshot lookups are binary searches, and {!length}/{!newest}/
+    {!exists_newer_than} are O(1).  The newest-committed version is
+    tracked by a lazily maintained cached index. *)
 
 type t
 
 val create : unit -> t
 val is_empty : t -> bool
+
+(** O(1). *)
 val length : t -> int
 
-(** Versions, newest timestamp first. *)
+(** Versions, newest timestamp first (allocates a fresh list;
+    introspection and test support). *)
 val versions : t -> Version.t list
 
+(** Fold over the versions newest-first without allocating. *)
+val fold_newest : ('a -> Version.t -> 'a) -> 'a -> t -> 'a
+
 (** Insert keeping descending-timestamp order; among equal timestamps
-    the newly inserted version is considered newer. *)
+    the newly inserted version is considered newer.  O(1) amortized
+    when the version is the newest of the chain. *)
 val insert : t -> Version.t -> unit
 
 val newest : t -> Version.t option
 val newest_committed : t -> Version.t option
 
 (** Latest version with [ts <= rs], any state — what a reader with read
-    snapshot [rs] lands on (Alg. 2 [latest_before]). *)
+    snapshot [rs] lands on (Alg. 2 [latest_before]).  Binary search. *)
 val latest_before : t -> rs:int -> Version.t option
 
+(** Latest committed version with [ts <= rs].  Binary search plus a
+    walk over the speculative stack. *)
 val latest_committed_before : t -> rs:int -> Version.t option
+
 val find_writer : t -> Txid.t -> Version.t option
-val remove_writer : t -> Txid.t -> unit
+
+(** Remove the writer's version, returning it so callers can keep
+    storage accounting incremental. *)
+val remove_writer : t -> Txid.t -> Version.t option
 
 (** Re-sort one version after its timestamp was bumped by a state
-    transition. *)
+    transition.  Any external mutation of a version's [ts] or [state]
+    must be followed by a [reposition] of that version. *)
 val reposition : t -> Version.t -> unit
 
+(** Uncommitted versions, newest first. *)
 val uncommitted : t -> Version.t list
+
+(** Any version with [ts > after] (write-write certification).  O(1). *)
 val exists_newer_than : t -> after:int -> bool
 
 (** Drop committed versions older than [horizon], always retaining the
-    newest committed one and every uncommitted version; returns how many
-    were dropped. *)
-val prune : t -> horizon:int -> int
+    newest committed one and every uncommitted version; single pass,
+    returns how many were dropped.  [on_drop] fires once per dropped
+    version (storage accounting). *)
+val prune : ?on_drop:(Version.t -> unit) -> t -> horizon:int -> int
 
-(** Validate the ordering invariant (property-test support). *)
+(** Validate the ordering invariants — descending timestamps and the
+    committed-suffix property (property-test support). *)
 val check_invariants : t -> (unit, string) result

@@ -4,7 +4,12 @@
     timestamps — the read snapshot of the most recent reader — which is
     the metadata that powers the Precise Clocks timestamping rule
     (§5.3 of the paper).  [LastReader] is tracked at every replica that
-    serves reads (masters and slaves alike). *)
+    serves reads (masters and slaves alike).
+
+    Storage accounting is incremental: key and version byte counts are
+    maintained on every insert/remove/prune, so {!storage_bytes} (and
+    hence the metrics sampler) is O(1) instead of walking every version
+    of every chain. *)
 
 module Key = Keyspace.Key
 
@@ -14,11 +19,28 @@ module KeyTbl = Hashtbl.Make (struct
   let hash = Key.hash
 end)
 
+(* Byte-cost model of the §6.1 storage accounting: container overhead
+   per key and per stored version, plus the payload sizes. *)
+let key_overhead_bytes = 24
+let version_overhead_bytes = 16
+let last_reader_slot_bytes = 24 (* 8-byte timestamp + hash-bucket overhead *)
+
+let version_bytes (v : Version.t) =
+  version_overhead_bytes + Keyspace.Value.size_bytes v.value
+
 type t = {
   chains : Chain.t KeyTbl.t;
   last_reader : int KeyTbl.t;
   mutable reads_served : int;
   mutable versions_pruned : int;
+  (* --- incremental accounting --- *)
+  mutable version_count : int;
+  mutable data_bytes : int;  (** keys + stored versions, kept in sync *)
+  (* --- fingerprint support --- *)
+  mutable sorted_keys : Key.t array;
+      (** every key owning a chain, sorted; invalidated on new-key
+          insert (keys are never removed) *)
+  mutable sorted_keys_valid : bool;
 }
 
 let create () =
@@ -27,6 +49,10 @@ let create () =
     last_reader = KeyTbl.create 4096;
     reads_served = 0;
     versions_pruned = 0;
+    version_count = 0;
+    data_bytes = 0;
+    sorted_keys = [||];
+    sorted_keys_valid = false;
   }
 
 let chain t key =
@@ -35,17 +61,30 @@ let chain t key =
   | None ->
     let c = Chain.create () in
     KeyTbl.add t.chains key c;
+    t.data_bytes <- t.data_bytes + key_overhead_bytes + String.length (Key.name key);
+    t.sorted_keys_valid <- false;
     c
 
 let chain_opt t key = KeyTbl.find_opt t.chains key
 
 let key_count t = KeyTbl.length t.chains
 
+let version_count t = t.version_count
+
+let account_insert t (v : Version.t) =
+  t.version_count <- t.version_count + 1;
+  t.data_bytes <- t.data_bytes + version_bytes v
+
+let account_remove t (v : Version.t) =
+  t.version_count <- t.version_count - 1;
+  t.data_bytes <- t.data_bytes - version_bytes v
+
 (** Initial load, bypassing the protocol: installs a committed version
     at timestamp [ts] (default 0). *)
 let load t ?(ts = 0) ~writer key value =
-  Chain.insert (chain t key)
-    (Version.make ~writer ~state:Version.Committed ~ts ~value)
+  let v = Version.make ~writer ~state:Version.Committed ~ts ~value in
+  Chain.insert (chain t key) v;
+  account_insert t v
 
 let last_reader t key =
   match KeyTbl.find_opt t.last_reader key with Some ts -> ts | None -> 0
@@ -68,13 +107,20 @@ let latest_committed_before t key ~rs =
 let newest_committed t key =
   match chain_opt t key with None -> None | Some c -> Chain.newest_committed c
 
-let insert_version t key v = Chain.insert (chain t key) v
+let insert_version t key v =
+  Chain.insert (chain t key) v;
+  account_insert t v
 
 let find_version t key txid =
   match chain_opt t key with None -> None | Some c -> Chain.find_writer c txid
 
 let remove_version t key txid =
-  match chain_opt t key with None -> () | Some c -> Chain.remove_writer c txid
+  match chain_opt t key with
+  | None -> ()
+  | Some c ->
+    (match Chain.remove_writer c txid with
+     | None -> ()
+     | Some v -> account_remove t v)
 
 let reposition t key v =
   match chain_opt t key with None -> () | Some c -> Chain.reposition c v
@@ -85,8 +131,9 @@ let uncommitted t key =
 
 let prune t ~horizon =
   let dropped = ref 0 in
+  let on_drop v = account_remove t v in
   (* lint: allow hashtbl-order — summing a count is order-insensitive *)
-  KeyTbl.iter (fun _ c -> dropped := !dropped + Chain.prune c ~horizon) t.chains;
+  KeyTbl.iter (fun _ c -> dropped := !dropped + Chain.prune ~on_drop c ~horizon) t.chains;
   t.versions_pruned <- t.versions_pruned + !dropped;
   !dropped
 
@@ -96,22 +143,39 @@ let reads_served t = t.reads_served
     [data_bytes] approximates the size of keys plus stored versions;
     [last_reader_bytes] is the extra metadata Precise Clocks maintains —
     a timestamp slot (plus container overhead) for every key of the
-    replica, since in steady state every live key has been read. *)
+    replica, since in steady state every live key has been read.  O(1):
+    both sides are maintained incrementally. *)
 let storage_bytes t =
-  let data = ref 0 in
+  let last_reader_bytes =
+    last_reader_slot_bytes * max (KeyTbl.length t.chains) (KeyTbl.length t.last_reader)
+  in
+  (t.data_bytes, last_reader_bytes)
+
+(** Recompute the storage accounting by walking every chain and compare
+    it against the incremental counters (test support: the differential
+    oracle for the O(1) fast path). *)
+let check_accounting t =
+  let data = ref 0 and versions = ref 0 in
   (* lint: allow hashtbl-order — summing byte counts is order-insensitive *)
   KeyTbl.iter
     (fun key c ->
-      data := !data + 24 + String.length (Key.name key);
-      List.iter
-        (fun (v : Version.t) -> data := !data + 16 + Keyspace.Value.size_bytes v.value)
-        (Chain.versions c))
+      data := !data + key_overhead_bytes + String.length (Key.name key);
+      data :=
+        Chain.fold_newest
+          (fun acc v ->
+            incr versions;
+            acc + version_bytes v)
+          !data c)
     t.chains;
-  let slot_bytes = 24 (* 8-byte timestamp + hash-bucket overhead *) in
-  let last_reader_bytes =
-    slot_bytes * max (KeyTbl.length t.chains) (KeyTbl.length t.last_reader)
-  in
-  (!data, last_reader_bytes)
+  if !data <> t.data_bytes then
+    Error
+      (Printf.sprintf "data_bytes drifted: counter %d, recomputed %d" t.data_bytes
+         !data)
+  else if !versions <> t.version_count then
+    Error
+      (Printf.sprintf "version_count drifted: counter %d, recomputed %d"
+         t.version_count !versions)
+  else Ok ()
 
 (** Run the chain invariant checker over every key. *)
 let check_invariants t =
@@ -141,21 +205,29 @@ let mix_string h s =
   String.iter (fun c -> h := mix !h (Char.code c)) s;
   !h
 
+let sorted_keys t =
+  if not t.sorted_keys_valid then begin
+    let ks =
+      (* lint: allow hashtbl-order — keys are sorted before use *)
+      KeyTbl.fold (fun k _ acc -> k :: acc) t.chains []
+      |> List.sort Key.compare
+    in
+    t.sorted_keys <- Array.of_list ks;
+    t.sorted_keys_valid <- true
+  end;
+  t.sorted_keys
+
 (** Order-independent structural hash of the full replica state —
     version chains (writer, state, timestamp per version) and the
-    [LastReader] table.  Every hash-table iteration is folded through a
-    sorted key list so the result is a pure function of the state. *)
+    [LastReader] table.  The sorted key list is cached (keys are only
+    ever added), so repeated fingerprints avoid the sort; versions are
+    mixed newest-first via the allocation-free chain fold. *)
 let fingerprint t =
-  let keys =
-    (* lint: allow hashtbl-order — keys are sorted before hashing *)
-    KeyTbl.fold (fun k _ acc -> k :: acc) t.chains []
-    |> List.sort Key.compare
-  in
-  List.fold_left
+  Array.fold_left
     (fun h key ->
       let h = mix_string (mix h (Key.partition key)) (Key.name key) in
       let h = mix h (last_reader t key) in
-      List.fold_left
+      Chain.fold_newest
         (fun h (v : Version.t) ->
           let h = mix h (Txid.origin v.writer) in
           let h = mix h (Txid.number v.writer) in
@@ -167,6 +239,5 @@ let fingerprint t =
                | Version.Committed -> 3)
           in
           mix h v.ts)
-        h
-        (Chain.versions (chain t key)))
-    0x811c9dc5 keys
+        h (chain t key))
+    0x811c9dc5 (sorted_keys t)

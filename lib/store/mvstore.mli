@@ -16,6 +16,9 @@ val chain : t -> Key.t -> Chain.t
 val chain_opt : t -> Key.t -> Chain.t option
 val key_count : t -> int
 
+(** Total stored versions across every chain.  O(1) (incremental). *)
+val version_count : t -> int
+
 (** Initial load, bypassing the protocol: installs a committed version
     at timestamp [ts] (default 0). *)
 val load : t -> ?ts:int -> writer:Txid.t -> Key.t -> Keyspace.Value.t -> unit
@@ -45,8 +48,13 @@ val prune : t -> horizon:int -> int
 val reads_served : t -> int
 
 (** [(data_bytes, last_reader_metadata_bytes)] — the §6.1 Precise Clocks
-    storage-overhead accounting. *)
+    storage-overhead accounting.  O(1): maintained incrementally on
+    every insert/remove/prune. *)
 val storage_bytes : t -> int * int
+
+(** Recompute the storage counters by walking every chain and compare
+    against the incremental ones (differential oracle, test support). *)
+val check_accounting : t -> (unit, string) result
 
 val check_invariants : t -> (unit, string) result
 

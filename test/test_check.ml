@@ -324,6 +324,24 @@ let test_mc_replay_deterministic () =
     (Core.Engine.fingerprint w1.Check.Scenario.eng)
     (Core.Engine.fingerprint w2.Check.Scenario.eng)
 
+(* Golden values recorded from the seed (list-backed chain, recomputing
+   storage accounting) implementation.  The array-chain / incremental
+   accounting rewrite must reproduce them bit for bit: the model
+   checker's visited-state dedup and schedule replay both key on the
+   engine fingerprint, so any drift would silently invalidate every
+   cached exploration result. *)
+let test_engine_fingerprint_stable () =
+  let s = Check.Scenario.make ~dcs:2 ~keys:2 ~txs:3 () in
+  let w = Check.Scenario.run s in
+  Alcotest.(check int) "dcs=2 keys=2 txs=3 unchanged from seed"
+    (-1100911168134096797)
+    (Core.Engine.fingerprint w.Check.Scenario.eng);
+  let s' = Check.Scenario.make ~rf:1 ~dcs:3 ~keys:2 ~txs:4 () in
+  let w' = Check.Scenario.run s' in
+  Alcotest.(check int) "rf=1 dcs=3 keys=2 txs=4 unchanged from seed"
+    (-165138366610592553)
+    (Core.Engine.fingerprint w'.Check.Scenario.eng)
+
 let () =
   Alcotest.run "check"
     [
@@ -341,6 +359,8 @@ let () =
         [
           Alcotest.test_case "checker output deterministic" `Quick
             test_checker_deterministic;
+          Alcotest.test_case "engine fingerprint golden" `Quick
+            test_engine_fingerprint_stable;
           Alcotest.test_case "deadlock" `Quick test_oracle_deadlock;
           Alcotest.test_case "lost local commit" `Quick test_oracle_lost_lc;
           Alcotest.test_case "monotonic rs" `Quick test_oracle_monotonic_rs;

@@ -178,6 +178,125 @@ let test_client_retries_counted () =
   ignore (Dsim.Sim.run ~until:2_500_000 sim);
   Alcotest.(check bool) "retries happened" true (shared.Harness.Client.retries > 0)
 
+(* --- BENCH.json reports -------------------------------------------- *)
+
+module BJ = Harness.Bench_json
+
+let sample_report ?(chain_ns = 1000.) ?(tput = 120.) () =
+  BJ.make
+    ~micro:
+      [
+        { BJ.bench_name = "chain-200-inserts"; ns_per_run = chain_ns };
+        { BJ.bench_name = "event-queue-1k"; ns_per_run = 150_000. };
+      ]
+    ~experiments:
+      [
+        {
+          BJ.protocol = "str";
+          workload = "synth-a";
+          throughput = tput;
+          abort_rate = 0.14;
+        };
+      ]
+    ~wall_clock_s:12.5
+
+let test_bench_json_roundtrip () =
+  let report = sample_report () in
+  (match BJ.validate report with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  let text = BJ.to_string report in
+  match BJ.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok reparsed ->
+    Alcotest.(check string) "print/parse/print fixpoint" text
+      (BJ.to_string reparsed);
+    (match BJ.validate reparsed with
+     | Ok () -> ()
+     | Error e -> Alcotest.fail e)
+
+let test_bench_json_rejects_malformed () =
+  let reject what v =
+    match BJ.validate v with
+    | Ok () -> Alcotest.fail (what ^ ": accepted")
+    | Error _ -> ()
+  in
+  reject "not an object" (BJ.Arr []);
+  reject "wrong schema version"
+    (BJ.Obj [ ("schema_version", BJ.Num 99.); ("wall_clock_s", BJ.Num 1.) ]);
+  reject "non-finite number"
+    (BJ.Obj
+       [
+         ("schema_version", BJ.Num 1.);
+         ("wall_clock_s", BJ.Num Float.nan);
+         ("micro", BJ.Arr []);
+         ("experiments", BJ.Arr []);
+       ]);
+  reject "duplicate micro name"
+    (BJ.make
+       ~micro:
+         [
+           { BJ.bench_name = "dup"; ns_per_run = 1. };
+           { BJ.bench_name = "dup"; ns_per_run = 2. };
+         ]
+       ~experiments:[] ~wall_clock_s:0.1);
+  match BJ.parse "{ not json" with
+  | Ok _ -> Alcotest.fail "parser accepted garbage"
+  | Error _ -> ()
+
+let test_bench_json_diff_verdicts () =
+  let baseline = sample_report () in
+  (* 2x slower micro + 40% throughput drop: both must be flagged. *)
+  let worse = sample_report ~chain_ns:2000. ~tput:72. () in
+  (match BJ.diff ~baseline ~current:worse with
+   | Error e -> Alcotest.fail e
+   | Ok deltas ->
+     let verdict_of metric =
+       match List.find_opt (fun (d : BJ.delta) -> d.metric = metric) deltas with
+       | Some d -> d.verdict
+       | None -> Alcotest.fail ("missing delta for " ^ metric)
+     in
+     Alcotest.(check bool) "slower micro flagged" true
+       (verdict_of "micro/chain-200-inserts" = BJ.Regressed);
+     Alcotest.(check bool) "unchanged micro ok" true
+       (verdict_of "micro/event-queue-1k" = BJ.Unchanged);
+     Alcotest.(check bool) "throughput drop flagged" true
+       (verdict_of "experiments/str/synth-a" = BJ.Regressed);
+     Alcotest.(check bool) "summary mentions regression" true
+       (String.length (BJ.render_diff deltas) > 0));
+  (* Identical reports: nothing regresses. *)
+  match BJ.diff ~baseline ~current:baseline with
+  | Error e -> Alcotest.fail e
+  | Ok deltas ->
+    Alcotest.(check bool) "self-diff clean" true
+      (List.for_all (fun (d : BJ.delta) -> d.verdict = BJ.Unchanged) deltas)
+
+(* End-to-end smoke test of the report the bench driver emits: a real
+   (tiny) experiment cell flows into a report that validates and
+   round-trips — the same schema `bench/main.exe json` writes. *)
+let test_bench_json_from_runner () =
+  let r = Harness.Runner.run (small_setup (Core.Config.str ())) in
+  let report =
+    BJ.make
+      ~micro:[ { BJ.bench_name = "chain-200-inserts"; ns_per_run = 1234.5 } ]
+      ~experiments:
+        [
+          {
+            BJ.protocol = "str";
+            workload = "synth-a";
+            throughput = r.Harness.Runner.throughput;
+            abort_rate = r.Harness.Runner.abort_rate;
+          };
+        ]
+      ~wall_clock_s:r.Harness.Runner.duration_s
+  in
+  (match BJ.validate report with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  match BJ.parse (BJ.to_string report) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
 let () =
   Alcotest.run "harness"
     [
@@ -203,4 +322,11 @@ let () =
           Alcotest.test_case "sum" `Quick test_stats_sum;
         ] );
       ("client", [ Alcotest.test_case "retries counted" `Quick test_client_retries_counted ]);
+      ( "bench-json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bench_json_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_bench_json_rejects_malformed;
+          Alcotest.test_case "diff verdicts" `Quick test_bench_json_diff_verdicts;
+          Alcotest.test_case "runner smoke" `Quick test_bench_json_from_runner;
+        ] );
     ]
