@@ -1,4 +1,4 @@
-.PHONY: all build test check mc lint bench bench-quick
+.PHONY: all build test check mc lint bench bench-quick tables tables-quick
 
 all: build
 
@@ -18,13 +18,37 @@ mc:
 
 check: test mc
 
+# Worker domains for the sweep grid (empty = STR_JOBS or the
+# recommended domain count).  Table output is byte-identical whatever
+# the value; only wall-clock changes.
+JOBS ?=
+JOBS_FLAG = $(if $(JOBS),-j $(JOBS),)
+
+# Regenerate every paper table/figure (Quick scale: CI-friendly).
+tables-quick:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe tables $(JOBS_FLAG)
+
+# Same at Full scale (matches the experiment index in DESIGN.md).
+tables:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe tables --full $(JOBS_FLAG)
+
+# Per-PR bench trajectory slot: bench/BENCH_<n>.json, n = highest
+# committed slot + 1 (override with BENCH_ID=<n>).
+BENCH_ID ?= $(shell ls bench/BENCH_[0-9]*.json 2>/dev/null \
+	| sed 's/.*BENCH_\([0-9]*\)\.json/\1/' | sort -n | tail -1 \
+	| awk '{ print $$1 + 1 }' ; true)
+
 # Full benchmark pass: regenerate the paper tables, run the bechamel
-# suite, then write BENCH.json and diff it against the committed
-# baseline (bench/BENCH.baseline.json).
+# suite, write BENCH.json + the bench/BENCH_$(BENCH_ID).json trajectory
+# snapshot, and diff against the committed baseline
+# (bench/BENCH.baseline.json) — the diff prints the regression verdict.
 bench:
 	dune build bench/main.exe
-	./_build/default/bench/main.exe
+	./_build/default/bench/main.exe $(JOBS_FLAG)
 	./_build/default/bench/main.exe json
+	./_build/default/bench/main.exe json bench/BENCH_$(if $(BENCH_ID),$(BENCH_ID),0).json
 
 # Machine-readable report + baseline diff only (fast; what CI runs).
 bench-quick:

@@ -8,9 +8,14 @@
 
      dune exec bench/main.exe            # quick regeneration + bechamel
      dune exec bench/main.exe -- --full  # full-size sweeps (slower)
+     dune exec bench/main.exe -- -j 4    # sweep cells on 4 worker domains
      dune exec bench/main.exe -- micro   # bechamel suite only
      dune exec bench/main.exe -- tables  # experiment tables only
-     dune exec bench/main.exe -- json    # write BENCH.json + diff baseline *)
+     dune exec bench/main.exe -- json [OUT]  # write OUT (default BENCH.json)
+                                             # + diff baseline
+
+   -j (or STR_JOBS) fans the independent experiment cells across a
+   domain pool; table output is byte-identical whatever the value. *)
 
 open Bechamel
 open Toolkit
@@ -19,15 +24,16 @@ open Toolkit
 (* Experiment regeneration                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_tables scale =
+let run_tables ~jobs scale =
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun report ->
       Harness.Report.print report;
       print_newline ())
-    (Harness.Experiments.all ~scale);
-  Printf.printf "(regenerated all paper artifacts in %.1fs)\n\n%!"
-    (Unix.gettimeofday () -. t0)
+    (Harness.Experiments.all ~jobs ~scale ());
+  (* stderr, so stdout stays byte-identical at any worker count *)
+  Printf.eprintf "(regenerated all paper artifacts in %.1fs at jobs=%d)\n%!"
+    (Unix.gettimeofday () -. t0) jobs
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel suite                                                       *)
@@ -208,7 +214,7 @@ let strip_group name =
   | Some i -> String.sub name (i + 1) (String.length name - i - 1)
   | None -> name
 
-let run_json () =
+let run_json ?(out = "BENCH.json") () =
   let t0 = Unix.gettimeofday () in
   let micro =
     List.filter_map
@@ -243,11 +249,11 @@ let run_json () =
    | Error e ->
      Printf.eprintf "internal error: generated report invalid: %s\n" e;
      exit 1);
-  (match BJ.write_file "BENCH.json" report with
-   | Ok () -> Printf.printf "wrote BENCH.json (%d micro, %d experiment cells)\n"
+  (match BJ.write_file out report with
+   | Ok () -> Printf.printf "wrote %s (%d micro, %d experiment cells)\n" out
                 (List.length micro) (List.length experiments)
    | Error e ->
-     Printf.eprintf "cannot write BENCH.json: %s\n" e;
+     Printf.eprintf "cannot write %s: %s\n" out e;
      exit 1);
   match List.find_opt Sys.file_exists baseline_paths with
   | None ->
@@ -265,16 +271,30 @@ let run_json () =
       | Ok deltas ->
         Printf.printf "== diff vs %s ==\n%s" path (BJ.render_diff deltas)))
 
+(* Pull [-j N] (worker domains for the sweep grid) out of the argument
+   list; absent, fall back to STR_JOBS / the recommended domain count. *)
+let rec extract_jobs acc = function
+  | "-j" :: n :: rest -> (
+    match int_of_string_opt n with
+    | Some j when j > 0 -> (j, List.rev_append acc rest)
+    | Some _ | None ->
+      Printf.eprintf "-j expects a positive integer, got %s\n" n;
+      exit 2)
+  | arg :: rest -> extract_jobs (arg :: acc) rest
+  | [] -> (Harness.Pool.default_jobs (), List.rev acc)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let scale = if full then Harness.Experiments.Full else Harness.Experiments.Quick in
-  match List.filter (fun a -> a <> "--full") args with
+  let jobs, args = extract_jobs [] (List.filter (fun a -> a <> "--full") args) in
+  match args with
   | [ "micro" ] -> run_bechamel ()
-  | [ "tables" ] -> run_tables scale
+  | [ "tables" ] -> run_tables ~jobs scale
   | [ "json" ] -> run_json ()
+  | [ "json"; out ] -> run_json ~out ()
   | [] ->
-    run_tables scale;
+    run_tables ~jobs scale;
     run_bechamel ()
   | other ->
     Printf.eprintf "unknown arguments: %s\n" (String.concat " " other);

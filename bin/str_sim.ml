@@ -18,10 +18,26 @@ let scale_of_full full = if full then Harness.Experiments.Full else Harness.Expe
 let full_arg =
   Arg.(value & flag & info [ "full" ] ~doc:"Run the full-size sweep (slower).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains executing the sweep grid in parallel.  Defaults to \
+           $(b,STR_JOBS) when set, else the recommended domain count.  Output \
+           is byte-identical whatever the value.")
+
+let resolve_jobs = function Some n -> max 1 n | None -> Harness.Pool.default_jobs ()
+
 let print_reports rs = List.iter (fun r -> Harness.Report.print r; print_newline ()) rs
 
 let experiment_cmd name doc f =
-  let term = Term.(const (fun full -> print_reports (f (scale_of_full full))) $ full_arg) in
+  let term =
+    Term.(
+      const (fun full jobs -> print_reports (f ~jobs:(resolve_jobs jobs) (scale_of_full full)))
+      $ full_arg $ jobs_arg)
+  in
   Cmd.v (Cmd.info name ~doc) term
 
 let run_custom protocol workload clients seconds seed =
@@ -100,18 +116,20 @@ let () =
   let open Harness.Experiments in
   let cmds =
     [
-      experiment_cmd "fig3a" "Figure 3(a): Synth-A" (fun s -> [ fig3 ~scale:s `A ]);
-      experiment_cmd "fig3b" "Figure 3(b): Synth-B" (fun s -> [ fig3 ~scale:s `B ]);
-      experiment_cmd "fig4" "Figure 4: self-tuning" (fun s -> [ fig4 ~scale:s ]);
-      experiment_cmd "table1" "Table 1: Precise Clocks ablation" (fun s -> [ table1 ~scale:s ]);
-      experiment_cmd "fig5a" "Figure 5: TPC-C mix A" (fun s -> [ fig5 ~scale:s `A ]);
-      experiment_cmd "fig5b" "Figure 5: TPC-C mix B" (fun s -> [ fig5 ~scale:s `B ]);
-      experiment_cmd "fig5c" "Figure 5: TPC-C mix C" (fun s -> [ fig5 ~scale:s `C ]);
-      experiment_cmd "fig6" "Figure 6: RUBiS" (fun s -> [ fig6 ~scale:s ]);
-      experiment_cmd "storage" "Precise Clocks storage overhead" (fun s -> [ storage ~scale:s ]);
+      experiment_cmd "fig3a" "Figure 3(a): Synth-A" (fun ~jobs s -> [ fig3 ~jobs ~scale:s `A ]);
+      experiment_cmd "fig3b" "Figure 3(b): Synth-B" (fun ~jobs s -> [ fig3 ~jobs ~scale:s `B ]);
+      experiment_cmd "fig4" "Figure 4: self-tuning" (fun ~jobs s -> [ fig4 ~jobs ~scale:s () ]);
+      experiment_cmd "table1" "Table 1: Precise Clocks ablation"
+        (fun ~jobs s -> [ table1 ~jobs ~scale:s () ]);
+      experiment_cmd "fig5a" "Figure 5: TPC-C mix A" (fun ~jobs s -> [ fig5 ~jobs ~scale:s `A ]);
+      experiment_cmd "fig5b" "Figure 5: TPC-C mix B" (fun ~jobs s -> [ fig5 ~jobs ~scale:s `B ]);
+      experiment_cmd "fig5c" "Figure 5: TPC-C mix C" (fun ~jobs s -> [ fig5 ~jobs ~scale:s `C ]);
+      experiment_cmd "fig6" "Figure 6: RUBiS" (fun ~jobs s -> [ fig6 ~jobs ~scale:s () ]);
+      experiment_cmd "storage" "Precise Clocks storage overhead"
+        (fun ~jobs s -> [ storage ~jobs ~scale:s () ]);
       experiment_cmd "ablations" "Extra ablations (DC count, replication factor, remote reads)"
-        (fun s -> ablations ~scale:s);
-      experiment_cmd "all" "All tables and figures" (fun s -> all ~scale:s);
+        (fun ~jobs s -> ablations ~jobs ~scale:s ());
+      experiment_cmd "all" "All tables and figures" (fun ~jobs s -> all ~jobs ~scale:s ());
       run_cmd;
     ]
   in

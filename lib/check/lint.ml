@@ -16,7 +16,13 @@
       host time into simulated logic;
     - {b poly-compare} — structural [compare] used as a sort comparator
       or rebound as a module's [compare]: on records/variants its order
-      is declaration-dependent and brittle under refactoring.
+      is declaration-dependent and brittle under refactoring;
+    - {b domain-unsafe} — toplevel mutable module state ([let x = ref
+      ...], [let t = Hashtbl.create ...], [Random.self_init]) in the
+      simulation path ([lib/core], [lib/dsim], [lib/store],
+      [lib/harness]): the parallel sweep harness ({!Harness.Pool}) runs
+      experiment cells on concurrent domains, which is only sound while
+      runs share nothing.
 
     The patterns are deliberately syntactic (line regexes over
     comment- and string-stripped source): cheap, transparent, and easy
@@ -35,7 +41,14 @@ let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
 
 let pp_finding ppf f = Format.pp_print_string ppf (to_string f)
 
-type rule = { name : string; re : Str.regexp; message : string }
+type rule = {
+  name : string;
+  re : Str.regexp;
+  message : string;
+  (* When set, the rule only applies to files whose path matches — used
+     to scope rules to the directories where the hazard is real. *)
+  scope : Str.regexp option;
+}
 
 let rules =
   [
@@ -45,16 +58,19 @@ let rules =
       message =
         "hash-table iteration order is nondeterministic; sort before exposing \
          the result";
+      scope = None;
     };
     {
       name = "raw-random";
       re = Str.regexp "\\(^\\|[^A-Za-z0-9_]\\)Random\\.";
       message = "use the seeded Dsim.Rng, not the global Random state";
+      scope = None;
     };
     {
       name = "wall-clock";
       re = Str.regexp "\\(Unix\\.gettimeofday\\|Unix\\.time\\|Sys\\.time\\)";
       message = "wall-clock time breaks replay; use Dsim.Sim.now / Dsim.Clock";
+      scope = None;
     };
     {
       name = "poly-compare";
@@ -64,10 +80,32 @@ let rules =
       message =
         "polymorphic compare's order on structured types is brittle; use a \
          typed comparator";
+      scope = None;
+    };
+    {
+      (* The sweep harness fans independent simulation runs across
+         domains (Harness.Pool); that is only sound while runs share
+         nothing, i.e. while no module in the simulation path keeps
+         toplevel mutable state.  Flag new toplevel [ref] /
+         [Hashtbl.create] bindings (a binding with parameters allocates
+         per call and is fine) and any [Random.self_init]. *)
+      name = "domain-unsafe";
+      re =
+        Str.regexp
+          "\\(^let[ \t]+\\(rec[ \t]+\\)?[a-z_][A-Za-z0-9_']*[ \t]*\\(:[^=]*\\)?=[ \t]*\\(ref\\([^A-Za-z0-9_']\\|$\\)\\|\\([A-Za-z_0-9]+\\.\\)*\\(Hashtbl\\|[A-Za-z_0-9]*Tbl\\)\\.create\\)\\|Random\\.self_init\\)";
+      message =
+        "toplevel mutable module state is shared by parallel sweep runs \
+         (Harness.Pool); allocate per run instead";
+      scope = Some (Str.regexp "lib/\\(core\\|dsim\\|store\\|harness\\)\\(/\\|$\\)");
     };
   ]
 
 let rule_names = List.map (fun r -> r.name) rules
+
+let applies rule ~file =
+  match rule.scope with
+  | None -> true
+  | Some re -> ( match Str.search_forward re file 0 with _ -> true | exception Not_found -> false)
 
 let marker_re = Str.regexp "lint:[ \t]*allow[ \t]+\\([a-z, \t-]+\\)"
 
@@ -201,6 +239,7 @@ let strip src =
   (Buffer.contents out, !markers)
 
 let scan_source ~file src =
+  let rules = List.filter (applies ~file) rules in
   let stripped, markers = strip src in
   let lines = Array.of_list (String.split_on_char '\n' stripped) in
   let n_lines = Array.length lines in

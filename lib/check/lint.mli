@@ -2,8 +2,11 @@
     leak nondeterminism into the simulator — [hashtbl-order] (exposed
     hash-table iteration), [raw-random] (global [Random] instead of
     {!Dsim.Rng}), [wall-clock] (host time), [poly-compare] (structural
-    compare as a comparator).  Comments and string literals are stripped
-    before matching; a site can be suppressed with an inline
+    compare as a comparator), [domain-unsafe] (toplevel mutable module
+    state in the simulation path, which the parallel sweep harness
+    would share across domains; scoped to [lib/core], [lib/dsim],
+    [lib/store], [lib/harness]).  Comments and string literals are
+    stripped before matching; a site can be suppressed with an inline
     [(* lint: allow <rule> ... *)] marker on the same or the preceding
     line(s). *)
 
@@ -13,7 +16,7 @@ val to_string : finding -> string
 val pp_finding : Format.formatter -> finding -> unit
 
 (** Names of the rules, for marker validation: [hashtbl-order],
-    [raw-random], [wall-clock], [poly-compare]. *)
+    [raw-random], [wall-clock], [poly-compare], [domain-unsafe]. *)
 val rule_names : string list
 
 (** Scan a source string ([file] is only used in findings). *)

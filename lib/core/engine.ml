@@ -535,12 +535,17 @@ let commit eng tx =
               if ts > !lc then lc := ts;
               List.iter (fun w -> wdeps := Txid.Set.add w !wdeps) d
           end
-          else nonlocal_writes := writes @ !nonlocal_writes)
+          else nonlocal_writes := List.rev_append writes !nonlocal_writes)
       groups;
     (* The cache partition always takes part in the local 2PC: it is
        what orders same-node writers of non-local keys, whatever their
        speculation mode (only speculative *reading* of its content is
        gated).  See Alg. 1, line 18. *)
+    (* Accumulated with [rev_append] above; one reversal here (the only
+       consumption site) restores ascending-partition program order, so
+       the cache partition sees a canonical write order independent of
+       how the accumulator was built. *)
+    nonlocal_writes := List.rev !nonlocal_writes;
     if (not !conflict) && !nonlocal_writes <> [] then begin
       (* Unsafe transaction: its non-local updates go to the cache
          partition, which takes part in the local 2PC (Alg. 1, l. 18). *)

@@ -1,7 +1,11 @@
 (** Reproduction of every table and figure of the paper's evaluation
-    (§6).  Each function runs the corresponding parameter sweep in the
-    simulator and renders a table with the same rows/series the paper
-    plots.  [Quick] uses shorter windows and fewer points (CI-friendly);
+    (§6).  Each function enumerates the corresponding parameter sweep as
+    a grid of independent simulation cells, executes them through
+    {!Sweep} (inline by default, or on a domain pool when [jobs > 1]),
+    and renders a table with the same rows/series the paper plots.
+    Cells are keyed and results assembled in grid-key order, so the
+    rendered report is byte-identical whatever the worker count.
+    [Quick] uses shorter windows and fewer points (CI-friendly);
     [Full] matches the experiment index in DESIGN.md. *)
 
 type scale = Quick | Full
@@ -53,13 +57,47 @@ let run_protocol ~timing ~workload_of ~clients ~config ~self_tune ~seed =
   in
   Runner.run setup
 
+(* Shared row shape of Figs. 3, 5 and 6: one row per (clients, protocol)
+   cell of the grid. *)
+let protocol_row ~clients ~pname (r : Runner.result) =
+  let misspec =
+    if pname = "Ext-Spec" then Report.pct r.Runner.ext_misspec_rate
+    else Report.pct r.Runner.misspec_rate
+  in
+  let spec_lat =
+    if r.Runner.spec_latency.Metrics.count = 0 then "-"
+    else Report.ms_of_us r.Runner.spec_latency.Metrics.p50_us
+  in
+  [
+    string_of_int clients;
+    pname;
+    Report.f1 r.Runner.throughput;
+    Report.pct r.Runner.abort_rate;
+    misspec;
+    Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
+    Report.f1 (r.Runner.final_latency.Metrics.mean_us /. 1000.);
+    spec_lat;
+  ]
+
+(* Grid of Figs. 3, 5 and 6: clients-per-node x protagonist. *)
+let protocol_sweep ~jobs ~timing ~workload_of ~clients_list ~seed_of report =
+  Sweep.product clients_list protagonists
+  |> List.map (fun (clients, (pname, mk_config, tune)) ->
+         Sweep.cell (clients, pname) (fun () ->
+             run_protocol ~timing ~workload_of ~clients ~config:(mk_config ())
+               ~self_tune:tune ~seed:(seed_of clients)))
+  |> Sweep.run ~jobs
+  |> List.iter (fun ((clients, pname), r) ->
+         Report.add_row report (protocol_row ~clients ~pname r));
+  report
+
 (* ------------------------------------------------------------------ *)
 (* Figure 3: synthetic workloads, three protocols                       *)
 (* ------------------------------------------------------------------ *)
 
 let client_sweep = function Quick -> [ 2; 10; 30 ] | Full -> [ 2; 5; 10; 20; 40; 60 ]
 
-let fig3 ~scale which =
+let fig3 ?(jobs = 1) ~scale which =
   let params, name =
     match which with
     | `A -> (Workload.Synthetic.synth_a, "Synth-A")
@@ -76,43 +114,17 @@ let fig3 ~scale which =
           "lat-mean(ms)"; "spec-lat(ms)";
         ]
   in
-  List.iter
-    (fun clients ->
-      List.iter
-        (fun (pname, mk_config, tune) ->
-          let r =
-            run_protocol ~timing:(synth_timing scale)
-              ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
-              ~clients ~config:(mk_config ()) ~self_tune:tune ~seed:(clients + 17)
-          in
-          let misspec =
-            if pname = "Ext-Spec" then Report.pct r.Runner.ext_misspec_rate
-            else Report.pct r.Runner.misspec_rate
-          in
-          let spec_lat =
-            if r.Runner.spec_latency.Metrics.count = 0 then "-"
-            else Report.ms_of_us r.Runner.spec_latency.Metrics.p50_us
-          in
-          Report.add_row report
-            [
-              string_of_int clients;
-              pname;
-              Report.f1 r.Runner.throughput;
-              Report.pct r.Runner.abort_rate;
-              misspec;
-              Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
-              Report.f1 (r.Runner.final_latency.Metrics.mean_us /. 1000.);
-              spec_lat;
-            ])
-        protagonists)
-    (client_sweep scale);
-  report
+  protocol_sweep ~jobs ~timing:(synth_timing scale)
+    ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
+    ~clients_list:(client_sweep scale)
+    ~seed_of:(fun clients -> clients + 17)
+    report
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: static SR on/off vs self-tuning, normalized                *)
 (* ------------------------------------------------------------------ *)
 
-let fig4 ~scale =
+let fig4 ?(jobs = 1) ~scale () =
   let report =
     Report.create
       ~title:
@@ -120,39 +132,44 @@ let fig4 ~scale =
          Synth-A and Synth-B"
       ~headers:[ "workload"; "clients"; "No SR"; "SR"; "Auto"; "auto picked" ]
   in
+  let workloads =
+    [ ("Synth-A", Workload.Synthetic.synth_a); ("Synth-B", Workload.Synthetic.synth_b) ]
+  in
+  let variants = [ "no-sr"; "sr"; "auto" ] in
+  let results =
+    Sweep.product3 workloads (client_sweep scale) variants
+    |> List.map (fun ((wname, params), clients, variant) ->
+           let sr = variant <> "no-sr" and tune = variant = "auto" in
+           Sweep.cell (wname, clients, variant) (fun () ->
+               run_protocol ~timing:(synth_timing scale)
+                 ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
+                 ~clients
+                 ~config:(Core.Config.str ~speculative_reads:sr ())
+                 ~self_tune:tune ~seed:(clients + 23)))
+    |> Sweep.run ~jobs
+  in
   List.iter
-    (fun (wname, params) ->
-      List.iter
-        (fun clients ->
-          let run_variant ~sr ~tune =
-            run_protocol ~timing:(synth_timing scale)
-              ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
-              ~clients
-              ~config:(Core.Config.str ~speculative_reads:sr ())
-              ~self_tune:tune ~seed:(clients + 23)
-          in
-          let no_sr = run_variant ~sr:false ~tune:false in
-          let sr = run_variant ~sr:true ~tune:false in
-          let auto = run_variant ~sr:true ~tune:true in
-          let best =
-            List.fold_left max 1.
-              [ no_sr.Runner.throughput; sr.Runner.throughput; auto.Runner.throughput ]
-          in
-          let norm r = Report.f2 (r.Runner.throughput /. best) in
-          Report.add_row report
-            [
-              wname;
-              string_of_int clients;
-              norm no_sr;
-              norm sr;
-              norm auto;
-              (match auto.Runner.tuner_decision with
-               | Some true -> "SR"
-               | Some false -> "No SR"
-               | None -> "?");
-            ])
-        (client_sweep scale))
-    [ ("Synth-A", Workload.Synthetic.synth_a); ("Synth-B", Workload.Synthetic.synth_b) ];
+    (fun ((wname, _), clients) ->
+      let variant v = Sweep.get results (wname, clients, v) in
+      let no_sr = variant "no-sr" and sr = variant "sr" and auto = variant "auto" in
+      let best =
+        List.fold_left max 1.
+          [ no_sr.Runner.throughput; sr.Runner.throughput; auto.Runner.throughput ]
+      in
+      let norm r = Report.f2 (r.Runner.throughput /. best) in
+      Report.add_row report
+        [
+          wname;
+          string_of_int clients;
+          norm no_sr;
+          norm sr;
+          norm auto;
+          (match auto.Runner.tuner_decision with
+           | Some true -> "SR"
+           | Some false -> "No SR"
+           | None -> "?");
+        ])
+    (Sweep.product workloads (client_sweep scale));
   report
 
 (* ------------------------------------------------------------------ *)
@@ -172,7 +189,7 @@ let table1_variants =
     ("Precise SR", fun () -> Core.Config.precise_sr ());
   ]
 
-let table1 ~scale =
+let table1 ?(jobs = 1) ~scale () =
   let keys = match scale with Quick -> [ 10; 40 ] | Full -> [ 10; 20; 40; 100 ] in
   let clients = match scale with Quick -> 10 | Full -> 10 in
   let report =
@@ -182,34 +199,31 @@ let table1 ~scale =
          transaction"
       ~headers:("technique" :: List.map (fun k -> Printf.sprintf "%d keys" k) keys)
   in
+  let results =
+    Sweep.product keys table1_variants
+    |> List.map (fun (nkeys, (vname, mk_config)) ->
+           let factor = nkeys / 10 in
+           let params = Workload.Synthetic.scale_keys table1_base factor in
+           Sweep.cell (nkeys, vname) (fun () ->
+               run_protocol ~timing:(synth_timing scale)
+                 ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
+                 ~clients ~config:(mk_config ()) ~self_tune:false ~seed:(nkeys + 3)))
+    |> Sweep.run ~jobs
+  in
   let columns =
     List.map
       (fun nkeys ->
-        let factor = nkeys / 10 in
-        let params = Workload.Synthetic.scale_keys table1_base factor in
-        let results =
-          List.map
-            (fun (vname, mk_config) ->
-              let r =
-                run_protocol ~timing:(synth_timing scale)
-                  ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
-                  ~clients ~config:(mk_config ()) ~self_tune:false ~seed:(nkeys + 3)
-              in
-              (vname, r))
-            table1_variants
-        in
         let baseline =
-          match List.assoc_opt "Physical" results with
-          | Some r -> Float.max r.Runner.throughput 0.001
-          | None -> 1.
+          Float.max (Sweep.get results (nkeys, "Physical")).Runner.throughput 0.001
         in
         List.map
-          (fun (vname, r) ->
+          (fun (vname, _) ->
+            let r = Sweep.get results (nkeys, vname) in
             ( vname,
               Printf.sprintf "%s/%s"
                 (Report.f2 (r.Runner.throughput /. baseline))
                 (Report.pct r.Runner.abort_rate) ))
-          results)
+          table1_variants)
       keys
   in
   List.iter
@@ -228,7 +242,7 @@ let table1 ~scale =
 
 let tpcc_clients = function Quick -> [ 60; 240 ] | Full -> [ 30; 60; 120; 240; 480 ]
 
-let fig5 ~scale which =
+let fig5 ?(jobs = 1) ~scale which =
   let mix, name =
     match which with
     | `A -> (Workload.Tpcc.mix_a, "TPC-C A (5/83/12)")
@@ -244,37 +258,11 @@ let fig5 ~scale which =
           "lat-mean(ms)"; "spec-lat(ms)";
         ]
   in
-  List.iter
-    (fun clients ->
-      List.iter
-        (fun (pname, mk_config, tune) ->
-          let r =
-            run_protocol ~timing:(macro_timing scale)
-              ~workload_of:(fun pl -> fst (Workload.Tpcc.make ~mix pl))
-              ~clients ~config:(mk_config ()) ~self_tune:tune ~seed:(clients + 31)
-          in
-          let misspec =
-            if pname = "Ext-Spec" then Report.pct r.Runner.ext_misspec_rate
-            else Report.pct r.Runner.misspec_rate
-          in
-          let spec_lat =
-            if r.Runner.spec_latency.Metrics.count = 0 then "-"
-            else Report.ms_of_us r.Runner.spec_latency.Metrics.p50_us
-          in
-          Report.add_row report
-            [
-              string_of_int clients;
-              pname;
-              Report.f1 r.Runner.throughput;
-              Report.pct r.Runner.abort_rate;
-              misspec;
-              Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
-              Report.f1 (r.Runner.final_latency.Metrics.mean_us /. 1000.);
-              spec_lat;
-            ])
-        protagonists)
-    (tpcc_clients scale);
-  report
+  protocol_sweep ~jobs ~timing:(macro_timing scale)
+    ~workload_of:(fun pl -> fst (Workload.Tpcc.make ~mix pl))
+    ~clients_list:(tpcc_clients scale)
+    ~seed_of:(fun clients -> clients + 31)
+    report
 
 (* ------------------------------------------------------------------ *)
 (* Figure 6: RUBiS                                                      *)
@@ -282,7 +270,7 @@ let fig5 ~scale which =
 
 let rubis_clients = function Quick -> [ 120; 450 ] | Full -> [ 60; 120; 250; 450; 700 ]
 
-let fig6 ~scale =
+let fig6 ?(jobs = 1) ~scale () =
   (* RUBiS's interesting regime is the slow pile-up of update clients
      behind the shard-local index keys; give the full scale a longer
      measurement window so the queueing binds. *)
@@ -300,48 +288,22 @@ let fig6 ~scale =
           "lat-mean(ms)"; "spec-lat(ms)";
         ]
   in
-  List.iter
-    (fun clients ->
-      List.iter
-        (fun (pname, mk_config, tune) ->
-          let r =
-            run_protocol ~timing
-              ~workload_of:(fun pl -> Workload.Rubis.make pl)
-              ~clients ~config:(mk_config ()) ~self_tune:tune ~seed:(clients + 41)
-          in
-          let misspec =
-            if pname = "Ext-Spec" then Report.pct r.Runner.ext_misspec_rate
-            else Report.pct r.Runner.misspec_rate
-          in
-          let spec_lat =
-            if r.Runner.spec_latency.Metrics.count = 0 then "-"
-            else Report.ms_of_us r.Runner.spec_latency.Metrics.p50_us
-          in
-          Report.add_row report
-            [
-              string_of_int clients;
-              pname;
-              Report.f1 r.Runner.throughput;
-              Report.pct r.Runner.abort_rate;
-              misspec;
-              Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
-              Report.f1 (r.Runner.final_latency.Metrics.mean_us /. 1000.);
-              spec_lat;
-            ])
-        protagonists)
-    (rubis_clients scale);
-  report
+  protocol_sweep ~jobs ~timing
+    ~workload_of:(fun pl -> Workload.Rubis.make pl)
+    ~clients_list:(rubis_clients scale)
+    ~seed_of:(fun clients -> clients + 41)
+    report
 
 (* ------------------------------------------------------------------ *)
 (* §6.1 Precise Clocks storage overhead                                 *)
 (* ------------------------------------------------------------------ *)
 
-let storage ~scale =
+let storage ?(jobs = 1) ~scale () =
   let report =
     Report.create ~title:"Precise Clocks storage overhead (paper: ~9% on TPC-C/RUBiS)"
       ~headers:[ "benchmark"; "data (KiB)"; "LastReader metadata (KiB)"; "overhead" ]
   in
-  let measure name workload_of clients =
+  let measure workload_of clients () =
     let { warmup_us; measure_us; _ } = macro_timing scale in
     let setup =
       {
@@ -370,17 +332,21 @@ let storage ~scale =
       done
     done;
     ignore (Dsim.Sim.run ~until:(warmup_us + measure_us) sim);
-    let data, meta = Core.Engine.storage_breakdown eng in
-    Report.add_row report
-      [
-        name;
-        string_of_int (data / 1024);
-        string_of_int (meta / 1024);
-        Report.pct (float_of_int meta /. float_of_int (max 1 data));
-      ]
+    Core.Engine.storage_breakdown eng
   in
-  measure "TPC-C" (fun pl -> fst (Workload.Tpcc.make pl)) 60;
-  measure "RUBiS" (fun pl -> Workload.Rubis.make pl) 120;
+  [
+    Sweep.cell "TPC-C" (measure (fun pl -> fst (Workload.Tpcc.make pl)) 60);
+    Sweep.cell "RUBiS" (measure (fun pl -> Workload.Rubis.make pl) 120);
+  ]
+  |> Sweep.run ~jobs
+  |> List.iter (fun (name, (data, meta)) ->
+         Report.add_row report
+           [
+             name;
+             string_of_int (data / 1024);
+             string_of_int (meta / 1024);
+             Report.pct (float_of_int meta /. float_of_int (max 1 data));
+           ]);
   report
 
 (* ------------------------------------------------------------------ *)
@@ -390,39 +356,45 @@ let storage ~scale =
 (** Geo-scale ablation: STR's gain over ClockSI-Rep as the deployment
     grows from 3 to the paper's 9 data centers (the paper evaluates "on
     up to nine geo-distributed EC2 data centers"). *)
-let ablation_dcs ~scale =
+let ablation_dcs ?(jobs = 1) ~scale () =
   let report =
     Report.create ~title:"Ablation: data-center count (Synth-A, 20 clients/node)"
       ~headers:[ "DCs"; "rf"; "STR (tx/s)"; "ClockSI (tx/s)"; "speedup"; "STR lat-p50(ms)" ]
   in
   let dcs_list = match scale with Quick -> [ 3; 9 ] | Full -> [ 3; 5; 7; 9 ] in
+  let protocols = [ ("STR", fun () -> Core.Config.str ()); ("ClockSI", fun () -> Core.Config.clocksi_rep ()) ] in
+  let results =
+    Sweep.product dcs_list protocols
+    |> List.map (fun (dcs, (pname, mk_config)) ->
+           Sweep.cell (dcs, pname) (fun () ->
+               let topo = Dsim.Topology.ec2_prefix dcs in
+               let rf = min 6 dcs in
+               let pl = Store.Placement.ring ~n_nodes:dcs ~replication_factor:rf () in
+               let timing = synth_timing scale in
+               Runner.run
+                 {
+                   Runner.topology = topo;
+                   replication_factor = rf;
+                   config = mk_config ();
+                   workload =
+                     Workload.Synthetic.make ~params:Workload.Synthetic.synth_a pl;
+                   clients_per_node = 20;
+                   warmup_us = timing.warmup_us;
+                   measure_us = timing.measure_us;
+                   seed = dcs;
+                   jitter = 0.02;
+                   self_tune = `Off;
+                 }))
+    |> Sweep.run ~jobs
+  in
   List.iter
     (fun dcs ->
-      let topo = Dsim.Topology.ec2_prefix dcs in
-      let rf = min 6 dcs in
-      let pl = Store.Placement.ring ~n_nodes:dcs ~replication_factor:rf () in
-      let run config =
-        let timing = synth_timing scale in
-        Runner.run
-          {
-            Runner.topology = topo;
-            replication_factor = rf;
-            config;
-            workload = Workload.Synthetic.make ~params:Workload.Synthetic.synth_a pl;
-            clients_per_node = 20;
-            warmup_us = timing.warmup_us;
-            measure_us = timing.measure_us;
-            seed = dcs;
-            jitter = 0.02;
-            self_tune = `Off;
-          }
-      in
-      let str = run (Core.Config.str ()) in
-      let base = run (Core.Config.clocksi_rep ()) in
+      let str = Sweep.get results (dcs, "STR") in
+      let base = Sweep.get results (dcs, "ClockSI") in
       Report.add_row report
         [
           string_of_int dcs;
-          string_of_int rf;
+          string_of_int (min 6 dcs);
           Report.f1 str.Runner.throughput;
           Report.f1 base.Runner.throughput;
           Report.f2 (str.Runner.throughput /. Float.max 0.001 base.Runner.throughput);
@@ -434,33 +406,39 @@ let ablation_dcs ~scale =
 (** Replication-factor ablation: more slave replicas stretch the
     certification (longer pre-commit locks), which is exactly where
     speculative reads pay off. *)
-let ablation_rf ~scale =
+let ablation_rf ?(jobs = 1) ~scale () =
   let report =
     Report.create ~title:"Ablation: replication factor (Synth-A, 20 clients/node)"
       ~headers:[ "rf"; "STR (tx/s)"; "ClockSI (tx/s)"; "speedup" ]
   in
   let rfs = match scale with Quick -> [ 2; 6 ] | Full -> [ 2; 3; 4; 6 ] in
+  let protocols = [ ("STR", fun () -> Core.Config.str ()); ("ClockSI", fun () -> Core.Config.clocksi_rep ()) ] in
+  let results =
+    Sweep.product rfs protocols
+    |> List.map (fun (rf, (pname, mk_config)) ->
+           Sweep.cell (rf, pname) (fun () ->
+               let pl = Store.Placement.ring ~n_nodes:9 ~replication_factor:rf () in
+               let timing = synth_timing scale in
+               Runner.run
+                 {
+                   Runner.topology;
+                   replication_factor = rf;
+                   config = mk_config ();
+                   workload =
+                     Workload.Synthetic.make ~params:Workload.Synthetic.synth_a pl;
+                   clients_per_node = 20;
+                   warmup_us = timing.warmup_us;
+                   measure_us = timing.measure_us;
+                   seed = rf;
+                   jitter = 0.02;
+                   self_tune = `Off;
+                 }))
+    |> Sweep.run ~jobs
+  in
   List.iter
     (fun rf ->
-      let pl = Store.Placement.ring ~n_nodes:9 ~replication_factor:rf () in
-      let run config =
-        let timing = synth_timing scale in
-        Runner.run
-          {
-            Runner.topology;
-            replication_factor = rf;
-            config;
-            workload = Workload.Synthetic.make ~params:Workload.Synthetic.synth_a pl;
-            clients_per_node = 20;
-            warmup_us = timing.warmup_us;
-            measure_us = timing.measure_us;
-            seed = rf;
-            jitter = 0.02;
-            self_tune = `Off;
-          }
-      in
-      let str = run (Core.Config.str ()) in
-      let base = run (Core.Config.clocksi_rep ()) in
+      let str = Sweep.get results (rf, "STR") in
+      let base = Sweep.get results (rf, "ClockSI") in
       Report.add_row report
         [
           string_of_int rf;
@@ -474,32 +452,30 @@ let ablation_rf ~scale =
 (** Remote-access modeling ablation: reading the remote keys (instead of
     blind-writing them) stretches the execution phase by WAN round
     trips; see DESIGN.md §4b. *)
-let ablation_remote_reads ~scale =
+let ablation_remote_reads ?(jobs = 1) ~scale () =
   let report =
     Report.create
       ~title:"Ablation: remote keys blind-written vs read-modify-written (Synth-A)"
       ~headers:[ "remote keys"; "protocol"; "thr(tx/s)"; "abort"; "lat-p50(ms)" ]
   in
-  List.iter
-    (fun (label, rr) ->
-      List.iter
-        (fun (pname, config) ->
-          let params = { Workload.Synthetic.synth_a with read_remote_keys = rr } in
-          let r =
-            run_protocol ~timing:(synth_timing scale)
-              ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
-              ~clients:10 ~config ~self_tune:false ~seed:3
-          in
-          Report.add_row report
-            [
-              label;
-              pname;
-              Report.f1 r.Runner.throughput;
-              Report.pct r.Runner.abort_rate;
-              Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
-            ])
-        [ ("STR", Core.Config.str ()); ("ClockSI-Rep", Core.Config.clocksi_rep ()) ])
-    [ ("blind-write", false); ("read-modify-write", true) ];
+  let protocols = [ ("STR", fun () -> Core.Config.str ()); ("ClockSI-Rep", fun () -> Core.Config.clocksi_rep ()) ] in
+  Sweep.product [ ("blind-write", false); ("read-modify-write", true) ] protocols
+  |> List.map (fun ((label, rr), (pname, mk_config)) ->
+         Sweep.cell (label, pname) (fun () ->
+             let params = { Workload.Synthetic.synth_a with read_remote_keys = rr } in
+             run_protocol ~timing:(synth_timing scale)
+               ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
+               ~clients:10 ~config:(mk_config ()) ~self_tune:false ~seed:3))
+  |> Sweep.run ~jobs
+  |> List.iter (fun ((label, pname), r) ->
+         Report.add_row report
+           [
+             label;
+             pname;
+             Report.f1 r.Runner.throughput;
+             Report.pct r.Runner.abort_rate;
+             Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
+           ]);
   report
 
 (** Future-work extension (§7): STR under Serializability (read
@@ -508,7 +484,7 @@ let ablation_remote_reads ~scale =
     keys from a shared hot range but updates only two, which is where
     the stronger criterion starts charging: promoted reads certify (and
     conflict) like writes. *)
-let ablation_serializability ~scale =
+let ablation_serializability ?(jobs = 1) ~scale () =
   let report =
     Report.create
       ~title:
@@ -543,47 +519,44 @@ let ablation_serializability ~scale =
     { Workload.Spec.name = "read-heavy"; load = (fun _ -> ()); next_program }
   in
   let clients_list = match scale with Quick -> [ 10 ] | Full -> [ 5; 10; 20 ] in
-  List.iter
-    (fun clients ->
-      List.iter
-        (fun (name, config) ->
-          let r =
-            run_protocol ~timing:(synth_timing scale) ~workload_of:read_heavy ~clients
-              ~config ~self_tune:false ~seed:(clients + 51)
-          in
-          Report.add_row report
-            [
-              name;
-              string_of_int clients;
-              Report.f1 r.Runner.throughput;
-              Report.pct r.Runner.abort_rate;
-              Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
-            ])
-        [
-          ("SI (STR)", Core.Config.str ());
-          ("Serializable (STR)", Core.Config.str_serializable ());
-        ])
-    clients_list;
+  let isolations =
+    [ ("SI (STR)", fun () -> Core.Config.str ()); ("Serializable (STR)", fun () -> Core.Config.str_serializable ()) ]
+  in
+  Sweep.product clients_list isolations
+  |> List.map (fun (clients, (name, mk_config)) ->
+         Sweep.cell (clients, name) (fun () ->
+             run_protocol ~timing:(synth_timing scale) ~workload_of:read_heavy ~clients
+               ~config:(mk_config ()) ~self_tune:false ~seed:(clients + 51)))
+  |> Sweep.run ~jobs
+  |> List.iter (fun ((clients, name), r) ->
+         Report.add_row report
+           [
+             name;
+             string_of_int clients;
+             Report.f1 r.Runner.throughput;
+             Report.pct r.Runner.abort_rate;
+             Report.ms_of_us r.Runner.final_latency.Metrics.p50_us;
+           ]);
   report
 
-let ablations ~scale =
+let ablations ?(jobs = 1) ~scale () =
   [
-    ablation_dcs ~scale;
-    ablation_rf ~scale;
-    ablation_remote_reads ~scale;
-    ablation_serializability ~scale;
+    ablation_dcs ~jobs ~scale ();
+    ablation_rf ~jobs ~scale ();
+    ablation_remote_reads ~jobs ~scale ();
+    ablation_serializability ~jobs ~scale ();
   ]
 
-let all ~scale =
+let all ?(jobs = 1) ~scale () =
   [
-    fig3 ~scale `A;
-    fig3 ~scale `B;
-    fig4 ~scale;
-    table1 ~scale;
-    fig5 ~scale `A;
-    fig5 ~scale `B;
-    fig5 ~scale `C;
-    fig6 ~scale;
-    storage ~scale;
+    fig3 ~jobs ~scale `A;
+    fig3 ~jobs ~scale `B;
+    fig4 ~jobs ~scale ();
+    table1 ~jobs ~scale ();
+    fig5 ~jobs ~scale `A;
+    fig5 ~jobs ~scale `B;
+    fig5 ~jobs ~scale `C;
+    fig6 ~jobs ~scale ();
+    storage ~jobs ~scale ();
   ]
-  @ ablations ~scale
+  @ ablations ~jobs ~scale ()

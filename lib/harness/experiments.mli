@@ -1,6 +1,10 @@
 (** Reproduction of every table and figure of the paper's evaluation
-    (§6), plus ablations.  Each function runs the parameter sweep in the
-    simulator and renders the same rows/series the paper plots. *)
+    (§6), plus ablations.  Each function enumerates the parameter sweep
+    as a grid of independent simulation cells, executes them via
+    {!Sweep} — inline when [jobs] is 1 (the default), on a {!Pool} of
+    [jobs] domains otherwise — and renders the same rows/series the
+    paper plots.  Results are assembled in grid-key order: the rendered
+    report is byte-identical whatever [jobs] is. *)
 
 type scale = Quick | Full
 
@@ -9,31 +13,31 @@ type scale = Quick | Full
 val table1_base : Workload.Synthetic.params
 
 (** Figure 3: synthetic workloads, STR vs ClockSI-Rep vs Ext-Spec. *)
-val fig3 : scale:scale -> [ `A | `B ] -> Report.t
+val fig3 : ?jobs:int -> scale:scale -> [ `A | `B ] -> Report.t
 
 (** Figure 4: static SR on/off vs self-tuning, normalized throughput. *)
-val fig4 : scale:scale -> Report.t
+val fig4 : ?jobs:int -> scale:scale -> unit -> Report.t
 
 (** Table 1: Physical/Precise clocks x speculative reads, varying
     transaction size. *)
-val table1 : scale:scale -> Report.t
+val table1 : ?jobs:int -> scale:scale -> unit -> Report.t
 
 (** Figure 5: the three TPC-C mixes. *)
-val fig5 : scale:scale -> [ `A | `B | `C ] -> Report.t
+val fig5 : ?jobs:int -> scale:scale -> [ `A | `B | `C ] -> Report.t
 
 (** Figure 6: RUBiS. *)
-val fig6 : scale:scale -> Report.t
+val fig6 : ?jobs:int -> scale:scale -> unit -> Report.t
 
 (** §6.1 Precise Clocks storage overhead. *)
-val storage : scale:scale -> Report.t
+val storage : ?jobs:int -> scale:scale -> unit -> Report.t
 
 (** {1 Ablations and extensions beyond the paper's artifacts} *)
 
-val ablation_dcs : scale:scale -> Report.t
-val ablation_rf : scale:scale -> Report.t
-val ablation_remote_reads : scale:scale -> Report.t
-val ablation_serializability : scale:scale -> Report.t
-val ablations : scale:scale -> Report.t list
+val ablation_dcs : ?jobs:int -> scale:scale -> unit -> Report.t
+val ablation_rf : ?jobs:int -> scale:scale -> unit -> Report.t
+val ablation_remote_reads : ?jobs:int -> scale:scale -> unit -> Report.t
+val ablation_serializability : ?jobs:int -> scale:scale -> unit -> Report.t
+val ablations : ?jobs:int -> scale:scale -> unit -> Report.t list
 
 (** Everything: the paper's nine artifacts followed by the ablations. *)
-val all : scale:scale -> Report.t list
+val all : ?jobs:int -> scale:scale -> unit -> Report.t list

@@ -1,0 +1,143 @@
+(** Fixed-size domain pool: worker domains pull closures from a shared
+    queue (mutex + condition variable), capture per-task exceptions, and
+    hand results back in submission order.  See pool.mli for the
+    contract; the determinism argument for using it on experiment grids
+    is in DESIGN.md ("Parallel sweep harness"). *)
+
+type job = unit -> unit
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  queue : job Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+  (* Domain currently executing an inline ([jobs = 1]) batch, so a task
+     resubmitting to its own pool is caught in that mode too. *)
+  mutable inline_running_in : Domain.id option;
+}
+
+exception Nested_submit
+
+let default_jobs () =
+  match Sys.getenv_opt "STR_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let rec worker p =
+  Mutex.lock p.mutex;
+  while Queue.is_empty p.queue && not p.closing do
+    Condition.wait p.work_available p.mutex
+  done;
+  (* On shutdown, drain whatever work is still queued before exiting. *)
+  match Queue.take_opt p.queue with
+  | None ->
+    Mutex.unlock p.mutex
+  | Some job ->
+    Mutex.unlock p.mutex;
+    job ();
+    (* Jobs are wrapped by [run] and never raise. *)
+    worker p
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let p =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      workers = [];
+      inline_running_in = None;
+    }
+  in
+  if jobs > 1 then p.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker p));
+  p
+
+let jobs p = p.jobs
+
+type 'a outcome = Ok_ of 'a | Error_ of exn * Printexc.raw_backtrace
+
+let guard f = try Ok_ (f ()) with e -> Error_ (e, Printexc.get_raw_backtrace ())
+
+(* Lowest-index failure wins; otherwise unwrap in order. *)
+let collect results =
+  let n = Array.length results in
+  let first_error = ref None in
+  for i = n - 1 downto 0 do
+    match results.(i) with
+    | Some (Error_ (e, bt)) -> first_error := Some (e, bt)
+    | Some (Ok_ _) | None -> ()
+  done;
+  match !first_error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+    Array.to_list
+      (Array.map (function Some (Ok_ v) -> v | Some (Error_ _) | None -> assert false) results)
+
+let run_inline p thunks =
+  let self = Domain.self () in
+  (match p.inline_running_in with
+  | Some d when d = self -> raise Nested_submit
+  | Some _ | None -> ());
+  p.inline_running_in <- Some self;
+  let results =
+    Fun.protect
+      ~finally:(fun () -> p.inline_running_in <- None)
+      (fun () -> Array.of_list (List.map (fun f -> Some (guard f)) thunks))
+  in
+  collect results
+
+let run_parallel p thunks n =
+  let results = Array.make n None in
+  let remaining = ref n in
+  let batch_done = Condition.create () in
+  let wrap i f () =
+    let r = guard f in
+    Mutex.lock p.mutex;
+    results.(i) <- Some r;
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast batch_done;
+    Mutex.unlock p.mutex
+  in
+  Mutex.lock p.mutex;
+  List.iteri (fun i f -> Queue.add (wrap i f) p.queue) thunks;
+  Condition.broadcast p.work_available;
+  while !remaining > 0 do
+    Condition.wait batch_done p.mutex
+  done;
+  Mutex.unlock p.mutex;
+  collect results
+
+let run p thunks =
+  if p.closing then invalid_arg "Pool.run: pool is shut down";
+  let self = Domain.self () in
+  if List.exists (fun d -> Domain.get_id d = self) p.workers then raise Nested_submit;
+  match thunks with
+  | [] -> []
+  | _ when p.workers = [] -> run_inline p thunks
+  | _ -> run_parallel p thunks (List.length thunks)
+
+let shutdown p =
+  let workers =
+    Mutex.lock p.mutex;
+    let ws = p.workers in
+    p.closing <- true;
+    p.workers <- [];
+    Condition.broadcast p.work_available;
+    Mutex.unlock p.mutex;
+    ws
+  in
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let jobs = match jobs with Some n -> n | None -> default_jobs () in
+  let p = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+let map ?jobs f xs = with_pool ?jobs (fun p -> run p (List.map (fun x () -> f x) xs))

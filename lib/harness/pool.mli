@@ -1,0 +1,54 @@
+(** Fixed-size domain pool for embarrassingly parallel experiment
+    execution.
+
+    The evaluation grid is a set of *independent* simulation runs: each
+    {!Runner.run} builds its own [Sim]/[Network]/[Engine]/[Rng] and
+    touches no toplevel mutable state (the [domain-unsafe] lint rule
+    keeps it that way), so runs can be fanned across domains freely.
+    This module provides the fan-out: a pool of worker domains pulling
+    closures from a shared queue, with per-task exception capture and
+    results handed back in submission order.
+
+    A pool with [jobs <= 1] spawns no domains at all and executes every
+    batch inline in the calling domain — [dune runtest] and any caller
+    that does not opt in stay single-threaded. *)
+
+type t
+
+exception Nested_submit
+(** Raised when {!run} is called from inside a task executing on the
+    same pool.  A worker blocking on its own pool would deadlock once
+    every worker does it, so nested submission is rejected outright —
+    restructure the computation to enumerate the full grid up front. *)
+
+val default_jobs : unit -> int
+(** Worker count for callers that do not specify one: the [STR_JOBS]
+    environment variable when it parses as a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+
+val create : jobs:int -> t
+(** Spawn a pool of [max jobs 1] executors.  [jobs <= 1] creates an
+    inline pool (no domains). *)
+
+val jobs : t -> int
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute every thunk (each exactly once, in unspecified parallel
+    order) and return their values {b in input order}.  Every task runs
+    to completion even when a sibling fails; afterwards, if any task
+    raised, the exception of the lowest-index failing task is re-raised
+    (with its backtrace).  Raises {!Nested_submit} when called from a
+    task of this same pool. *)
+
+val shutdown : t -> unit
+(** Graceful teardown: workers drain outstanding work, then exit and
+    are joined.  Idempotent; using the pool after shutdown raises
+    [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool ([jobs] defaults to
+    {!default_jobs}) and shuts it down afterwards, also on exception. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [with_pool] + [run] over [List.map]-shaped
+    work. *)

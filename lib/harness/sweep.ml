@@ -1,0 +1,31 @@
+(** See sweep.mli. *)
+
+type ('k, 'r) cell = { key : 'k; thunk : unit -> 'r }
+
+let cell key thunk = { key; thunk }
+
+let keys cells = List.map (fun c -> c.key) cells
+
+let run ?pool ?(jobs = 1) cells =
+  let thunks = List.map (fun c -> c.thunk) cells in
+  let results =
+    match pool with
+    | Some p -> Pool.run p thunks
+    | None -> Pool.with_pool ~jobs (fun p -> Pool.run p thunks)
+  in
+  List.map2 (fun c r -> (c.key, r)) cells results
+
+let get results key =
+  match List.assq_opt key results with
+  | Some r -> r
+  | None -> (
+    (* assq misses keys rebuilt structurally (tuples, strings); fall
+       back to structural equality before giving up. *)
+    match List.assoc_opt key results with
+    | Some r -> r
+    | None -> invalid_arg "Sweep.get: key absent from sweep results")
+
+let product xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+let product3 xs ys zs =
+  List.concat_map (fun x -> List.concat_map (fun y -> List.map (fun z -> (x, y, z)) zs) ys) xs

@@ -1,0 +1,36 @@
+(** Keyed parameter sweeps with deterministic assembly.
+
+    An experiment is described as a list of {e cells} — a grid key plus
+    a pure thunk that runs one simulation — instead of nested loops that
+    run inline.  {!run} executes the thunks (optionally on a
+    {!Pool.t}) and returns [(key, result)] pairs {b in enumeration
+    order}, so a report assembled by folding over the returned list is
+    byte-identical whatever the worker count or completion order.
+
+    Thunks must be self-contained: each builds its own simulator state
+    and shares nothing with its siblings (which {!Runner.run} already
+    guarantees — enforced by the [domain-unsafe] lint rule). *)
+
+type ('k, 'r) cell
+
+val cell : 'k -> (unit -> 'r) -> ('k, 'r) cell
+
+val keys : ('k, 'r) cell list -> 'k list
+
+val run : ?pool:Pool.t -> ?jobs:int -> ('k, 'r) cell list -> ('k * 'r) list
+(** Execute every cell and pair results with their grid keys, in the
+    order the cells were enumerated.  [pool] reuses an existing pool
+    (it is not shut down); otherwise a pool of [jobs] workers (default
+    [1]: inline, no domains) is created for the batch. *)
+
+val get : ('k * 'r) list -> 'k -> 'r
+(** Keyed lookup into {!run} output.  Raises [Invalid_argument] when
+    the key is absent — a grid-enumeration bug, not a data condition. *)
+
+(** {1 Grid enumeration helpers} *)
+
+val product : 'a list -> 'b list -> ('a * 'b) list
+(** Row-major: [product [x1; x2] [y1; y2]] is
+    [[(x1,y1); (x1,y2); (x2,y1); (x2,y2)]]. *)
+
+val product3 : 'a list -> 'b list -> 'c list -> ('a * 'b * 'c) list

@@ -111,6 +111,61 @@ let test_lint_runtime_fixture () =
         "raw-random flagged twice" [ "raw-random"; "raw-random" ]
         (finding_rules fs))
 
+let test_lint_domain_unsafe () =
+  (* Toplevel mutable bindings in the simulation path are flagged; a
+     binding with parameters allocates per call and is fine; indented
+     (non-toplevel) allocations are fine. *)
+  let src =
+    "let cache = Hashtbl.create 16\n\
+     let counter = ref 0\n\
+     let table = Txid.Tbl.create 8\n\
+     let fresh () = ref 0\n\
+     let local () =\n\
+    \  let t = Hashtbl.create 4 in\n\
+    \  t\n"
+  in
+  let fs = Lint.scan_source ~file:"lib/core/fixture.ml" src in
+  Alcotest.(check (list string))
+    "only the toplevel mutable bindings"
+    [ "domain-unsafe"; "domain-unsafe"; "domain-unsafe" ]
+    (finding_rules fs);
+  Alcotest.(check (list int))
+    "line numbers" [ 1; 2; 3 ]
+    (List.map (fun (f : Lint.finding) -> f.line) fs)
+
+let test_lint_domain_unsafe_self_init () =
+  (* Random.self_init in the simulation path trips both the raw-random
+     and the domain-unsafe rule, wherever it appears. *)
+  let src = "let seed () = Random.self_init ()\n" in
+  Alcotest.(check (list string))
+    "both rules fire" [ "raw-random"; "domain-unsafe" ]
+    (finding_rules (Lint.scan_source ~file:"lib/dsim/fixture.ml" src))
+
+let test_lint_domain_unsafe_scope () =
+  (* The rule is scoped to lib/{core,dsim,store,harness}: the same
+     source outside the simulation path produces no findings. *)
+  let src = "let cache = Hashtbl.create 16\nlet counter = ref 0\n" in
+  List.iter
+    (fun file ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s out of scope" file)
+        0
+        (List.length (Lint.scan_source ~file src)))
+    [ "fixture.ml"; "lib/workload/fixture.ml"; "lib/check/lint.ml"; "bin/str_sim.ml" ];
+  Alcotest.(check int)
+    "lib/store in scope" 2
+    (List.length (Lint.scan_source ~file:"lib/store/fixture.ml" src))
+
+let test_lint_domain_unsafe_allow () =
+  let src =
+    "(* lint: allow domain-unsafe — interned constants, written once \
+     before any domain spawns *)\n\
+     let cache = Hashtbl.create 16\n"
+  in
+  Alcotest.(check int)
+    "suppressed" 0
+    (List.length (Lint.scan_source ~file:"lib/harness/fixture.ml" src))
+
 (* --- checker output determinism (satellite) ------------------------- *)
 
 let messy_history () =
@@ -354,6 +409,10 @@ let () =
           Alcotest.test_case "strings and comments" `Quick
             test_lint_ignores_strings_and_comments;
           Alcotest.test_case "runtime fixture" `Quick test_lint_runtime_fixture;
+          Alcotest.test_case "domain-unsafe toplevel state" `Quick test_lint_domain_unsafe;
+          Alcotest.test_case "domain-unsafe self_init" `Quick test_lint_domain_unsafe_self_init;
+          Alcotest.test_case "domain-unsafe scoping" `Quick test_lint_domain_unsafe_scope;
+          Alcotest.test_case "domain-unsafe allow marker" `Quick test_lint_domain_unsafe_allow;
         ] );
       ( "oracles",
         [

@@ -26,6 +26,39 @@ let test_metrics_growth () =
   Alcotest.(check int) "all recorded" 10_000 (Harness.Metrics.count m);
   Alcotest.(check int) "max" 10_000 (Harness.Metrics.summarize m).Harness.Metrics.max_us
 
+let test_metrics_interleaved () =
+  (* The summary cache must be invalidated by every record: an
+     interleaved record/summarize sequence has to agree at each step
+     with a freshly built accumulator over the same prefix. *)
+  let fresh samples =
+    let m = Harness.Metrics.create () in
+    List.iter (Harness.Metrics.record m) samples;
+    Harness.Metrics.summarize m
+  in
+  let m = Harness.Metrics.create () in
+  let seen = ref [] in
+  List.iteri
+    (fun i v ->
+      seen := !seen @ [ v ];
+      Harness.Metrics.record m v;
+      if i mod 2 = 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "summary agrees after %d samples" (i + 1))
+          true
+          (Harness.Metrics.summarize m = fresh !seen))
+    [ 50; 3; 91; 14; 120; 7; 66; 2; 1000; 33 ];
+  (* Back-to-back summaries with no record in between are identical
+     (served from the cache), and a later record is still visible. *)
+  let s1 = Harness.Metrics.summarize m in
+  let s2 = Harness.Metrics.summarize m in
+  Alcotest.(check bool) "cached summary stable" true (s1 = s2);
+  Harness.Metrics.record m 4;
+  Alcotest.(check int) "record after summarize invalidates" 11
+    (Harness.Metrics.summarize m).Harness.Metrics.count;
+  Alcotest.(check int) "min sample visible via full agreement" 4
+    (let f = fresh (!seen @ [ 4 ]) in
+     if Harness.Metrics.summarize m = f then 4 else -1)
+
 let prop_metrics_p50_is_median =
   QCheck.Test.make ~name:"p50 equals sorted median element" ~count:200
     QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (int_bound 100_000))
@@ -305,6 +338,7 @@ let () =
           Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
           Alcotest.test_case "empty" `Quick test_metrics_empty;
           Alcotest.test_case "buffer growth" `Quick test_metrics_growth;
+          Alcotest.test_case "interleaved record/summarize" `Quick test_metrics_interleaved;
           QCheck_alcotest.to_alcotest prop_metrics_p50_is_median;
         ] );
       ("report", [ Alcotest.test_case "render" `Quick test_report_render ]);

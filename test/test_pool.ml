@@ -1,0 +1,198 @@
+(* Tests for the parallel sweep harness: the domain pool (ordering,
+   exception propagation, nested-submit rejection, teardown), the Sweep
+   task abstraction, and the determinism contract — experiment reports
+   render byte-identical whatever the worker count. *)
+
+module Pool = Harness.Pool
+module Sweep = Harness.Sweep
+
+(* --- pool ----------------------------------------------------------- *)
+
+let test_pool_ordering () =
+  (* Results come back in submission order even though four workers
+     race over the queue. *)
+  let expected = List.init 64 (fun i -> i * i) in
+  let got =
+    Pool.with_pool ~jobs:4 (fun p ->
+        Pool.run p (List.init 64 (fun i () -> i * i)))
+  in
+  Alcotest.(check (list int)) "squares in order" expected got
+
+let test_pool_inline_matches_parallel () =
+  let thunks () = List.init 20 (fun i () -> 3 * i) in
+  let inline = Pool.with_pool ~jobs:1 (fun p -> Pool.run p (thunks ())) in
+  let parallel = Pool.with_pool ~jobs:3 (fun p -> Pool.run p (thunks ())) in
+  Alcotest.(check (list int)) "jobs=1 and jobs=3 agree" inline parallel
+
+let test_pool_reuse_across_batches () =
+  Pool.with_pool ~jobs:2 (fun p ->
+      Alcotest.(check (list int)) "first batch" [ 1; 2; 3 ]
+        (Pool.run p [ (fun () -> 1); (fun () -> 2); (fun () -> 3) ]);
+      Alcotest.(check (list string)) "second batch, same workers" [ "a"; "b" ]
+        (Pool.run p [ (fun () -> "a"); (fun () -> "b") ]);
+      Alcotest.(check (list int)) "empty batch" [] (Pool.run p []))
+
+let test_pool_exception_propagation () =
+  (* Every task runs to completion; the lowest-index failure is the one
+     re-raised. *)
+  let ran = Atomic.make 0 in
+  let boom i () =
+    Atomic.incr ran;
+    failwith (Printf.sprintf "boom-%d" i)
+  in
+  let task i () =
+    Atomic.incr ran;
+    i
+  in
+  let thunks =
+    List.init 10 (fun i -> if i = 3 || i = 7 then boom i else task i)
+  in
+  (try
+     ignore (Pool.with_pool ~jobs:4 (fun p -> Pool.run p thunks));
+     Alcotest.fail "expected an exception"
+   with Failure msg -> Alcotest.(check string) "lowest-index failure wins" "boom-3" msg);
+  Alcotest.(check int) "siblings of a failed task still ran" 10 (Atomic.get ran)
+
+let test_pool_nested_submit_rejected () =
+  (* A task resubmitting to its own pool would deadlock once every
+     worker does it; the pool rejects it outright — in both modes. *)
+  let nested p () = Pool.run p [ (fun () -> 1) ] in
+  List.iter
+    (fun jobs ->
+      try
+        ignore
+          (Pool.with_pool ~jobs (fun p -> Pool.run p [ (fun () -> List.hd (nested p ())) ]));
+        Alcotest.fail "expected Nested_submit"
+      with Pool.Nested_submit -> ())
+    [ 1; 2 ]
+
+let test_pool_shutdown_rejects_use () =
+  let p = Pool.create ~jobs:2 in
+  Alcotest.(check (list int)) "live pool works" [ 7 ] (Pool.run p [ (fun () -> 7) ]);
+  Pool.shutdown p;
+  (try
+     ignore (Pool.run p [ (fun () -> 8) ]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (* Idempotent teardown. *)
+  Pool.shutdown p
+
+let test_pool_map () =
+  Alcotest.(check (list int)) "map" [ 2; 4; 6 ] (Pool.map ~jobs:2 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+(* --- sweep ---------------------------------------------------------- *)
+
+let test_sweep_grid_order () =
+  Alcotest.(check (list (pair int string)))
+    "row-major product"
+    [ (1, "a"); (1, "b"); (2, "a"); (2, "b") ]
+    (Sweep.product [ 1; 2 ] [ "a"; "b" ]);
+  let cells =
+    List.map (fun (k, v) -> Sweep.cell (k, v) (fun () -> Printf.sprintf "%d%s" k v))
+      (Sweep.product [ 1; 2 ] [ "a"; "b" ])
+  in
+  let results = Sweep.run ~jobs:3 cells in
+  Alcotest.(check (list string))
+    "results in enumeration order" [ "1a"; "1b"; "2a"; "2b" ]
+    (List.map snd results);
+  Alcotest.(check string) "keyed lookup" "2a" (Sweep.get results (2, "a"));
+  try
+    ignore (Sweep.get results (9, "z"));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* --- parallel determinism ------------------------------------------- *)
+
+let small_setup config =
+  let placement = Store.Placement.ring ~n_nodes:3 ~replication_factor:2 () in
+  let params =
+    {
+      Workload.Synthetic.default with
+      local_hot = 2;
+      remote_hot = 10;
+      local_space = 100;
+      remote_space = 100;
+    }
+  in
+  {
+    Harness.Runner.topology = Dsim.Topology.uniform ~dcs:3 ~rtt_ms:40. ~intra_rtt_ms:0.5;
+    replication_factor = 2;
+    config;
+    workload = Workload.Synthetic.make ~params placement;
+    clients_per_node = 4;
+    warmup_us = 500_000;
+    measure_us = 2_000_000;
+    seed = 3;
+    jitter = 0.;
+    self_tune = `Off;
+  }
+
+(* A trimmed protocol sweep with the same shape as the Fig. 3 grid:
+   every cell is an independent Runner.run, rows assembled in grid-key
+   order.  The rendered table must be byte-identical whatever [jobs]
+   is — the acceptance property of the whole parallel harness. *)
+let mini_sweep_report ~jobs =
+  let report =
+    Harness.Report.create ~title:"mini protocol sweep"
+      ~headers:[ "protocol"; "thr(tx/s)"; "abort"; "lat-p50(ms)" ]
+  in
+  [
+    ("STR", fun () -> Core.Config.str ());
+    ("ClockSI-Rep", fun () -> Core.Config.clocksi_rep ());
+    ("Ext-Spec", fun () -> Core.Config.ext_spec ());
+  ]
+  |> List.map (fun (name, mk_config) ->
+         Sweep.cell name (fun () -> Harness.Runner.run (small_setup (mk_config ()))))
+  |> Sweep.run ~jobs
+  |> List.iter (fun (name, r) ->
+         Harness.Report.add_row report
+           [
+             name;
+             Harness.Report.f1 r.Harness.Runner.throughput;
+             Harness.Report.pct r.Harness.Runner.abort_rate;
+             Harness.Report.ms_of_us r.Harness.Runner.final_latency.Harness.Metrics.p50_us;
+           ]);
+  Harness.Report.render report
+
+let test_sweep_parallel_deterministic () =
+  let sequential = mini_sweep_report ~jobs:1 in
+  let parallel = mini_sweep_report ~jobs:4 in
+  Alcotest.(check string) "jobs=1 and jobs=4 render byte-identical" sequential parallel
+
+(* The `make tables-quick JOBS=n` path end to end on a real (small)
+   experiment grid: parallel execution must produce a complete,
+   well-formed report. *)
+let test_experiments_jobs_smoke () =
+  let r =
+    Harness.Experiments.ablation_serializability ~jobs:2
+      ~scale:Harness.Experiments.Quick ()
+  in
+  let rows = Harness.Report.rows r in
+  Alcotest.(check int) "one row per grid cell" 2 (List.length rows);
+  List.iter
+    (fun row -> Alcotest.(check int) "full row" 5 (List.length row))
+    rows;
+  Alcotest.(check bool) "renders" true (String.length (Harness.Report.render r) > 0)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "results in submission order" `Quick test_pool_ordering;
+          Alcotest.test_case "inline matches parallel" `Quick test_pool_inline_matches_parallel;
+          Alcotest.test_case "reusable across batches" `Quick test_pool_reuse_across_batches;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception_propagation;
+          Alcotest.test_case "nested submit rejected" `Quick test_pool_nested_submit_rejected;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects_use;
+          Alcotest.test_case "map" `Quick test_pool_map;
+        ] );
+      ("sweep", [ Alcotest.test_case "grid order and lookup" `Quick test_sweep_grid_order ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "report byte-identical across jobs" `Slow
+            test_sweep_parallel_deterministic;
+          Alcotest.test_case "experiments at jobs=2 (tables-quick path)" `Slow
+            test_experiments_jobs_smoke;
+        ] );
+    ]
