@@ -1,4 +1,4 @@
-.PHONY: all build test check mc lint bench bench-quick tables tables-quick
+.PHONY: all build test check mc lint trace-smoke bench bench-quick tables tables-quick
 
 all: build
 
@@ -10,6 +10,11 @@ test:
 
 lint:
 	dune build bin/lint.exe && ./_build/default/bin/lint.exe lib
+
+# Trace smoke test: tiny traced run -> validate the Chrome JSON + byte
+# fingerprint golden (test/goldens/trace_smoke.expected).
+trace-smoke:
+	dune build @trace-smoke
 
 # Deep model-checking configuration (exhausts the dcs=2/keys=2/txs=3
 # schedule tree; takes on the order of a minute).

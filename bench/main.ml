@@ -42,7 +42,7 @@ let run_tables ~jobs scale =
 (* A miniature run of one experiment cell: small client count, short
    window.  One of these per paper table/figure, so the suite exercises
    every experiment code path under the measurement loop. *)
-let mini_experiment_result ~workload_of ~config () =
+let mini_experiment_result ?trace ~workload_of ~config () =
   let placement = Store.Placement.ring ~n_nodes:9 ~replication_factor:6 () in
   let setup =
     {
@@ -53,7 +53,7 @@ let mini_experiment_result ~workload_of ~config () =
       jitter = 0.;
     }
   in
-  Harness.Runner.run setup
+  Harness.Runner.run ?trace setup
 
 let mini_experiment ~workload_of ~config () =
   let r = mini_experiment_result ~workload_of ~config () in
@@ -154,12 +154,28 @@ let micro_tests =
     done;
     Sys.opaque_identity !acc
   in
+  (* Observability overhead probe: the same mini experiment with
+     tracing off (the [Obs] hooks reduce to one branch each) and with a
+     live recorder.  The off row must stay within noise of the
+     pre-tracing baseline; the on row prices the recorder itself. *)
+  let trace_bench ~on () =
+    let trace = if on then Some (Obs.Trace.create ()) else None in
+    let r =
+      mini_experiment_result ?trace
+        ~workload_of:(fun pl ->
+          Workload.Synthetic.make ~params:Workload.Synthetic.synth_a pl)
+        ~config:(Core.Config.str ()) ()
+    in
+    Sys.opaque_identity r.Harness.Runner.committed
+  in
   Test.make_grouped ~name:"micro"
     [
       Test.make ~name:"event-queue-1k" (Staged.stage eq_bench);
       Test.make ~name:"chain-200-inserts" (Staged.stage chain_bench);
       Test.make ~name:"rng-1k" (Staged.stage rng_bench);
       Test.make ~name:"zipf-1k" (Staged.stage zipf_bench);
+      Test.make ~name:"trace-off-mini" (Staged.stage (fun () -> trace_bench ~on:false ()));
+      Test.make ~name:"trace-on-mini" (Staged.stage (fun () -> trace_bench ~on:true ()));
     ]
 
 (* Run a bechamel suite and return [(name, ns_per_run option)] rows

@@ -32,6 +32,54 @@ let resolve_jobs = function Some n -> max 1 n | None -> Harness.Pool.default_job
 
 let print_reports rs = List.iter (fun r -> Harness.Report.print r; print_newline ()) rs
 
+(* --- tracing options ------------------------------------------------ *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the full span/counter trace of the run and write it to \
+           $(docv) as Chrome trace-event JSON (open in Perfetto or \
+           chrome://tracing; feed to $(b,trace_stats) for the text report).  \
+           The bytes are identical whatever $(b,--jobs) is.")
+
+let trace_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"FILE"
+        ~doc:"Also (or instead) write the compact JSONL event log to $(docv).")
+
+let trace_filter_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-filter" ] ~docv:"SUBSTRING"
+        ~doc:
+          "Only trace sweep cells whose name contains $(docv), e.g. \
+           $(b,protocol=str) or $(b,clients=40).  Untraced cells still run \
+           (and still reserve their process-id slot, keeping ids stable), \
+           they just record nothing — use this to keep traces small on big \
+           sweeps.")
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let export_tracer tracer ~trace ~trace_jsonl =
+  match tracer with
+  | None -> ()
+  | Some tr ->
+    (match trace with
+    | Some f -> write_file f (Harness.Tracing.export_chrome tr)
+    | None -> ());
+    (match trace_jsonl with
+    | Some f -> write_file f (Harness.Tracing.export_jsonl tr)
+    | None -> ());
+    Printf.eprintf "traced %d cell(s)\n%!" (Harness.Tracing.n_selected tr)
+
 let experiment_cmd name doc f =
   let term =
     Term.(
@@ -40,7 +88,22 @@ let experiment_cmd name doc f =
   in
   Cmd.v (Cmd.info name ~doc) term
 
-let run_custom protocol workload clients seconds seed =
+(* Experiment command whose sweep supports [?tracer]. *)
+let traced_experiment_cmd name doc f =
+  let term =
+    Term.(
+      const (fun full jobs trace trace_jsonl filter ->
+          let tracer =
+            if trace = None && trace_jsonl = None then None
+            else Some (Harness.Tracing.create ?filter ())
+          in
+          print_reports (f ?tracer ~jobs:(resolve_jobs jobs) (scale_of_full full));
+          export_tracer tracer ~trace ~trace_jsonl)
+      $ full_arg $ jobs_arg $ trace_arg $ trace_jsonl_arg $ trace_filter_arg)
+  in
+  Cmd.v (Cmd.info name ~doc) term
+
+let run_custom protocol workload clients seconds warmup seed trace_file trace_jsonl =
   let config =
     match protocol with
     | "str" -> Core.Config.str ()
@@ -69,12 +132,16 @@ let run_custom protocol workload clients seconds seed =
     {
       (Harness.Runner.default_setup ~workload:wl ~config) with
       clients_per_node = clients;
+      warmup_us = warmup * 1_000_000;
       measure_us = seconds * 1_000_000;
       seed;
       self_tune = (if protocol = "str" then `On 1_000_000 else `Off);
     }
   in
-  let r = Harness.Runner.run setup in
+  let trace =
+    if trace_file = None && trace_jsonl = None then None else Some (Obs.Trace.create ())
+  in
+  let r = Harness.Runner.run ?trace setup in
   Printf.printf "protocol=%s workload=%s clients/node=%d\n" protocol workload clients;
   Printf.printf "  throughput     : %.1f tx/s\n" r.Harness.Runner.throughput;
   Printf.printf "  abort rate     : %.1f%%\n" (100. *. r.Harness.Runner.abort_rate);
@@ -86,7 +153,19 @@ let run_custom protocol workload clients seconds seed =
     Format.printf "  spec latency   : %a@." Harness.Metrics.pp_summary
       r.Harness.Runner.spec_latency;
   Printf.printf "  WAN messages   : %d\n" r.Harness.Runner.wan_messages;
-  Format.printf "  stats          : %a@." Core.Stats.pp r.Harness.Runner.stats
+  Format.printf "  stats          : %a@." Core.Stats.pp r.Harness.Runner.stats;
+  match trace with
+  | None -> ()
+  | Some tr ->
+    let cells =
+      [ (Printf.sprintf "protocol=%s/workload=%s/clients=%d" protocol workload clients, tr) ]
+    in
+    (match trace_file with
+    | Some f -> write_file f (Obs.Export.chrome cells)
+    | None -> ());
+    (match trace_jsonl with
+    | Some f -> write_file f (Obs.Export.jsonl cells)
+    | None -> ())
 
 let run_cmd =
   let protocol =
@@ -107,24 +186,36 @@ let run_cmd =
   let seconds =
     Arg.(value & opt int 10 & info [ "t"; "seconds" ] ~doc:"measured (simulated) seconds")
   in
+  let warmup =
+    Arg.(value & opt int 5 & info [ "warmup" ] ~doc:"warmup (simulated) seconds")
+  in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed") in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a single simulation and print its metrics")
-    Term.(const run_custom $ protocol $ workload $ clients $ seconds $ seed)
+    Term.(
+      const run_custom $ protocol $ workload $ clients $ seconds $ warmup $ seed $ trace_arg
+      $ trace_jsonl_arg)
 
 let () =
   let open Harness.Experiments in
   let cmds =
     [
-      experiment_cmd "fig3a" "Figure 3(a): Synth-A" (fun ~jobs s -> [ fig3 ~jobs ~scale:s `A ]);
-      experiment_cmd "fig3b" "Figure 3(b): Synth-B" (fun ~jobs s -> [ fig3 ~jobs ~scale:s `B ]);
-      experiment_cmd "fig4" "Figure 4: self-tuning" (fun ~jobs s -> [ fig4 ~jobs ~scale:s () ]);
-      experiment_cmd "table1" "Table 1: Precise Clocks ablation"
-        (fun ~jobs s -> [ table1 ~jobs ~scale:s () ]);
-      experiment_cmd "fig5a" "Figure 5: TPC-C mix A" (fun ~jobs s -> [ fig5 ~jobs ~scale:s `A ]);
-      experiment_cmd "fig5b" "Figure 5: TPC-C mix B" (fun ~jobs s -> [ fig5 ~jobs ~scale:s `B ]);
-      experiment_cmd "fig5c" "Figure 5: TPC-C mix C" (fun ~jobs s -> [ fig5 ~jobs ~scale:s `C ]);
-      experiment_cmd "fig6" "Figure 6: RUBiS" (fun ~jobs s -> [ fig6 ~jobs ~scale:s () ]);
+      traced_experiment_cmd "fig3a" "Figure 3(a): Synth-A"
+        (fun ?tracer ~jobs s -> [ fig3 ?tracer ~jobs ~scale:s `A ]);
+      traced_experiment_cmd "fig3b" "Figure 3(b): Synth-B"
+        (fun ?tracer ~jobs s -> [ fig3 ?tracer ~jobs ~scale:s `B ]);
+      traced_experiment_cmd "fig4" "Figure 4: self-tuning"
+        (fun ?tracer ~jobs s -> [ fig4 ?tracer ~jobs ~scale:s () ]);
+      traced_experiment_cmd "table1" "Table 1: Precise Clocks ablation"
+        (fun ?tracer ~jobs s -> [ table1 ?tracer ~jobs ~scale:s () ]);
+      traced_experiment_cmd "fig5a" "Figure 5: TPC-C mix A"
+        (fun ?tracer ~jobs s -> [ fig5 ?tracer ~jobs ~scale:s `A ]);
+      traced_experiment_cmd "fig5b" "Figure 5: TPC-C mix B"
+        (fun ?tracer ~jobs s -> [ fig5 ?tracer ~jobs ~scale:s `B ]);
+      traced_experiment_cmd "fig5c" "Figure 5: TPC-C mix C"
+        (fun ?tracer ~jobs s -> [ fig5 ?tracer ~jobs ~scale:s `C ]);
+      traced_experiment_cmd "fig6" "Figure 6: RUBiS"
+        (fun ?tracer ~jobs s -> [ fig6 ?tracer ~jobs ~scale:s () ]);
       experiment_cmd "storage" "Precise Clocks storage overhead"
         (fun ~jobs s -> [ storage ~jobs ~scale:s () ]);
       experiment_cmd "ablations" "Extra ablations (DC count, replication factor, remote reads)"

@@ -1,0 +1,213 @@
+(* Text report over a Chrome trace produced by `str_sim --trace`.
+
+     trace_stats FILE              convoy-effect report: lock hold-time
+                                   distribution vs the inter-DC RTT,
+                                   abort taxonomy, message counts
+     trace_stats --validate FILE   structural check + byte fingerprint
+                                   (the trace-smoke golden)
+
+   The trace is self-contained: span timings live in "traceEvents",
+   per-cell counters and run-summary stats in the "strMeta" object the
+   exporter appends. *)
+
+open Cmdliner
+module J = Harness.Bench_json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- JSON accessors ------------------------------------------------- *)
+
+let field name = function
+  | J.Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let field_exn ctx name j =
+  match field name j with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "%s: missing %S" ctx name)
+
+let as_arr ctx = function J.Arr l -> l | _ -> failwith (ctx ^ ": expected array")
+let as_obj ctx = function J.Obj kvs -> kvs | _ -> failwith (ctx ^ ": expected object")
+
+let as_int ctx = function
+  | J.Num f when Float.is_integer f -> int_of_float f
+  | _ -> failwith (ctx ^ ": expected integer")
+
+let as_str ctx = function J.Str s -> s | _ -> failwith (ctx ^ ": expected string")
+
+let opt_str name j = Option.map (as_str name) (field name j)
+
+(* --- trace decoding ------------------------------------------------- *)
+
+type span = { name : string; dur : int }
+
+type cell = {
+  cell_name : string;
+  events : int;
+  aborts : (string * int) list;
+  msgs : (string * int) list;
+  stats : (string * int) list;
+}
+
+type trace = { spans : span list; n_instants : int; cells : cell list }
+
+let decode_event j =
+  match opt_str "ph" j with
+  | Some "X" ->
+    let name = as_str "span name" (field_exn "span" "name" j) in
+    let dur = as_int "dur" (field_exn "span" "dur" j) in
+    ignore (as_int "ts" (field_exn "span" "ts" j));
+    ignore (as_int "pid" (field_exn "span" "pid" j));
+    ignore (as_int "tid" (field_exn "span" "tid" j));
+    if dur < 0 then failwith "span: negative dur";
+    `Span { name; dur }
+  | Some "i" ->
+    ignore (as_int "ts" (field_exn "instant" "ts" j));
+    `Instant
+  | Some "M" -> `Meta
+  | Some ph -> failwith ("unknown event ph: " ^ ph)
+  | None -> failwith "event without ph"
+
+let int_pairs ctx j =
+  List.map (fun (k, v) -> (k, as_int (ctx ^ "." ^ k) v)) (as_obj ctx j)
+
+let decode_cell j =
+  {
+    cell_name = as_str "cell name" (field_exn "cell" "name" j);
+    events = as_int "cell events" (field_exn "cell" "events" j);
+    aborts = int_pairs "aborts" (field_exn "cell" "aborts" j);
+    msgs = int_pairs "msgs" (field_exn "cell" "msgs" j);
+    stats = int_pairs "stats" (field_exn "cell" "stats" j);
+  }
+
+let decode src =
+  match J.parse src with
+  | Error e -> failwith ("JSON parse error: " ^ e)
+  | Ok root ->
+    let events = as_arr "traceEvents" (field_exn "root" "traceEvents" root) in
+    let meta = field_exn "root" "strMeta" root in
+    let cells =
+      List.map decode_cell (as_arr "strMeta.cells" (field_exn "strMeta" "cells" meta))
+    in
+    let spans = ref [] and n_instants = ref 0 in
+    List.iter
+      (fun ev ->
+        match decode_event ev with
+        | `Span s -> spans := s :: !spans
+        | `Instant -> incr n_instants
+        | `Meta -> ())
+      events;
+    let t = { spans = List.rev !spans; n_instants = !n_instants; cells } in
+    (* The per-cell event counts in strMeta must account for every
+       non-metadata event in the stream. *)
+    let declared = List.fold_left (fun acc c -> acc + c.events) 0 t.cells in
+    let actual = List.length t.spans + t.n_instants in
+    if declared <> actual then
+      failwith
+        (Printf.sprintf "strMeta event count %d <> %d trace events" declared actual);
+    t
+
+(* --- reports -------------------------------------------------------- *)
+
+let validate file =
+  let src = read_file file in
+  let t = decode src in
+  Printf.printf "valid chrome trace\n";
+  Printf.printf "cells: %d\n" (List.length t.cells);
+  Printf.printf "spans: %d\n" (List.length t.spans);
+  Printf.printf "instants: %d\n" t.n_instants;
+  Printf.printf "fingerprint: %d\n" (Obs.Export.fingerprint src)
+
+let sum_counts cells proj =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+        (proj c))
+    cells;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let stat_range cells name ~f ~init =
+  List.fold_left
+    (fun acc c ->
+      match List.assoc_opt name c.stats with Some v -> f acc v | None -> acc)
+    init cells
+
+let pct num den = if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
+
+let report file =
+  let t = decode (read_file file) in
+  Printf.printf "== trace report: %s ==\n" (Filename.basename file);
+  Printf.printf "cells: %d\n" (List.length t.cells);
+  List.iter
+    (fun c ->
+      let stat n = Option.value ~default:0 (List.assoc_opt n c.stats) in
+      Printf.printf
+        "  %-40s events=%d commits=%d eq_max_depth=%d net_msgs=%d wan=%d fifo_delays=%d\n"
+        c.cell_name c.events (stat "commits") (stat "eq_max_depth") (stat "net_messages")
+        (stat "net_wan_messages") (stat "net_fifo_delays"))
+    t.cells;
+  let print_counts header counts =
+    Printf.printf "%s\n" header;
+    if counts = [] then Printf.printf "  (none)\n"
+    else List.iter (fun (k, v) -> Printf.printf "  %-16s %d\n" k v) counts
+  in
+  print_counts "-- aborts by taxonomy --" (sum_counts t.cells (fun c -> c.aborts));
+  print_counts "-- messages by kind --" (sum_counts t.cells (fun c -> c.msgs));
+  (* Convoy effect: certified writers hold their locks across the
+     synchronous replication round, so under contention the lock
+     hold-time tail should reach (and exceed) the inter-DC RTT. *)
+  let holds = List.filter (fun s -> s.name = "lock-hold") t.spans in
+  let hist = Obs.Histogram.create () in
+  List.iter (fun s -> Obs.Histogram.record hist s.dur) holds;
+  let s = Obs.Histogram.summary hist in
+  Printf.printf "-- lock hold times (convoy effect) --\n";
+  Printf.printf "  holds: %d\n" s.Obs.Histogram.count;
+  if s.Obs.Histogram.count > 0 then begin
+    Printf.printf "  p50=%dus p90=%dus p99=%dus p999=%dus max=%dus\n"
+      s.Obs.Histogram.p50_us s.Obs.Histogram.p90_us s.Obs.Histogram.p99_us
+      s.Obs.Histogram.p999_us s.Obs.Histogram.max_us;
+    let rtt_lo = stat_range t.cells "interdc_rtt_min_us" ~f:min ~init:max_int in
+    let rtt_hi = stat_range t.cells "interdc_rtt_max_us" ~f:max ~init:0 in
+    if rtt_lo <= rtt_hi && rtt_hi > 0 then begin
+      Printf.printf "  inter-DC RTT: min=%dus max=%dus\n" rtt_lo rtt_hi;
+      let over lim = List.length (List.filter (fun s -> s.dur >= lim) holds) in
+      let n = List.length holds in
+      Printf.printf "  holds >= min RTT: %d (%.1f%%)\n" (over rtt_lo) (pct (over rtt_lo) n);
+      Printf.printf "  holds >= max RTT: %d (%.1f%%)\n" (over rtt_hi) (pct (over rtt_hi) n)
+    end
+    else Printf.printf "  inter-DC RTT: n/a (single DC)\n"
+  end
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Chrome trace JSON.")
+
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:
+          "Structural check only: parse the trace, cross-check the strMeta event \
+           counts, and print a byte fingerprint (the trace-smoke golden).")
+
+let main validate_only file =
+  try
+    if validate_only then validate file else report file;
+    0
+  with Failure msg ->
+    Printf.eprintf "trace_stats: %s: %s\n" file msg;
+    1
+
+let () =
+  let info =
+    Cmd.info "trace_stats"
+      ~doc:"Summarize a str_sim trace: abort taxonomy, message counts, convoy effect"
+  in
+  exit (Cmd.eval' (Cmd.v info Term.(const main $ validate_arg $ file_arg)))

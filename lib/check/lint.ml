@@ -96,7 +96,21 @@ let rules =
       message =
         "toplevel mutable module state is shared by parallel sweep runs \
          (Harness.Pool); allocate per run instead";
-      scope = Some (Str.regexp "lib/\\(core\\|dsim\\|store\\|harness\\)\\(/\\|$\\)");
+      scope = Some (Str.regexp "lib/\\(core\\|dsim\\|store\\|harness\\|obs\\)\\(/\\|$\\)");
+    };
+    {
+      (* Library code must not write to stdout directly: reports go
+         through Report/Export values that the binaries print, and stray
+         prints corrupt machine-read outputs (trace JSON on stdout,
+         bench JSON diffs).  Printing in [bin/] and [bench/] is fine. *)
+      name = "no-direct-print";
+      re =
+        Str.regexp
+          "\\(Printf\\.printf\\|Format\\.printf\\|\\(^\\|[^A-Za-z0-9_.]\\)print_\\(string\\|endline\\|newline\\|int\\|char\\|float\\)\\([^A-Za-z0-9_]\\|$\\)\\)";
+      message =
+        "library code must not print to stdout; return a string/Report and let \
+         the binary print it";
+      scope = Some (Str.regexp "\\(^\\|/\\)lib/");
     };
   ]
 

@@ -39,12 +39,14 @@ type t = {
   cur_master : int array;
       (** current master per partition; differs from the static placement
           after a fail-over promoted a slave (§5.6) *)
+  trace : Obs.Trace.t;  (** span/counter recorder; a disabled one by default *)
   mutable observer : (event -> unit) option;
 }
 
 let sim t = t.sim
 let net t = t.net
 let config t = t.config
+let trace t = t.trace
 let placement t = t.placement
 let n_nodes t = Array.length t.nodes
 let node t i = t.nodes.(i)
@@ -61,10 +63,15 @@ let emit t ev = match t.observer with None -> () | Some f -> f ev
     presumed-abort termination for the dead coordinator's in-doubt
     transactions; true coordinator-state high availability is the
     orthogonal mechanism the paper defers to (§5.6). *)
-let send eng ~src ~dst f =
+let send eng ~kind ~src ~dst f =
+  Obs.Trace.count_msg eng.trace kind;
   if eng.nodes.(src).alive then
     Network.send eng.net ~src ~dst (fun () ->
         if eng.nodes.(dst).alive && eng.nodes.(src).alive then f ())
+
+(** Trace process id of the data center hosting [n] ([+1] keeps pid 0
+    free — some trace viewers reserve it). *)
+let pid_of eng n = Obs.Trace.pid_base eng.trace + Network.dc_of_node eng.net n + 1
 
 (** Current master of a partition (reflects fail-over promotions). *)
 let master_of eng p = eng.cur_master.(p)
@@ -87,10 +94,36 @@ let server eng ~node:n ~partition:p =
     invalid_arg
       (Printf.sprintf "Engine.server: node %d does not replicate partition %d" n p)
 
-let create ~sim ~net ~placement ~config ?(seed = 42) () =
+let create ~sim ~net ~placement ~config ?(seed = 42) ?trace () =
   let n = Network.node_count net in
   if Placement.n_nodes placement <> n then
     invalid_arg "Engine.create: placement/network node count mismatch";
+  let trace = match trace with Some tr -> tr | None -> Obs.Trace.disabled () in
+  let node_pid id = Obs.Trace.pid_base trace + Network.dc_of_node net id + 1 in
+  if Obs.Trace.enabled trace then begin
+    (* Declare the Chrome-trace process/thread structure up front, in a
+       fixed order: one process per data center, one thread per protocol
+       actor (coordinator, cache partition, each partition replica). *)
+    let topo = Network.topology net in
+    for dc = 0 to Dsim.Topology.size topo - 1 do
+      Obs.Trace.declare_process trace
+        ~pid:(Obs.Trace.pid_base trace + dc + 1)
+        ~name:(Printf.sprintf "dc%d-%s" dc (Dsim.Topology.name topo dc))
+    done;
+    for id = 0 to n - 1 do
+      let pid = node_pid id in
+      Obs.Trace.declare_thread trace ~pid ~tid:(Obs.Trace.coord_tid id)
+        ~name:(Printf.sprintf "node%d-coord" id);
+      Obs.Trace.declare_thread trace ~pid ~tid:(Obs.Trace.cache_tid id)
+        ~name:(Printf.sprintf "node%d-cache" id);
+      for p = 0 to Placement.n_partitions placement - 1 do
+        if Placement.replicates placement ~node:id ~partition:p then
+          Obs.Trace.declare_thread trace ~pid
+            ~tid:(Obs.Trace.server_tid ~node:id ~partition:p)
+            ~name:(Printf.sprintf "node%d-p%d" id p)
+      done
+    done
+  end;
   let rng = Dsim.Rng.create ~seed in
   let nodes =
     Array.init n (fun id ->
@@ -110,7 +143,7 @@ let create ~sim ~net ~placement ~config ?(seed = 42) () =
           servers = Hashtbl.create 16;
           cache =
             Partition_server.create ~sim ~clock ~cpu ~config ~node_id:id
-              ~partition:(-1) ~is_cache:true ~stats ();
+              ~partition:(-1) ~is_cache:true ~stats ~trace ~pid:(node_pid id) ();
           active = Txid.Tbl.create 256;
           stats;
           next_tx = 0;
@@ -123,7 +156,7 @@ let create ~sim ~net ~placement ~config ?(seed = 42) () =
         let nd = nodes.(r) in
         Hashtbl.replace nd.servers p
           (Partition_server.create ~sim ~clock:nd.clock ~cpu:nd.cpu ~config
-             ~node_id:r ~partition:p ~stats:nd.stats ()))
+             ~node_id:r ~partition:p ~stats:nd.stats ~trace ~pid:(node_pid r) ()))
       (Placement.replicas placement p)
   done;
   let nearest =
@@ -151,6 +184,7 @@ let create ~sim ~net ~placement ~config ?(seed = 42) () =
     nodes;
     nearest;
     cur_master = Array.init (Placement.n_partitions placement) (Placement.master placement);
+    trace;
     observer = None;
   }
 
@@ -251,12 +285,21 @@ let rec abort_tx eng tx reason =
     Partition_server.abort nd.cache tx.id;
     if tx.global_started then
       for_each_remote_replica eng tx (fun r p ->
-          send eng ~src:tx.origin ~dst:r (fun () ->
+          send eng ~kind:Obs.Trace.M_abort ~src:tx.origin ~dst:r (fun () ->
               let srv = server eng ~node:r ~partition:p in
               Cpu.exec eng.nodes.(r).cpu
                 ~cost:(eng.config.Config.cost_apply_key * Partition_server.pending_key_count srv tx.id)
                 (fun () -> Partition_server.abort ~tombstone:true srv tx.id)));
     Txid.Tbl.remove nd.active tx.id;
+    Obs.Trace.count_abort eng.trace (taxonomy_of_abort reason);
+    if Obs.Trace.enabled eng.trace then begin
+      let now = Sim.now eng.sim in
+      Obs.Trace.instant eng.trace ~kind:Obs.Trace.I_abort ~pid:(pid_of eng tx.origin)
+        ~tid:(Obs.Trace.coord_tid tx.origin) ~time:now ~a:(Txid.origin tx.id)
+        ~b:(Txid.number tx.id)
+        ~note:(abort_reason_to_string reason) ();
+      Obs.Trace.span_end eng.trace tx.span ~t1:now
+    end;
     emit eng (Ev_abort { id = tx.id; reason; time = Sim.now eng.sim });
     ignore (Ivar.fill_if_empty tx.outcome (Tx_aborted_out reason));
     notify tx
@@ -291,13 +334,20 @@ let commit_apply eng tx ct =
     (local_partitions_of eng tx);
   if tx.unsafe then Partition_server.commit nd.cache tx.id ~ct;
   for_each_remote_replica eng tx (fun r p ->
-      send eng ~src:tx.origin ~dst:r (fun () ->
+      send eng ~kind:Obs.Trace.M_commit ~src:tx.origin ~dst:r (fun () ->
           let srv = server eng ~node:r ~partition:p in
           Cpu.exec eng.nodes.(r).cpu
             ~cost:(eng.config.Config.cost_apply_key * Partition_server.pending_key_count srv tx.id)
             (fun () -> Partition_server.commit srv tx.id ~ct)));
   nd.stats.Stats.commits <- nd.stats.Stats.commits + 1;
   Txid.Tbl.remove nd.active tx.id;
+  if Obs.Trace.enabled eng.trace then begin
+    let now = Sim.now eng.sim in
+    Obs.Trace.instant eng.trace ~kind:Obs.Trace.I_commit ~pid:(pid_of eng tx.origin)
+      ~tid:(Obs.Trace.coord_tid tx.origin) ~time:now ~a:(Txid.origin tx.id)
+      ~b:(Txid.number tx.id) ();
+    Obs.Trace.span_end eng.trace tx.span ~t1:now
+  end;
   emit eng (Ev_commit { id = tx.id; ct; time = Sim.now eng.sim });
   ignore (Ivar.fill_if_empty tx.outcome (Tx_committed ct));
   notify tx
@@ -317,6 +367,11 @@ let begin_tx eng ~origin =
   in
   Txid.Tbl.replace nd.active id tx;
   nd.stats.Stats.started <- nd.stats.Stats.started + 1;
+  if Obs.Trace.enabled eng.trace then
+    tx.span <-
+      Obs.Trace.span_begin eng.trace ~kind:Obs.Trace.S_tx ~pid:(pid_of eng origin)
+        ~tid:(Obs.Trace.coord_tid origin) ~t0:(Sim.now eng.sim) ~a:origin
+        ~b:nd.next_tx ();
   emit eng (Ev_begin { id; origin; rs; time = Sim.now eng.sim });
   tx
 
@@ -335,6 +390,19 @@ let rec read eng tx key =
     charge nd eng.config.Config.cost_tx_logic;
     check_live tx;
     let read_started = Sim.now eng.sim in
+    let rspan =
+      if Obs.Trace.enabled eng.trace then
+        Obs.Trace.span_begin eng.trace ~kind:Obs.Trace.S_read
+          ~pid:(pid_of eng tx.origin) ~tid:(Obs.Trace.coord_tid tx.origin)
+          ~t0:read_started ~a:(Txid.origin tx.id) ~b:(Txid.number tx.id) ()
+      else -1
+    in
+    (* Close this attempt's span before recursing on a retry, so every
+       attempt gets its own [read] span. *)
+    let retry () =
+      Obs.Trace.span_end eng.trace rspan ~t1:(Sim.now eng.sim);
+      read eng tx key
+    in
     let iv = Ivar.create () in
     let origin_local = Placement.replicates eng.placement ~node:tx.origin ~partition:p in
     let via =
@@ -371,21 +439,35 @@ let rec read eng tx key =
            if !best < 0 then preferred else !best
          end
        in
-       send eng ~src:tx.origin ~dst:target (fun () ->
+       send eng ~kind:Obs.Trace.M_read_req ~src:tx.origin ~dst:target (fun () ->
            Partition_server.read
              (server eng ~node:target ~partition:p)
              ~rs:tx.rs ~reader_origin:tx.origin key
              (fun r ->
-               send eng ~src:target ~dst:tx.origin (fun () -> Ivar.fill iv r))));
+               send eng ~kind:Obs.Trace.M_read_reply ~src:target ~dst:tx.origin
+                 (fun () -> Ivar.fill iv r))));
     let r = Fiber.await iv in
     check_live tx;
     tx.reads_done <- tx.reads_done + 1;
     let finish (r : Partition_server.read_reply) speculative =
       if not eng.config.Config.unsafe_speculation then begin
-        if not (olc_min tx >= tx.ffc || is_aborted tx) then
+        if not (olc_min tx >= tx.ffc || is_aborted tx) then begin
           nd.stats.Stats.olc_blocks <- nd.stats.Stats.olc_blocks + 1;
-        wait_until tx (fun () -> olc_min tx >= tx.ffc || is_aborted tx)
+          (* The snapshot-safety guard actually blocks: record the stall
+             as its own span (Alg. 1, line 15). *)
+          let ospan =
+            if Obs.Trace.enabled eng.trace then
+              Obs.Trace.span_begin eng.trace ~kind:Obs.Trace.S_olc_wait
+                ~pid:(pid_of eng tx.origin) ~tid:(Obs.Trace.coord_tid tx.origin)
+                ~t0:(Sim.now eng.sim) ~a:(Txid.origin tx.id)
+                ~b:(Txid.number tx.id) ()
+            else -1
+          in
+          wait_until tx (fun () -> olc_min tx >= tx.ffc || is_aborted tx);
+          Obs.Trace.span_end eng.trace ospan ~t1:(Sim.now eng.sim)
+        end
       end;
+      Obs.Trace.span_end eng.trace rspan ~t1:(Sim.now eng.sim);
       check_live tx;
       emit eng
         (Ev_read
@@ -413,7 +495,7 @@ let rec read eng tx key =
      | `Missing, `Cache ->
        (* The cached version vanished while we were queued; retry (the
           cache check will now fail and the read goes remote). *)
-       read eng tx key
+       retry ()
      | `Missing, (`Local | `Remote) -> finish r false
      | `Committed ts, _ ->
        if ts > tx.ffc then tx.ffc <- ts;
@@ -427,7 +509,7 @@ let rec read eng tx key =
         | None ->
           (* Writer resolved (committed or aborted) while the reply was in
              flight; re-read to observe its final outcome. *)
-          read eng tx key
+          retry ()
         | Some tw ->
           (match tw.state with
            | Local_committed ->
@@ -438,7 +520,7 @@ let rec read eng tx key =
            | Committed ->
              if tw.ct > tx.ffc then tx.ffc <- tw.ct;
              finish r false
-           | Aborted _ -> read eng tx key
+           | Aborted _ -> retry ()
            | Active -> assert false)))
 
 let write eng tx key value =
@@ -468,8 +550,26 @@ let externalize eng tx =
     let nd = eng.nodes.(tx.origin) in
     tx.spec_exposed <- true;
     nd.stats.Stats.spec_commits <- nd.stats.Stats.spec_commits + 1;
+    if Obs.Trace.enabled eng.trace then
+      Obs.Trace.instant eng.trace ~kind:Obs.Trace.I_spec_commit
+        ~pid:(pid_of eng tx.origin) ~tid:(Obs.Trace.coord_tid tx.origin)
+        ~time:(Sim.now eng.sim) ~a:(Txid.origin tx.id) ~b:(Txid.number tx.id) ();
     ignore (Ivar.fill_if_empty tx.spec_commit (Sim.now eng.sim))
   end
+
+(** SPSI-4 wait: block until every speculative dependency has resolved,
+    recording the stall as a [dep-wait] span when there was anything to
+    wait for. *)
+let dep_wait eng tx =
+  let dspan =
+    if Obs.Trace.enabled eng.trace && not (Txid.Set.is_empty tx.deps) then
+      Obs.Trace.span_begin eng.trace ~kind:Obs.Trace.S_dep_wait
+        ~pid:(pid_of eng tx.origin) ~tid:(Obs.Trace.coord_tid tx.origin)
+        ~t0:(Sim.now eng.sim) ~a:(Txid.origin tx.id) ~b:(Txid.number tx.id) ()
+    else -1
+  in
+  wait_until tx (fun () -> Txid.Set.is_empty tx.deps || is_aborted tx);
+  Obs.Trace.span_end eng.trace dspan ~t1:(Sim.now eng.sim)
 
 (** Commit protocol of Algorithm 1: local certification (local 2PC over
     local replicas plus the cache partition), local commit, global
@@ -484,7 +584,7 @@ let commit eng tx =
   if is_read_only tx then begin
     (* A read-only transaction may still have speculative dependencies;
        SPSI-4 requires them resolved before confirming to the client. *)
-    wait_until tx (fun () -> Txid.Set.is_empty tx.deps || is_aborted tx);
+    dep_wait eng tx;
     check_live tx;
     externalize eng tx;
     tx.state <- Committed;
@@ -492,6 +592,13 @@ let commit eng tx =
     nd.stats.Stats.commits <- nd.stats.Stats.commits + 1;
     nd.stats.Stats.read_only_commits <- nd.stats.Stats.read_only_commits + 1;
     Txid.Tbl.remove nd.active tx.id;
+    if Obs.Trace.enabled eng.trace then begin
+      let now = Sim.now eng.sim in
+      Obs.Trace.instant eng.trace ~kind:Obs.Trace.I_commit ~pid:(pid_of eng tx.origin)
+        ~tid:(Obs.Trace.coord_tid tx.origin) ~time:now ~a:(Txid.origin tx.id)
+        ~b:(Txid.number tx.id) ();
+      Obs.Trace.span_end eng.trace tx.span ~t1:now
+    end;
     emit eng (Ev_commit { id = tx.id; ct = tx.ct; time = Sim.now eng.sim });
     ignore (Ivar.fill_if_empty tx.outcome (Tx_committed tx.ct));
     notify tx;
@@ -516,6 +623,13 @@ let commit eng tx =
     let n_writes = tx.n_wkeys in
     charge nd (eng.config.Config.cost_prepare_key * n_writes);
     check_live tx;
+    let cspan =
+      if Obs.Trace.enabled eng.trace then
+        Obs.Trace.span_begin eng.trace ~kind:Obs.Trace.S_local_cert
+          ~pid:(pid_of eng tx.origin) ~tid:(Obs.Trace.coord_tid tx.origin)
+          ~t0:(Sim.now eng.sim) ~a:(Txid.origin tx.id) ~b:(Txid.number tx.id) ()
+      else -1
+    in
     (* ---- Local certification (atomic within this event) ---- *)
     let lc = ref (tx.rs + 1) in
     let wdeps = ref Txid.Set.empty in
@@ -559,6 +673,7 @@ let commit eng tx =
         List.iter (fun w -> wdeps := Txid.Set.add w !wdeps) d
     end;
     if !conflict then begin
+      Obs.Trace.span_end eng.trace cspan ~t1:(Sim.now eng.sim);
       abort_tx eng tx Local_conflict;
       raise (Tx_abort Local_conflict)
     end;
@@ -581,6 +696,11 @@ let commit eng tx =
           tx.id ~lc:!lc)
       (local_partitions_of eng tx);
     if tx.unsafe then Partition_server.local_commit nd.cache tx.id ~lc:!lc;
+    Obs.Trace.span_end eng.trace cspan ~t1:(Sim.now eng.sim);
+    if Obs.Trace.enabled eng.trace then
+      Obs.Trace.instant eng.trace ~kind:Obs.Trace.I_local_commit
+        ~pid:(pid_of eng tx.origin) ~tid:(Obs.Trace.coord_tid tx.origin)
+        ~time:(Sim.now eng.sim) ~a:(Txid.origin tx.id) ~b:(Txid.number tx.id) ();
     emit eng
       (Ev_local_commit { id = tx.id; lc = !lc; unsafe = tx.unsafe; time = Sim.now eng.sim });
     externalize eng tx;
@@ -601,7 +721,7 @@ let commit eng tx =
       end
     in
     let send_replicate ~from ~nw slave p writes =
-      send eng ~src:from ~dst:slave (fun () ->
+      send eng ~kind:Obs.Trace.M_replicate ~src:from ~dst:slave (fun () ->
           let snd = eng.nodes.(slave) in
           Cpu.exec snd.cpu
             ~cost:(eng.config.Config.cost_prepare_key * nw)
@@ -623,8 +743,8 @@ let commit eng tx =
                 | Partition_server.Prepared { ts; _ } -> `Prepared ts
                 | Partition_server.Conflict _ -> `Aborted
               in
-              send eng ~src:slave ~dst:tx.origin (fun () ->
-                  reply_handler outcome)))
+              send eng ~kind:Obs.Trace.M_prepare_reply ~src:slave ~dst:tx.origin
+                (fun () -> reply_handler outcome)))
     in
     List.iter
       (fun (p, writes) ->
@@ -642,7 +762,7 @@ let commit eng tx =
         else begin
           incr expected (* the master's own reply *);
           List.iter (fun s -> if s <> tx.origin then incr expected) slaves;
-          send eng ~src:tx.origin ~dst:m (fun () ->
+          send eng ~kind:Obs.Trace.M_prepare ~src:tx.origin ~dst:m (fun () ->
               let mnd = eng.nodes.(m) in
               Cpu.exec mnd.cpu
                 ~cost:(eng.config.Config.cost_prepare_key * nw)
@@ -653,27 +773,35 @@ let commit eng tx =
                       ~origin:tx.origin ~rs:tx.rs ~writes
                   with
                   | Partition_server.Conflict _ ->
-                    send eng ~src:m ~dst:tx.origin (fun () ->
-                        reply_handler `Aborted)
+                    send eng ~kind:Obs.Trace.M_prepare_reply ~src:m ~dst:tx.origin
+                      (fun () -> reply_handler `Aborted)
                   | Partition_server.Prepared { ts; _ } ->
                     List.iter
                       (fun s ->
                         if s <> tx.origin then send_replicate ~from:m ~nw s p writes)
                       slaves;
-                    send eng ~src:m ~dst:tx.origin (fun () ->
-                        reply_handler (`Prepared ts))))
+                    send eng ~kind:Obs.Trace.M_prepare_reply ~src:m ~dst:tx.origin
+                      (fun () -> reply_handler (`Prepared ts))))
         end)
       groups;
     tx.pending_prepares <- !expected;
+    let rspan =
+      if Obs.Trace.enabled eng.trace && !expected > 0 then
+        Obs.Trace.span_begin eng.trace ~kind:Obs.Trace.S_repl_wait
+          ~pid:(pid_of eng tx.origin) ~tid:(Obs.Trace.coord_tid tx.origin)
+          ~t0:(Sim.now eng.sim) ~a:(Txid.origin tx.id) ~b:(Txid.number tx.id) ()
+      else -1
+    in
     wait_until tx (fun () ->
         tx.pending_prepares <= 0 || tx.prepare_failed || is_aborted tx);
+    Obs.Trace.span_end eng.trace rspan ~t1:(Sim.now eng.sim);
     check_live tx;
     if tx.prepare_failed then begin
       abort_tx eng tx Remote_conflict;
       raise (Tx_abort Remote_conflict)
     end;
     (* ---- SPSI-4: all speculative dependencies must resolve ---- *)
-    wait_until tx (fun () -> Txid.Set.is_empty tx.deps || is_aborted tx);
+    dep_wait eng tx;
     check_live tx;
     let ct = max tx.lc tx.max_proposal in
     commit_apply eng tx ct;

@@ -21,16 +21,27 @@ val create :
   placement:Store.Placement.t ->
   config:Config.t ->
   ?seed:int ->
+  ?trace:Obs.Trace.t ->
   unit ->
   t
 (** Wire one node per network endpoint, with partition replicas placed
-    per [placement].  [seed] drives per-node clock skews. *)
+    per [placement].  [seed] drives per-node clock skews.  [trace]
+    attaches a span/counter recorder (default: a disabled one, whose
+    entire overhead is one branch per potential record); when enabled
+    the engine emits the full transaction lifecycle — [tx]/[read]/
+    [olc-wait]/[local-cert]/[repl-wait]/[dep-wait] spans plus commit and
+    abort instants — alongside per-message-type counters and the abort
+    taxonomy.  Tracing never schedules events, so it cannot perturb the
+    simulation. *)
 
 (** {1 Introspection} *)
 
 val sim : t -> Dsim.Sim.t
 val net : t -> Dsim.Network.t
 val config : t -> Config.t
+
+(** The recorder passed at {!create} (or the default disabled one). *)
+val trace : t -> Obs.Trace.t
 val placement : t -> Store.Placement.t
 val n_nodes : t -> int
 val node : t -> int -> node

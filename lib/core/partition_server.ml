@@ -27,6 +27,11 @@ type t = {
   is_cache : bool;
   stats : Stats.t option;  (** node-level counters, when attached *)
   store : Mvstore.t;
+  trace : Obs.Trace.t;
+  pid : int;  (** trace process id (the node's data center) *)
+  tid : int;  (** trace thread id of this replica *)
+  holds : int Txid.Tbl.t;
+      (** open lock-hold span per pending transaction (tracing only) *)
   pending : Key.t array Txid.Tbl.t;  (** keys this replica holds uncommitted, per tx *)
   tombstones : unit Txid.Tbl.t;
       (** aborts that arrived before the corresponding replicate (an
@@ -40,7 +45,8 @@ type t = {
 
 let max_tombstones = 8192
 
-let create ~sim ~clock ~cpu ~config ~node_id ~partition ?(is_cache = false) ?stats () =
+let create ~sim ~clock ~cpu ~config ~node_id ~partition ?(is_cache = false) ?stats
+    ?trace ?(pid = 0) () =
   {
     sim;
     clock;
@@ -50,6 +56,12 @@ let create ~sim ~clock ~cpu ~config ~node_id ~partition ?(is_cache = false) ?sta
     partition;
     is_cache;
     stats;
+    trace = (match trace with Some tr -> tr | None -> Obs.Trace.disabled ());
+    pid;
+    tid =
+      (if is_cache then Obs.Trace.cache_tid node_id
+       else Obs.Trace.server_tid ~node:node_id ~partition);
+    holds = Txid.Tbl.create 16;
     store = Mvstore.create ();
     pending = Txid.Tbl.create 64;
     tombstones = Txid.Tbl.create 64;
@@ -129,7 +141,19 @@ let read ?(allow_spec = true) t ~rs ~reader_origin key reply =
            (match t.stats with
             | Some s -> s.Stats.server_blocks <- s.Stats.server_blocks + 1
             | None -> ());
-           Version.add_waiter v attempt)
+           if Obs.Trace.enabled t.trace then begin
+             (* [a.b] identifies the lock holder (the uncommitted
+                writer), not the blocked reader. *)
+             let s =
+               Obs.Trace.span_begin t.trace ~kind:Obs.Trace.S_lock_wait ~pid:t.pid
+                 ~tid:t.tid ~t0:(Dsim.Sim.now t.sim) ~a:(Txid.origin v.writer)
+                 ~b:(Txid.number v.writer) ()
+             in
+             Version.add_waiter v (fun () ->
+                 Obs.Trace.span_end t.trace s ~t1:(Dsim.Sim.now t.sim);
+                 attempt ())
+           end
+           else Version.add_waiter v attempt)
     end
   in
   attempt ()
@@ -245,6 +269,14 @@ let prepare ?(stack_over = Txid.Set.empty) ?(origin_spec = true) t ~txid ~origin
       writes;
     let keys = Array.of_list (List.map fst writes) in
     Txid.Tbl.replace t.pending txid keys;
+    (* The lock-hold span runs from a successful prepare until the
+       decision releases the written keys — the lock hold time whose
+       distribution the convoy-effect report compares against the RTT. *)
+    if Obs.Trace.enabled t.trace then
+      Txid.Tbl.replace t.holds txid
+        (Obs.Trace.span_begin t.trace ~kind:Obs.Trace.S_lock_hold ~pid:t.pid
+           ~tid:t.tid ~t0:(Dsim.Sim.now t.sim) ~a:(Txid.origin txid)
+           ~b:(Txid.number txid) ());
     (* Amortized multi-version GC: every [prune_every_inserts] inserted
        versions, drop committed versions older than the horizon (no live
        snapshot can be that old: transactions span at most a couple of
@@ -308,6 +340,14 @@ let restack t key ~above ~floor =
       Mvstore.reposition t.store key v)
     displaced
 
+let end_hold t txid =
+  if Obs.Trace.enabled t.trace then
+    match Txid.Tbl.find_opt t.holds txid with
+    | None -> ()
+    | Some s ->
+      Obs.Trace.span_end t.trace s ~t1:(Dsim.Sim.now t.sim);
+      Txid.Tbl.remove t.holds txid
+
 let update_versions t txid f =
   match Txid.Tbl.find_opt t.pending txid with
   | None -> ()
@@ -351,7 +391,8 @@ let commit t txid ~ct =
         restack t key ~above:old_ts ~floor:ct;
         wake v);
     Txid.Tbl.remove t.pending txid
-  end
+  end;
+  end_hold t txid
 
 (** Abort: physically remove the tx's versions and wake blocked readers.
     [tombstone] should be true only for aborts delivered over the
@@ -390,7 +431,8 @@ let abort ?(tombstone = false) t txid =
     update_versions t txid (fun key v ->
         Mvstore.remove_version t.store key txid;
         wake v);
-    Txid.Tbl.remove t.pending txid
+    Txid.Tbl.remove t.pending txid;
+    end_hold t txid
   end
 
 (** Drop old committed versions (multi-version GC). *)

@@ -31,6 +31,16 @@ let is_misspeculation = function
   | Dependency_aborted | Snapshot_too_old -> true
   | Local_conflict | Remote_conflict | Evicted | Node_failure -> false
 
+(** Map a protocol abort reason onto the closed observability taxonomy.
+    Exhaustive by construction: adding an [abort_reason] constructor
+    breaks this match at compile time, forcing a taxonomy decision. *)
+let taxonomy_of_abort : abort_reason -> Obs.Taxonomy.t = function
+  | Local_conflict | Remote_conflict -> Obs.Taxonomy.Ww_conflict
+  | Snapshot_too_old -> Obs.Taxonomy.Stale_snapshot
+  | Evicted -> Obs.Taxonomy.Spec_misprediction
+  | Dependency_aborted -> Obs.Taxonomy.Cascade
+  | Node_failure -> Obs.Taxonomy.Timeout
+
 type tx_state =
   | Active  (** executing, before local certification *)
   | Local_committed  (** passed local certification, awaiting global *)
@@ -88,6 +98,9 @@ type tx = {
   mutable global_started : bool;
   mutable spec_exposed : bool;  (** Ext-Spec: result externalized at LC *)
   mutable reads_done : int;
+  mutable span : int;
+      (** open tx-lifecycle span handle in the engine's trace recorder
+          ([-1] when tracing is off; see {!Obs.Trace}) *)
   mutable groups : (int * (Keyspace.Key.t * Keyspace.Value.t) list) list;
       (** write-set grouped by partition, fixed at certification time *)
   outcome : outcome Dsim.Ivar.t;
@@ -124,6 +137,7 @@ let make_tx ~id ~origin ~rs ~start_time ~sr =
     global_started = false;
     spec_exposed = false;
     reads_done = 0;
+    span = -1;
     groups = [];
     outcome = Dsim.Ivar.create ();
     spec_commit = Dsim.Ivar.create ();

@@ -21,6 +21,11 @@ type 'a t = {
   mutable payloads : 'a array;  (** [| |] until the first push *)
   mutable size : int;
   mutable next_seq : int;
+  (* Lifetime accounting (a few int ops per operation, no branches on
+     the pop path): total pushes/pops and the depth high-water mark.
+     The observability layer reports these in run summaries. *)
+  mutable pops : int;
+  mutable max_depth : int;
 }
 
 let initial_capacity = 64
@@ -32,6 +37,8 @@ let create () =
     payloads = [||];
     size = 0;
     next_seq = 0;
+    pops = 0;
+    max_depth = 0;
   }
 
 let is_empty q = q.size = 0
@@ -59,6 +66,7 @@ let push q ~time payload =
   (* Hole-based sift-up: slide larger parents down, write once. *)
   let i = ref q.size in
   q.size <- q.size + 1;
+  if q.size > q.max_depth then q.max_depth <- q.size;
   let continue = ref true in
   while !continue && !i > 0 do
     let p = (!i - 1) / 2 in
@@ -95,6 +103,7 @@ let pop q =
   let time = q.times.(0) and payload = q.payloads.(0) in
   let n = q.size - 1 in
   q.size <- n;
+  q.pops <- q.pops + 1;
   if n > 0 then begin
     (* Move the last element into the root hole and sift it down. *)
     let mt = q.times.(n) and ms = q.seqs.(n) and mp = q.payloads.(n) in
@@ -127,3 +136,11 @@ let pop q =
     q.payloads.(!i) <- mp
   end;
   (time, payload)
+
+(* Every push increments [next_seq], so it doubles as the lifetime push
+   counter. *)
+let pushes q = q.next_seq
+
+let pops q = q.pops
+
+let max_depth q = q.max_depth

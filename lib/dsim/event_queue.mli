@@ -30,3 +30,17 @@ val fold_keys : (int * int -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
 (** Remove and return the earliest event as [(time, ev)].
     @raise Not_found if the queue is empty. *)
 val pop : 'a t -> int * 'a
+
+(** {1 Lifetime accounting}
+
+    O(1) counters maintained by {!push}/{!pop}; the observability layer
+    reports them in run summaries. *)
+
+val pushes : 'a t -> int
+(** Total events ever pushed (the insertion counter). *)
+
+val pops : 'a t -> int
+(** Total events ever popped. *)
+
+val max_depth : 'a t -> int
+(** High-water mark of {!length} over the queue's lifetime. *)

@@ -6,6 +6,9 @@ type t = {
   rng : Rng.t;
   mutable messages_sent : int;
   mutable wan_messages : int;
+  mutable fifo_delays : int;
+      (** sends whose delivery was pushed back to preserve per-channel
+          FIFO order — a cheap congestion signal for trace summaries *)
   last_delivery : int array array;
       (** per (src, dst) channel: last scheduled delivery time; channels
           are FIFO, like the TCP connections of a real deployment *)
@@ -28,6 +31,7 @@ let create ~sim ~topology ~node_dc ~jitter ~rng =
     rng;
     messages_sent = 0;
     wan_messages = 0;
+    fifo_delays = 0;
     last_delivery = Array.make_matrix n n 0;
   }
 
@@ -55,13 +59,21 @@ let send t ~src ~dst f =
   (* Enforce FIFO delivery per channel: a message never overtakes an
      earlier one on the same (src, dst) pair. *)
   let at = Sim.now t.sim + delay in
-  let at = if at > t.last_delivery.(src).(dst) then at else t.last_delivery.(src).(dst) + 1 in
+  let at =
+    if at > t.last_delivery.(src).(dst) then at
+    else begin
+      t.fifo_delays <- t.fifo_delays + 1;
+      t.last_delivery.(src).(dst) + 1
+    end
+  in
   t.last_delivery.(src).(dst) <- at;
   Sim.schedule_msg t.sim ~time:at ~src ~dst f
 
 let messages_sent t = t.messages_sent
 let wan_messages t = t.wan_messages
+let fifo_delays t = t.fifo_delays
 
 let reset_counters t =
   t.messages_sent <- 0;
-  t.wan_messages <- 0
+  t.wan_messages <- 0;
+  t.fifo_delays <- 0

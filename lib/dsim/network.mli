@@ -38,4 +38,8 @@ val messages_sent : t -> int
 (** Messages whose source and destination DCs differ. *)
 val wan_messages : t -> int
 
+(** Sends whose delivery time was pushed back to preserve per-channel
+    FIFO order (a proxy for channel congestion). *)
+val fifo_delays : t -> int
+
 val reset_counters : t -> unit

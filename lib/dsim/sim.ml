@@ -55,6 +55,21 @@ let pending t =
   | Controlled c ->
     List.fold_left (fun acc l -> acc + Event_queue.length l.events) 0 c.lanes
 
+(* Lifetime queue accounting, aggregated over whatever queues back the
+   current mode (observability run summaries). *)
+let fold_queues f t init =
+  match t.mode with
+  | Heap q -> f init q
+  | Controlled c -> List.fold_left (fun acc l -> f acc l.events) init c.lanes
+
+let queue_pushes t = fold_queues (fun acc q -> acc + Event_queue.pushes q) t 0
+
+let queue_pops t = fold_queues (fun acc q -> acc + Event_queue.pops q) t 0
+
+(* In Controlled mode this is the max over lanes, not the global
+   high-water mark — good enough for a per-run summary. *)
+let queue_max_depth t = fold_queues (fun acc q -> max acc (Event_queue.max_depth q)) t 0
+
 let set_chooser t chooser =
   if pending t > 0 then invalid_arg "Sim.set_chooser: events already scheduled";
   t.mode <- Controlled { lanes = []; chooser }

@@ -64,6 +64,17 @@ val run : ?until:int -> t -> int
 (** Number of pending events. *)
 val pending : t -> int
 
+(** {1 Lifetime queue accounting}
+
+    Aggregated over the backing queues (the single heap in default mode,
+    all lanes in controlled mode); reported in observability run
+    summaries.  [queue_max_depth] is the per-queue high-water mark,
+    maxed over queues. *)
+
+val queue_pushes : t -> int
+val queue_pops : t -> int
+val queue_max_depth : t -> int
+
 (** Order-insensitive hash of the pending-event multiset (controlled
     mode; 0 in default mode).  Part of the model checker's state
     fingerprint. *)

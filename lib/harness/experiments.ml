@@ -40,7 +40,7 @@ let placement () =
   Store.Placement.ring ~n_nodes:(Dsim.Topology.size topology)
     ~replication_factor ()
 
-let run_protocol ~timing ~workload_of ~clients ~config ~self_tune ~seed =
+let run_protocol ?trace ~timing ~workload_of ~clients ~config ~self_tune ~seed () =
   let setup =
     {
       Runner.topology;
@@ -55,7 +55,13 @@ let run_protocol ~timing ~workload_of ~clients ~config ~self_tune ~seed =
       self_tune = (if self_tune then `On timing.tuner_window_us else `Off);
     }
   in
-  Runner.run setup
+  Runner.run ?trace setup
+
+(* Register a cell with the tracer (when there is one) at {e cell
+   construction} time — sequentially, on the main domain — so trace
+   process ids and cell order never depend on the worker count. *)
+let cell_trace tracer name =
+  match tracer with None -> None | Some t -> Tracing.trace_for t ~cell:name
 
 (* Shared row shape of Figs. 3, 5 and 6: one row per (clients, protocol)
    cell of the grid. *)
@@ -80,12 +86,15 @@ let protocol_row ~clients ~pname (r : Runner.result) =
   ]
 
 (* Grid of Figs. 3, 5 and 6: clients-per-node x protagonist. *)
-let protocol_sweep ~jobs ~timing ~workload_of ~clients_list ~seed_of report =
+let protocol_sweep ?tracer ~jobs ~timing ~workload_of ~clients_list ~seed_of report =
   Sweep.product clients_list protagonists
   |> List.map (fun (clients, (pname, mk_config, tune)) ->
-         Sweep.cell (clients, pname) (fun () ->
-             run_protocol ~timing ~workload_of ~clients ~config:(mk_config ())
-               ~self_tune:tune ~seed:(seed_of clients)))
+         let trace =
+           cell_trace tracer (Printf.sprintf "clients=%d/protocol=%s" clients pname)
+         in
+         Sweep.cell (clients, pname)
+           (run_protocol ?trace ~timing ~workload_of ~clients ~config:(mk_config ())
+              ~self_tune:tune ~seed:(seed_of clients)))
   |> Sweep.run ~jobs
   |> List.iter (fun ((clients, pname), r) ->
          Report.add_row report (protocol_row ~clients ~pname r));
@@ -97,7 +106,7 @@ let protocol_sweep ~jobs ~timing ~workload_of ~clients_list ~seed_of report =
 
 let client_sweep = function Quick -> [ 2; 10; 30 ] | Full -> [ 2; 5; 10; 20; 40; 60 ]
 
-let fig3 ?(jobs = 1) ~scale which =
+let fig3 ?(jobs = 1) ?tracer ~scale which =
   let params, name =
     match which with
     | `A -> (Workload.Synthetic.synth_a, "Synth-A")
@@ -114,7 +123,7 @@ let fig3 ?(jobs = 1) ~scale which =
           "lat-mean(ms)"; "spec-lat(ms)";
         ]
   in
-  protocol_sweep ~jobs ~timing:(synth_timing scale)
+  protocol_sweep ?tracer ~jobs ~timing:(synth_timing scale)
     ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
     ~clients_list:(client_sweep scale)
     ~seed_of:(fun clients -> clients + 17)
@@ -124,7 +133,7 @@ let fig3 ?(jobs = 1) ~scale which =
 (* Figure 4: static SR on/off vs self-tuning, normalized                *)
 (* ------------------------------------------------------------------ *)
 
-let fig4 ?(jobs = 1) ~scale () =
+let fig4 ?(jobs = 1) ?tracer ~scale () =
   let report =
     Report.create
       ~title:
@@ -140,12 +149,16 @@ let fig4 ?(jobs = 1) ~scale () =
     Sweep.product3 workloads (client_sweep scale) variants
     |> List.map (fun ((wname, params), clients, variant) ->
            let sr = variant <> "no-sr" and tune = variant = "auto" in
-           Sweep.cell (wname, clients, variant) (fun () ->
-               run_protocol ~timing:(synth_timing scale)
-                 ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
-                 ~clients
-                 ~config:(Core.Config.str ~speculative_reads:sr ())
-                 ~self_tune:tune ~seed:(clients + 23)))
+           let trace =
+             cell_trace tracer
+               (Printf.sprintf "workload=%s/clients=%d/variant=%s" wname clients variant)
+           in
+           Sweep.cell (wname, clients, variant)
+             (run_protocol ?trace ~timing:(synth_timing scale)
+                ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
+                ~clients
+                ~config:(Core.Config.str ~speculative_reads:sr ())
+                ~self_tune:tune ~seed:(clients + 23)))
     |> Sweep.run ~jobs
   in
   List.iter
@@ -189,7 +202,7 @@ let table1_variants =
     ("Precise SR", fun () -> Core.Config.precise_sr ());
   ]
 
-let table1 ?(jobs = 1) ~scale () =
+let table1 ?(jobs = 1) ?tracer ~scale () =
   let keys = match scale with Quick -> [ 10; 40 ] | Full -> [ 10; 20; 40; 100 ] in
   let clients = match scale with Quick -> 10 | Full -> 10 in
   let report =
@@ -204,10 +217,13 @@ let table1 ?(jobs = 1) ~scale () =
     |> List.map (fun (nkeys, (vname, mk_config)) ->
            let factor = nkeys / 10 in
            let params = Workload.Synthetic.scale_keys table1_base factor in
-           Sweep.cell (nkeys, vname) (fun () ->
-               run_protocol ~timing:(synth_timing scale)
-                 ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
-                 ~clients ~config:(mk_config ()) ~self_tune:false ~seed:(nkeys + 3)))
+           let trace =
+             cell_trace tracer (Printf.sprintf "keys=%d/technique=%s" nkeys vname)
+           in
+           Sweep.cell (nkeys, vname)
+             (run_protocol ?trace ~timing:(synth_timing scale)
+                ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
+                ~clients ~config:(mk_config ()) ~self_tune:false ~seed:(nkeys + 3)))
     |> Sweep.run ~jobs
   in
   let columns =
@@ -242,7 +258,7 @@ let table1 ?(jobs = 1) ~scale () =
 
 let tpcc_clients = function Quick -> [ 60; 240 ] | Full -> [ 30; 60; 120; 240; 480 ]
 
-let fig5 ?(jobs = 1) ~scale which =
+let fig5 ?(jobs = 1) ?tracer ~scale which =
   let mix, name =
     match which with
     | `A -> (Workload.Tpcc.mix_a, "TPC-C A (5/83/12)")
@@ -258,7 +274,7 @@ let fig5 ?(jobs = 1) ~scale which =
           "lat-mean(ms)"; "spec-lat(ms)";
         ]
   in
-  protocol_sweep ~jobs ~timing:(macro_timing scale)
+  protocol_sweep ?tracer ~jobs ~timing:(macro_timing scale)
     ~workload_of:(fun pl -> fst (Workload.Tpcc.make ~mix pl))
     ~clients_list:(tpcc_clients scale)
     ~seed_of:(fun clients -> clients + 31)
@@ -270,7 +286,7 @@ let fig5 ?(jobs = 1) ~scale which =
 
 let rubis_clients = function Quick -> [ 120; 450 ] | Full -> [ 60; 120; 250; 450; 700 ]
 
-let fig6 ?(jobs = 1) ~scale () =
+let fig6 ?(jobs = 1) ?tracer ~scale () =
   (* RUBiS's interesting regime is the slow pile-up of update clients
      behind the shard-local index keys; give the full scale a longer
      measurement window so the queueing binds. *)
@@ -288,7 +304,7 @@ let fig6 ?(jobs = 1) ~scale () =
           "lat-mean(ms)"; "spec-lat(ms)";
         ]
   in
-  protocol_sweep ~jobs ~timing
+  protocol_sweep ?tracer ~jobs ~timing
     ~workload_of:(fun pl -> Workload.Rubis.make pl)
     ~clients_list:(rubis_clients scale)
     ~seed_of:(fun clients -> clients + 41)
@@ -465,7 +481,7 @@ let ablation_remote_reads ?(jobs = 1) ~scale () =
              let params = { Workload.Synthetic.synth_a with read_remote_keys = rr } in
              run_protocol ~timing:(synth_timing scale)
                ~workload_of:(fun pl -> Workload.Synthetic.make ~params pl)
-               ~clients:10 ~config:(mk_config ()) ~self_tune:false ~seed:3))
+               ~clients:10 ~config:(mk_config ()) ~self_tune:false ~seed:3 ()))
   |> Sweep.run ~jobs
   |> List.iter (fun ((label, pname), r) ->
          Report.add_row report
@@ -526,7 +542,7 @@ let ablation_serializability ?(jobs = 1) ~scale () =
   |> List.map (fun (clients, (name, mk_config)) ->
          Sweep.cell (clients, name) (fun () ->
              run_protocol ~timing:(synth_timing scale) ~workload_of:read_heavy ~clients
-               ~config:(mk_config ()) ~self_tune:false ~seed:(clients + 51)))
+               ~config:(mk_config ()) ~self_tune:false ~seed:(clients + 51) ()))
   |> Sweep.run ~jobs
   |> List.iter (fun ((clients, name), r) ->
          Report.add_row report

@@ -12,21 +12,29 @@ type scale = Quick | Full
     the bench suite). *)
 val table1_base : Workload.Synthetic.params
 
+(** The sweeps below accept an optional [tracer] ({!Tracing.t}): each
+    grid cell whose name passes the tracer's filter records the full
+    span/counter trace of its run.  Cells register with the tracer at
+    construction time, on the main domain, so the exported trace bytes
+    are identical whatever [jobs] is.  Cell names: Figs. 3, 5, 6 use
+    ["clients=%d/protocol=%s"], Fig. 4 ["workload=%s/clients=%d/variant=%s"],
+    Table 1 ["keys=%d/technique=%s"]. *)
+
 (** Figure 3: synthetic workloads, STR vs ClockSI-Rep vs Ext-Spec. *)
-val fig3 : ?jobs:int -> scale:scale -> [ `A | `B ] -> Report.t
+val fig3 : ?jobs:int -> ?tracer:Tracing.t -> scale:scale -> [ `A | `B ] -> Report.t
 
 (** Figure 4: static SR on/off vs self-tuning, normalized throughput. *)
-val fig4 : ?jobs:int -> scale:scale -> unit -> Report.t
+val fig4 : ?jobs:int -> ?tracer:Tracing.t -> scale:scale -> unit -> Report.t
 
 (** Table 1: Physical/Precise clocks x speculative reads, varying
     transaction size. *)
-val table1 : ?jobs:int -> scale:scale -> unit -> Report.t
+val table1 : ?jobs:int -> ?tracer:Tracing.t -> scale:scale -> unit -> Report.t
 
 (** Figure 5: the three TPC-C mixes. *)
-val fig5 : ?jobs:int -> scale:scale -> [ `A | `B | `C ] -> Report.t
+val fig5 : ?jobs:int -> ?tracer:Tracing.t -> scale:scale -> [ `A | `B | `C ] -> Report.t
 
 (** Figure 6: RUBiS. *)
-val fig6 : ?jobs:int -> scale:scale -> unit -> Report.t
+val fig6 : ?jobs:int -> ?tracer:Tracing.t -> scale:scale -> unit -> Report.t
 
 (** §6.1 Precise Clocks storage overhead. *)
 val storage : ?jobs:int -> scale:scale -> unit -> Report.t

@@ -42,7 +42,7 @@ type result = {
   wan_messages : int;
 }
 
-let build_cluster setup =
+let build_cluster ?trace setup =
   let sim = Dsim.Sim.create () in
   let dcs = Dsim.Topology.size setup.topology in
   let node_dc = Array.init dcs (fun i -> i) in
@@ -55,9 +55,24 @@ let build_cluster setup =
     Store.Placement.ring ~n_nodes:dcs ~replication_factor:setup.replication_factor ()
   in
   let eng =
-    Core.Engine.create ~sim ~net ~placement ~config:setup.config ~seed:(Dsim.Rng.next rng) ()
+    Core.Engine.create ~sim ~net ~placement ~config:setup.config ~seed:(Dsim.Rng.next rng)
+      ?trace ()
   in
   (sim, net, placement, eng, rng)
+
+(** Inter-DC RTT extremes of the topology (the convoy-effect report in
+    [trace_stats] compares lock hold times against these). *)
+let interdc_rtt_range topology =
+  let dcs = Dsim.Topology.size topology in
+  let lo = ref max_int and hi = ref 0 in
+  for a = 0 to dcs - 1 do
+    for b = a + 1 to dcs - 1 do
+      let r = Dsim.Topology.rtt_us topology a b in
+      if r < !lo then lo := r;
+      if r > !hi then hi := r
+    done
+  done;
+  if !lo > !hi then (0, 0) else (!lo, !hi)
 
 let snapshot_stats eng =
   Core.Stats.copy (Core.Engine.total_stats eng)
@@ -87,9 +102,10 @@ let delta_stats ~at_start ~at_end =
   d
 
 (** Run the experiment.  [observer] optionally receives every engine
-    event (e.g. to feed the SPSI checker in tests). *)
-let run ?observer setup =
-  let sim, net, _placement, eng, rng = build_cluster setup in
+    event (e.g. to feed the SPSI checker in tests); [trace] attaches a
+    span recorder to the whole cluster. *)
+let run ?observer ?trace setup =
+  let sim, net, _placement, eng, rng = build_cluster ?trace setup in
   (match observer with Some f -> Core.Engine.set_observer eng f | None -> ());
   setup.workload.Workload.Spec.load eng;
   let measure_from = setup.warmup_us in
@@ -124,6 +140,23 @@ let run ?observer setup =
   let d = delta_stats ~at_start:stats0 ~at_end:stats1 in
   let duration_s = Dsim.Sim.to_sec setup.measure_us in
   let committed = d.Core.Stats.commits in
+  (match trace with
+  | Some tr when Obs.Trace.enabled tr ->
+    (* Seal the trace: close spans of transactions still in flight when
+       the run stopped, and attach the run-summary counters the
+       [trace_stats] report reads back. *)
+    Obs.Trace.close_open_spans tr ~t1:(Dsim.Sim.now sim);
+    let rtt_lo, rtt_hi = interdc_rtt_range setup.topology in
+    Obs.Trace.set_stat tr "interdc_rtt_min_us" rtt_lo;
+    Obs.Trace.set_stat tr "interdc_rtt_max_us" rtt_hi;
+    Obs.Trace.set_stat tr "commits" committed;
+    Obs.Trace.set_stat tr "eq_pushes" (Dsim.Sim.queue_pushes sim);
+    Obs.Trace.set_stat tr "eq_pops" (Dsim.Sim.queue_pops sim);
+    Obs.Trace.set_stat tr "eq_max_depth" (Dsim.Sim.queue_max_depth sim);
+    Obs.Trace.set_stat tr "net_messages" (Dsim.Network.messages_sent net);
+    Obs.Trace.set_stat tr "net_wan_messages" (Dsim.Network.wan_messages net);
+    Obs.Trace.set_stat tr "net_fifo_delays" (Dsim.Network.fifo_delays net)
+  | Some _ | None -> ());
   {
     duration_s;
     committed;

@@ -35,11 +35,20 @@ type result = {
 (** Construct the cluster without running (advanced drivers that need
     the engine, e.g. to attach custom telemetry). *)
 val build_cluster :
-  setup -> Dsim.Sim.t * Dsim.Network.t * Store.Placement.t * Core.Engine.t * Dsim.Rng.t
+  ?trace:Obs.Trace.t ->
+  setup ->
+  Dsim.Sim.t * Dsim.Network.t * Store.Placement.t * Core.Engine.t * Dsim.Rng.t
 
 val snapshot_stats : Core.Engine.t -> Core.Stats.t
 val delta_stats : at_start:Core.Stats.t -> at_end:Core.Stats.t -> Core.Stats.t
 
+(** Inter-DC RTT extremes [(min_us, max_us)] of a topology; [(0, 0)] for
+    a single data center. *)
+val interdc_rtt_range : Dsim.Topology.t -> int * int
+
 (** Run the whole experiment.  [observer] receives every engine event
-    (e.g. {!Spsi.History.record}). *)
-val run : ?observer:(Core.Types.event -> unit) -> setup -> result
+    (e.g. {!Spsi.History.record}); [trace] attaches a span recorder to
+    the whole cluster and, at the end of the run, is sealed with the
+    run-summary stats ([eq_*] queue accounting, [net_*] message
+    counters, inter-DC RTT range, commit count). *)
+val run : ?observer:(Core.Types.event -> unit) -> ?trace:Obs.Trace.t -> setup -> result

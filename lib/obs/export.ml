@@ -1,0 +1,184 @@
+(* Chrome trace-event JSON and compact JSONL printers.  Determinism
+   rules: integers only (no float printing), explicit iteration orders,
+   minimal JSON string escaping. *)
+
+let esc buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  esc buf s;
+  Buffer.add_char buf '"'
+
+(* Shared event args: transaction identity and the free-form note. *)
+let add_args buf (ev : Trace.ev) =
+  let has_tx = ev.a <> min_int in
+  let has_note = ev.note <> "" in
+  if has_tx || has_note then begin
+    Buffer.add_string buf ",\"args\":{";
+    if has_tx then begin
+      Buffer.add_string buf "\"tx\":\"";
+      Buffer.add_string buf (string_of_int ev.a);
+      Buffer.add_char buf '.';
+      Buffer.add_string buf (string_of_int ev.b);
+      Buffer.add_char buf '"'
+    end;
+    if has_note then begin
+      if has_tx then Buffer.add_char buf ',';
+      Buffer.add_string buf "\"note\":";
+      add_str buf ev.note
+    end;
+    Buffer.add_char buf '}'
+  end
+
+let add_int_obj buf pairs =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_str buf k;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int v))
+    pairs;
+  Buffer.add_char buf '}'
+
+let chrome cells =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let item () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n"
+  in
+  List.iter
+    (fun (_, tr) ->
+      List.iter
+        (fun (pid, name) ->
+          item ();
+          Buffer.add_string buf "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+          Buffer.add_string buf (string_of_int pid);
+          Buffer.add_string buf ",\"args\":{\"name\":";
+          add_str buf name;
+          Buffer.add_string buf "}}")
+        (Trace.processes tr);
+      List.iter
+        (fun (pid, tid, name) ->
+          item ();
+          Buffer.add_string buf "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+          Buffer.add_string buf (string_of_int pid);
+          Buffer.add_string buf ",\"tid\":";
+          Buffer.add_string buf (string_of_int tid);
+          Buffer.add_string buf ",\"args\":{\"name\":";
+          add_str buf name;
+          Buffer.add_string buf "}}")
+        (Trace.threads tr);
+      Trace.iter tr (fun ev ->
+          item ();
+          match ev.kind with
+          | `Span k ->
+            Buffer.add_string buf "{\"ph\":\"X\",\"name\":";
+            add_str buf (Trace.span_name k);
+            Buffer.add_string buf ",\"cat\":\"str\",\"pid\":";
+            Buffer.add_string buf (string_of_int ev.pid);
+            Buffer.add_string buf ",\"tid\":";
+            Buffer.add_string buf (string_of_int ev.tid);
+            Buffer.add_string buf ",\"ts\":";
+            Buffer.add_string buf (string_of_int ev.t0);
+            Buffer.add_string buf ",\"dur\":";
+            let dur = if ev.t1 < ev.t0 then 0 else ev.t1 - ev.t0 in
+            Buffer.add_string buf (string_of_int dur);
+            add_args buf ev;
+            Buffer.add_char buf '}'
+          | `Instant k ->
+            Buffer.add_string buf "{\"ph\":\"i\",\"s\":\"t\",\"name\":";
+            add_str buf (Trace.instant_name k);
+            Buffer.add_string buf ",\"cat\":\"str\",\"pid\":";
+            Buffer.add_string buf (string_of_int ev.pid);
+            Buffer.add_string buf ",\"tid\":";
+            Buffer.add_string buf (string_of_int ev.tid);
+            Buffer.add_string buf ",\"ts\":";
+            Buffer.add_string buf (string_of_int ev.t0);
+            add_args buf ev;
+            Buffer.add_char buf '}'))
+    cells;
+  Buffer.add_string buf "\n],\n\"strMeta\":{\"cells\":[";
+  List.iteri
+    (fun i (name, tr) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n{\"name\":";
+      add_str buf name;
+      Buffer.add_string buf ",\"events\":";
+      Buffer.add_string buf (string_of_int (Trace.n_events tr));
+      Buffer.add_string buf ",\"aborts\":";
+      add_int_obj buf (Trace.abort_counts tr);
+      Buffer.add_string buf ",\"msgs\":";
+      add_int_obj buf (Trace.msg_counts tr);
+      Buffer.add_string buf ",\"stats\":";
+      add_int_obj buf (Trace.stats tr);
+      Buffer.add_char buf '}')
+    cells;
+  Buffer.add_string buf "\n]}}\n";
+  Buffer.contents buf
+
+let jsonl cells =
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun (name, tr) ->
+      Buffer.add_string buf "{\"e\":\"cell\",\"name\":";
+      add_str buf name;
+      Buffer.add_string buf "}\n";
+      Trace.iter tr (fun ev ->
+          (match ev.kind with
+          | `Span k ->
+            Buffer.add_string buf "{\"e\":\"span\",\"k\":";
+            add_str buf (Trace.span_name k);
+            Buffer.add_string buf ",\"t0\":";
+            Buffer.add_string buf (string_of_int ev.t0);
+            Buffer.add_string buf ",\"t1\":";
+            Buffer.add_string buf (string_of_int (if ev.t1 < ev.t0 then ev.t0 else ev.t1))
+          | `Instant k ->
+            Buffer.add_string buf "{\"e\":\"i\",\"k\":";
+            add_str buf (Trace.instant_name k);
+            Buffer.add_string buf ",\"t0\":";
+            Buffer.add_string buf (string_of_int ev.t0));
+          Buffer.add_string buf ",\"pid\":";
+          Buffer.add_string buf (string_of_int ev.pid);
+          Buffer.add_string buf ",\"tid\":";
+          Buffer.add_string buf (string_of_int ev.tid);
+          if ev.a <> min_int then begin
+            Buffer.add_string buf ",\"tx\":\"";
+            Buffer.add_string buf (string_of_int ev.a);
+            Buffer.add_char buf '.';
+            Buffer.add_string buf (string_of_int ev.b);
+            Buffer.add_char buf '"'
+          end;
+          if ev.note <> "" then begin
+            Buffer.add_string buf ",\"note\":";
+            add_str buf ev.note
+          end;
+          Buffer.add_string buf "}\n");
+      Buffer.add_string buf "{\"e\":\"summary\",\"aborts\":";
+      add_int_obj buf (Trace.abort_counts tr);
+      Buffer.add_string buf ",\"msgs\":";
+      add_int_obj buf (Trace.msg_counts tr);
+      Buffer.add_string buf ",\"stats\":";
+      add_int_obj buf (Trace.stats tr);
+      Buffer.add_string buf "}\n")
+    cells;
+  Buffer.contents buf
+
+let fingerprint s =
+  (* FNV-1a offset basis, truncated into OCaml's 63-bit int range. *)
+  let h = ref 0x3bf29ce484222325 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+  !h land max_int

@@ -1,0 +1,26 @@
+(** Byte-deterministic trace serialization.
+
+    Two formats over the same cell list (a sweep may trace several
+    cells; a single run is the one-cell case):
+
+    - {!chrome}: Chrome trace-event JSON, loadable in Perfetto /
+      [chrome://tracing].  One "process" per data center, one "thread"
+      per protocol actor; spans are ["ph":"X"] complete events with
+      microsecond [ts]/[dur], instants are ["ph":"i"].  Counters and
+      run-summary statistics ride in a top-level ["strMeta"] object
+      (ignored by viewers, consumed by [trace_stats]).
+    - {!jsonl}: one compact JSON object per line — cell headers, then
+      events in recording order, then a per-cell summary line.
+
+    Both printers emit only integers and escaped strings — no float
+    formatting — and iterate structures in deterministic order, so the
+    output is byte-identical across runs and worker counts. *)
+
+val chrome : (string * Trace.t) list -> string
+(** [(cell_name, trace)] pairs, in deterministic cell order. *)
+
+val jsonl : (string * Trace.t) list -> string
+
+val fingerprint : string -> int
+(** FNV-1a hash of the exported bytes, masked non-negative: the golden
+    compared by the trace-smoke test. *)

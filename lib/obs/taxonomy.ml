@@ -1,0 +1,27 @@
+(** Closed abort-cause classification; see the interface for the
+    exhaustiveness contract. *)
+
+type t =
+  | Ww_conflict
+  | Stale_snapshot
+  | Spec_misprediction
+  | Cascade
+  | Timeout
+
+let all = [ Ww_conflict; Stale_snapshot; Spec_misprediction; Cascade; Timeout ]
+
+let count = 5
+
+let index = function
+  | Ww_conflict -> 0
+  | Stale_snapshot -> 1
+  | Spec_misprediction -> 2
+  | Cascade -> 3
+  | Timeout -> 4
+
+let name = function
+  | Ww_conflict -> "ww-conflict"
+  | Stale_snapshot -> "stale-snapshot"
+  | Spec_misprediction -> "spec-misprediction"
+  | Cascade -> "cascade"
+  | Timeout -> "timeout"

@@ -1,0 +1,27 @@
+(** Closed classification of transaction-abort causes.
+
+    Every abort site in the protocol core maps its internal
+    {!Core.Types.abort_reason} onto exactly one of these buckets through
+    an exhaustive match, so the per-cause counters a trace reports are
+    complete by construction: adding a new abort reason without
+    classifying it is a compile error, not a silent gap in the counts. *)
+
+type t =
+  | Ww_conflict  (** write-write certification conflict (local or remote) *)
+  | Stale_snapshot  (** a dependee final-committed past the reader's snapshot *)
+  | Spec_misprediction  (** speculative local state evicted by a remote prepare *)
+  | Cascade  (** cascading abort through the speculation dependency graph *)
+  | Timeout  (** a replica involved in certification crashed (fail-over) *)
+
+val all : t list
+(** Every constructor, in {!index} order. *)
+
+val count : int
+(** [List.length all]; sized for counter arrays. *)
+
+val index : t -> int
+(** Dense index in [0, count): stable across runs, used as the counter
+    slot and the export order. *)
+
+val name : t -> string
+(** Stable kebab-case label used in exports and reports. *)

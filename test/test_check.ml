@@ -166,6 +166,43 @@ let test_lint_domain_unsafe_allow () =
     "suppressed" 0
     (List.length (Lint.scan_source ~file:"lib/harness/fixture.ml" src))
 
+let test_lint_no_direct_print () =
+  (* Library code printing to stdout is flagged; Format.pp_print_*
+     (printing to a caller-supplied formatter) is not. *)
+  let src =
+    "let show () = print_string \"hi\"\n\
+     let bar () = Printf.printf \"x=%d\" 3\n\
+     let baz ppf = Format.pp_print_string ppf \"ok\"\n\
+     let qux () = print_endline \"done\"\n"
+  in
+  let fs = Lint.scan_source ~file:"lib/harness/fixture.ml" src in
+  Alcotest.(check (list string))
+    "stdout prints flagged, pp_print_* not"
+    [ "no-direct-print"; "no-direct-print"; "no-direct-print" ]
+    (finding_rules fs);
+  Alcotest.(check (list int))
+    "line numbers" [ 1; 2; 4 ]
+    (List.map (fun (f : Lint.finding) -> f.line) fs)
+
+let test_lint_no_direct_print_scope_and_allow () =
+  (* The rule is scoped to lib/: binaries and the bench driver print
+     freely; a marker sanctions the one legitimate library sink. *)
+  let src = "let go () = print_endline \"report\"\n" in
+  List.iter
+    (fun file ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s out of scope" file)
+        0
+        (List.length (Lint.scan_source ~file src)))
+    [ "bin/str_sim.ml"; "bench/main.ml"; "test/test_check.ml" ];
+  let allowed =
+    "(* lint: allow no-direct-print — sanctioned report sink *)\n\
+     let print t = print_string (render t)\n"
+  in
+  Alcotest.(check int)
+    "marker suppresses" 0
+    (List.length (Lint.scan_source ~file:"lib/harness/fixture.ml" allowed))
+
 (* --- checker output determinism (satellite) ------------------------- *)
 
 let messy_history () =
@@ -413,6 +450,9 @@ let () =
           Alcotest.test_case "domain-unsafe self_init" `Quick test_lint_domain_unsafe_self_init;
           Alcotest.test_case "domain-unsafe scoping" `Quick test_lint_domain_unsafe_scope;
           Alcotest.test_case "domain-unsafe allow marker" `Quick test_lint_domain_unsafe_allow;
+          Alcotest.test_case "no-direct-print" `Quick test_lint_no_direct_print;
+          Alcotest.test_case "no-direct-print scope and marker" `Quick
+            test_lint_no_direct_print_scope_and_allow;
         ] );
       ( "oracles",
         [

@@ -222,6 +222,27 @@ let prop_rng_shuffle_is_permutation =
       Dsim.Rng.shuffle rng arr;
       List.sort compare (Array.to_list arr) = List.sort compare l)
 
+let test_event_queue_accounting () =
+  (* Lifetime pushes/pops and the high-water depth mark are O(1)
+     counters the tracing layer reads back after a run. *)
+  let q = EQ.create () in
+  Alcotest.(check (list int)) "fresh" [ 0; 0; 0 ] [ EQ.pushes q; EQ.pops q; EQ.max_depth q ];
+  for i = 1 to 5 do
+    EQ.push q ~time:i i
+  done;
+  ignore (EQ.pop q);
+  ignore (EQ.pop q);
+  EQ.push q ~time:9 9;
+  Alcotest.(check int) "pushes" 6 (EQ.pushes q);
+  Alcotest.(check int) "pops" 2 (EQ.pops q);
+  (* depth peaked at 5: the sixth push happened after two pops *)
+  Alcotest.(check int) "max depth" 5 (EQ.max_depth q);
+  while not (EQ.is_empty q) do
+    ignore (EQ.pop q)
+  done;
+  Alcotest.(check int) "drained pops" 6 (EQ.pops q);
+  Alcotest.(check int) "max depth unchanged by drain" 5 (EQ.max_depth q)
+
 (* --- properties --- *)
 
 let prop_event_queue_sorted =
@@ -266,6 +287,7 @@ let () =
       ( "event-queue",
         [
           Alcotest.test_case "fifo at equal times" `Quick test_event_order;
+          Alcotest.test_case "push/pop/depth accounting" `Quick test_event_queue_accounting;
           QCheck_alcotest.to_alcotest prop_event_queue_sorted;
         ] );
       ( "sim",

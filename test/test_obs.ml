@@ -1,0 +1,296 @@
+(* Observability layer tests: the log-scale histogram against a
+   sorted-list oracle, the closed abort taxonomy and its engine wiring,
+   off-mode inertness, and byte determinism of the trace export across
+   sweep worker counts. *)
+
+module Trace = Obs.Trace
+module Hist = Obs.Histogram
+
+(* --- histogram vs sorted-list oracle -------------------------------- *)
+
+let prop_histogram_percentiles =
+  (* [percentile] returns the inclusive upper bound of the bucket
+     holding the oracle rank: never below the true order statistic,
+     and above it by at most one sub-bucket width (<= true/8, or 1). *)
+  QCheck.Test.make ~name:"percentiles track the sorted-list oracle" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 300) (int_bound 5_000_000))
+    (fun xs ->
+      let h = Hist.create () in
+      List.iter (Hist.record h) xs;
+      let sorted = Array.of_list (List.sort Int.compare xs) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun p ->
+          let tv = sorted.(int_of_float (p *. float_of_int (n - 1))) in
+          let r = Hist.percentile h p in
+          r >= tv && r <= tv + max 1 (tv / 8))
+        [ 0.0; 0.5; 0.9; 0.99; 0.999; 1.0 ])
+
+let test_histogram_small_values_exact () =
+  let h = Hist.create () in
+  List.iter (Hist.record h) [ 0; 3; 3; 7; 12; 15 ];
+  Alcotest.(check int) "count" 6 (Hist.count h);
+  Alcotest.(check int) "p0" 0 (Hist.percentile h 0.0);
+  Alcotest.(check int) "p50" 3 (Hist.percentile h 0.5);
+  Alcotest.(check int) "p100" 15 (Hist.percentile h 1.0)
+
+let test_histogram_summary () =
+  let h = Hist.create () in
+  Alcotest.(check int) "empty" 0 (Hist.summary h).Hist.count;
+  for v = 1 to 1000 do
+    Hist.record h (v * 100)
+  done;
+  let s = Hist.summary h in
+  Alcotest.(check int) "count" 1000 s.Hist.count;
+  Alcotest.(check int) "max exact" 100_000 s.Hist.max_us;
+  Alcotest.(check bool) "p50 near 50_000" true
+    (s.Hist.p50_us >= 50_000 && s.Hist.p50_us <= 50_000 + (50_000 / 8));
+  Alcotest.(check bool) "p50 <= p90" true (s.Hist.p50_us <= s.Hist.p90_us);
+  Alcotest.(check bool) "p90 <= p99" true (s.Hist.p90_us <= s.Hist.p99_us);
+  Alcotest.(check bool) "p99 <= max" true (s.Hist.p99_us <= s.Hist.max_us)
+
+(* --- taxonomy -------------------------------------------------------- *)
+
+let test_taxonomy_closed () =
+  Alcotest.(check int) "count" 5 Obs.Taxonomy.count;
+  Alcotest.(check int) "|all|" Obs.Taxonomy.count (List.length Obs.Taxonomy.all);
+  List.iteri
+    (fun i t -> Alcotest.(check int) "index follows all-order" i (Obs.Taxonomy.index t))
+    Obs.Taxonomy.all;
+  Alcotest.(check (list string))
+    "names"
+    [ "ww-conflict"; "stale-snapshot"; "spec-misprediction"; "cascade"; "timeout" ]
+    (List.map Obs.Taxonomy.name Obs.Taxonomy.all)
+
+let test_taxonomy_of_abort () =
+  (* The compiler enforces exhaustiveness; this pins the mapping. *)
+  List.iter
+    (fun (reason, expect) ->
+      Alcotest.(check string)
+        (Core.Types.abort_reason_to_string reason)
+        expect
+        (Obs.Taxonomy.name (Core.Types.taxonomy_of_abort reason)))
+    [
+      (Core.Types.Local_conflict, "ww-conflict");
+      (Core.Types.Remote_conflict, "ww-conflict");
+      (Core.Types.Snapshot_too_old, "stale-snapshot");
+      (Core.Types.Evicted, "spec-misprediction");
+      (Core.Types.Dependency_aborted, "cascade");
+      (Core.Types.Node_failure, "timeout");
+    ]
+
+(* --- trace recording ------------------------------------------------- *)
+
+let test_off_mode_records_nothing () =
+  let tr = Trace.disabled () in
+  Alcotest.(check bool) "off" false (Trace.enabled tr);
+  let h = Trace.span_begin tr ~kind:Trace.S_tx ~pid:1 ~tid:1 ~t0:0 () in
+  Alcotest.(check int) "off handle" (-1) h;
+  Trace.span_end tr h ~t1:5;
+  Trace.instant tr ~kind:Trace.I_commit ~pid:1 ~tid:1 ~time:3 ();
+  Trace.count_abort tr Obs.Taxonomy.Ww_conflict;
+  Trace.count_msg tr Trace.M_prepare;
+  Trace.set_stat tr "x" 1;
+  Alcotest.(check int) "no events" 0 (Trace.n_events tr);
+  Alcotest.(check (list int)) "no abort counts" [ 0; 0; 0; 0; 0 ]
+    (List.map snd (Trace.abort_counts tr))
+
+let make_traced_cluster () =
+  let sim = Dsim.Sim.create () in
+  let dcs = 3 in
+  let topology = Dsim.Topology.uniform ~dcs ~rtt_ms:80. ~intra_rtt_ms:0.5 in
+  let node_dc = Array.init dcs (fun i -> i) in
+  let rng = Dsim.Rng.create ~seed:11 in
+  let net = Dsim.Network.create ~sim ~topology ~node_dc ~jitter:0. ~rng in
+  let placement = Store.Placement.ring ~n_nodes:dcs ~replication_factor:2 () in
+  let trace = Trace.create () in
+  let eng =
+    Core.Engine.create ~sim ~net ~placement ~config:(Core.Config.str ()) ~trace ()
+  in
+  (sim, eng, trace)
+
+let test_abort_taxonomy_buckets () =
+  (* Drive every abort reason through the one funnel (Engine.abort_tx)
+     and check each lands in its taxonomy bucket. *)
+  let sim, eng, trace = make_traced_cluster () in
+  Dsim.Fiber.spawn sim (fun () ->
+      List.iter
+        (fun reason ->
+          let tx = Core.Engine.begin_tx eng ~origin:0 in
+          Core.Engine.abort_tx eng tx reason)
+        [
+          Core.Types.Local_conflict;
+          Core.Types.Remote_conflict;
+          Core.Types.Snapshot_too_old;
+          Core.Types.Evicted;
+          Core.Types.Dependency_aborted;
+          Core.Types.Node_failure;
+        ]);
+  ignore (Dsim.Sim.run sim);
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check int) name expected (List.assoc name (Trace.abort_counts trace)))
+    [
+      ("ww-conflict", 2);
+      ("stale-snapshot", 1);
+      ("spec-misprediction", 1);
+      ("cascade", 1);
+      ("timeout", 1);
+    ]
+
+(* --- end-to-end traced run ------------------------------------------- *)
+
+let small_setup ?(clients = 8) ~seed () =
+  let placement = Store.Placement.ring ~n_nodes:3 ~replication_factor:2 () in
+  (* The paper's high-contention workload, with the hotspot heated up
+     so w-w conflicts are certain within the short window. *)
+  let params = { Workload.Synthetic.synth_b with Workload.Synthetic.hot_prob = 0.4 } in
+  {
+    (Harness.Runner.default_setup
+       ~workload:(Workload.Synthetic.make ~params placement)
+       ~config:(Core.Config.str ()))
+    with
+    Harness.Runner.topology = Dsim.Topology.uniform ~dcs:3 ~rtt_ms:80. ~intra_rtt_ms:0.5;
+    replication_factor = 2;
+    clients_per_node = clients;
+    warmup_us = 100_000;
+    measure_us = 400_000;
+    seed;
+    jitter = 0.;
+  }
+
+let run_traced ~seed =
+  let trace = Trace.create () in
+  let r = Harness.Runner.run ~trace (small_setup ~seed ()) in
+  (r, trace)
+
+let test_traced_run_contents () =
+  let r, trace = run_traced ~seed:5 in
+  Alcotest.(check bool) "events recorded" true (Trace.n_events trace > 0);
+  (* Taxonomy buckets reconcile with the run's whole-life Stats counters
+     (the trace sees warmup + drain too, so compare against the engine
+     totals, not the measurement-window delta in [r.stats]). *)
+  Alcotest.(check bool) "ww conflicts observed" true
+    (List.assoc "ww-conflict" (Trace.abort_counts trace) > 0);
+  ignore r;
+  (* Lifecycle spans and instants are present. *)
+  let spans = Hashtbl.create 8 and instants = Hashtbl.create 8 in
+  Trace.iter trace (fun ev ->
+      match ev.Trace.kind with
+      | `Span k -> Hashtbl.replace spans (Trace.span_name k) ()
+      | `Instant k -> Hashtbl.replace instants (Trace.instant_name k) ());
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " span present") true (Hashtbl.mem spans s))
+    [ "tx"; "read"; "lock-hold"; "local-cert"; "repl-wait" ];
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " instant present") true (Hashtbl.mem instants s))
+    [ "local-commit"; "commit"; "abort" ];
+  (* Message counters and the run-summary stats are sealed in. *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (m ^ " counted") true
+        (List.assoc m (Trace.msg_counts trace) > 0))
+    [ "prepare"; "prepare-reply"; "replicate"; "commit" ];
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " stat set") true
+        (match Trace.find_stat trace s with Some v -> v > 0 | None -> false))
+    [ "commits"; "eq_pushes"; "eq_pops"; "eq_max_depth"; "net_messages"; "interdc_rtt_max_us" ]
+
+let test_trace_stats_reconcile_engine_stats () =
+  (* Same setup, traced and untraced: tracing must not perturb the
+     simulation (same commits), and the sealed commit stat must agree
+     with the runner's own accounting. *)
+  let r0 = Harness.Runner.run (small_setup ~seed:5 ()) in
+  let r1, trace = run_traced ~seed:5 in
+  Alcotest.(check int) "same commits with tracing on"
+    r0.Harness.Runner.committed r1.Harness.Runner.committed;
+  Alcotest.(check (option int))
+    "sealed commit count" (Some r1.Harness.Runner.committed)
+    (Trace.find_stat trace "commits")
+
+let test_chrome_export_parses () =
+  let _, trace = run_traced ~seed:5 in
+  let chrome = Obs.Export.chrome [ ("cell", trace) ] in
+  (match Harness.Bench_json.parse chrome with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("chrome export does not parse: " ^ e));
+  let jsonl = Obs.Export.jsonl [ ("cell", trace) ] in
+  String.split_on_char '\n' jsonl
+  |> List.iter (fun line ->
+         if line <> "" then
+           match Harness.Bench_json.parse line with
+           | Ok _ -> ()
+           | Error e -> Alcotest.fail ("jsonl line does not parse: " ^ e))
+
+(* --- export determinism across worker counts ------------------------- *)
+
+let sweep_export ~jobs =
+  let tracer = Harness.Tracing.create () in
+  let cells =
+    List.map
+      (fun (name, seed) ->
+        let trace = Harness.Tracing.trace_for tracer ~cell:name in
+        Harness.Sweep.cell name (fun () ->
+            (Harness.Runner.run ?trace (small_setup ~clients:4 ~seed ())).Harness.Runner
+              .committed))
+      [ ("seed=3", 3); ("seed=4", 4); ("seed=5", 5) ]
+  in
+  let results = Harness.Sweep.run ~jobs cells in
+  (List.map snd results, Harness.Tracing.export_chrome tracer, Harness.Tracing.export_jsonl tracer)
+
+let test_export_bytes_jobs_invariant () =
+  let r1, chrome1, jsonl1 = sweep_export ~jobs:1 in
+  let r4, chrome4, jsonl4 = sweep_export ~jobs:4 in
+  Alcotest.(check (list int)) "results identical" r1 r4;
+  Alcotest.(check bool) "chrome bytes identical" true (String.equal chrome1 chrome4);
+  Alcotest.(check bool) "jsonl bytes identical" true (String.equal jsonl1 jsonl4);
+  Alcotest.(check int) "fingerprints agree"
+    (Obs.Export.fingerprint chrome1) (Obs.Export.fingerprint chrome4)
+
+let test_tracing_filter_pins_pids () =
+  (* A filtered-out cell still consumes its pid-base slot, so the pids
+     of later cells do not depend on the filter. *)
+  let t_all = Harness.Tracing.create () in
+  let t_some = Harness.Tracing.create ~filter:"keep" () in
+  let reg t cell = Harness.Tracing.trace_for t ~cell in
+  let a_all = reg t_all "drop=1" and a_some = reg t_some "drop=1" in
+  let b_all = reg t_all "keep=1" and b_some = reg t_some "keep=1" in
+  Alcotest.(check bool) "unfiltered traces first cell" true (a_all <> None);
+  Alcotest.(check bool) "filter drops first cell" true (a_some = None);
+  (match (b_all, b_some) with
+  | Some x, Some y ->
+    Alcotest.(check int) "same pid base either way" (Trace.pid_base x) (Trace.pid_base y)
+  | _ -> Alcotest.fail "second cell must be traced in both");
+  Alcotest.(check int) "n_selected respects filter" 1 (Harness.Tracing.n_selected t_some)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          QCheck_alcotest.to_alcotest prop_histogram_percentiles;
+          Alcotest.test_case "small values exact" `Quick test_histogram_small_values_exact;
+          Alcotest.test_case "summary" `Quick test_histogram_summary;
+        ] );
+      ( "taxonomy",
+        [
+          Alcotest.test_case "closed, indexed, named" `Quick test_taxonomy_closed;
+          Alcotest.test_case "abort-reason mapping" `Quick test_taxonomy_of_abort;
+          Alcotest.test_case "engine funnels into buckets" `Quick test_abort_taxonomy_buckets;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "off mode records nothing" `Quick test_off_mode_records_nothing;
+          Alcotest.test_case "traced run contents" `Quick test_traced_run_contents;
+          Alcotest.test_case "tracing does not perturb the run" `Quick
+            test_trace_stats_reconcile_engine_stats;
+          Alcotest.test_case "exports parse as JSON" `Quick test_chrome_export_parses;
+        ] );
+      ( "export-determinism",
+        [
+          Alcotest.test_case "bytes invariant under jobs" `Quick
+            test_export_bytes_jobs_invariant;
+          Alcotest.test_case "filter pins pid bases" `Quick test_tracing_filter_pins_pids;
+        ] );
+    ]
