@@ -8,6 +8,10 @@ build:
 test:
 	dune runtest
 
+# Static analysis: token lint + cross-file protocol-flow rules
+# (Check.Analyzer).  `--format json` emits a SARIF-style report; add
+# `-j N` to fan the per-file pass over N domains (output is
+# byte-identical whatever the value).
 lint:
 	dune build bin/lint.exe && ./_build/default/bin/lint.exe lib
 
@@ -21,7 +25,7 @@ trace-smoke:
 mc:
 	dune build @mc
 
-check: test mc
+check: test mc lint
 
 # Worker domains for the sweep grid (empty = STR_JOBS or the
 # recommended domain count).  Table output is byte-identical whatever

@@ -1,0 +1,1074 @@
+(* Cross-file static analysis over the {!Token} stream; see the
+   interface for the rule catalog.  Layout:
+
+     1. rule table, messages, path scopes
+     2. per-file pass: token rules (the regex-lint port) + fact
+        extraction (markers, records, fingerprints, message
+        constructors, send sites, span opens/closes)
+     3. cross-file phase joining the facts into semantic findings
+     4. suppression and unused-marker accounting
+     5. renderers (text / SARIF JSON) and the content-hash cache
+
+   The per-file pass is pure (source text in, facts out), which is what
+   makes both the {!Harness.Pool} fan-out and the per-file cache sound:
+   the cross-file phase is a deterministic fold over facts in input
+   order, so the report cannot depend on job count or cache state. *)
+
+type severity = Error | Warning
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: %s [%s] %s" f.file f.line f.col
+    (severity_name f.severity) f.rule f.message
+
+type rule_info = { name : string; about : string; default_severity : severity }
+
+(* Messages of the ported rules are kept verbatim from the regex lint:
+   they are part of the tool's user interface and pinned by tests. *)
+let msg_hashtbl_order =
+  "hash-table iteration order is nondeterministic; sort before exposing the \
+   result"
+
+let msg_raw_random = "use the seeded Dsim.Rng, not the global Random state"
+
+let msg_wall_clock = "wall-clock time breaks replay; use Dsim.Sim.now / Dsim.Clock"
+
+let msg_poly_compare =
+  "polymorphic compare's order on structured types is brittle; use a typed \
+   comparator"
+
+let msg_domain_unsafe =
+  "toplevel mutable module state is shared by parallel sweep runs \
+   (Harness.Pool); allocate per run instead"
+
+let msg_no_direct_print =
+  "library code must not print to stdout; return a string/Report and let the \
+   binary print it"
+
+let rule_infos =
+  [
+    { name = "hashtbl-order"; about = msg_hashtbl_order; default_severity = Error };
+    { name = "raw-random"; about = msg_raw_random; default_severity = Error };
+    { name = "wall-clock"; about = msg_wall_clock; default_severity = Error };
+    { name = "poly-compare"; about = msg_poly_compare; default_severity = Error };
+    { name = "domain-unsafe"; about = msg_domain_unsafe; default_severity = Error };
+    { name = "no-direct-print"; about = msg_no_direct_print; default_severity = Error };
+    {
+      name = "message-flow";
+      about =
+        "every declared message kind must be sent somewhere and matched in \
+         every dispatch/coverage table; unknown kinds must not be sent";
+      default_severity = Error;
+    };
+    {
+      name = "cost-coverage";
+      about =
+        "every message send must pair with a CPU cost expression (replies are \
+         exempt), or the latency model undercounts the hop";
+      default_severity = Error;
+    };
+    {
+      name = "fingerprint-coverage";
+      about =
+        "every mutable field of a fingerprinted state record must reach the \
+         fingerprint, or model-checker dedup may equate distinct states";
+      default_severity = Error;
+    };
+    {
+      name = "span-pairing";
+      about = "every trace span open must have a reachable span_end";
+      default_severity = Error;
+    };
+    {
+      name = "unused-allow";
+      about = "a lint-allow marker that suppresses nothing is stale";
+      default_severity = Warning;
+    };
+  ]
+
+let rule_names = List.map (fun r -> r.name) rule_infos
+
+let rule_order r =
+  let rec go i = function
+    | [] -> max_int
+    | ri :: rest -> if ri.name = r then i else go (i + 1) rest
+  in
+  go 0 rule_infos
+
+let severity_of_rule r =
+  match List.find_opt (fun ri -> ri.name = r) rule_infos with
+  | Some ri -> ri.default_severity
+  | None -> Error
+
+(* ------------------------------------------------------------------ *)
+(* Path scopes                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let contains_sub hay sub =
+  let nh = String.length hay and ns = String.length sub in
+  let rec go i = i + ns <= nh && (String.sub hay i ns = sub || go (i + 1)) in
+  ns = 0 || go 0
+
+(* Same scoping as the regex lint: the domain-unsafe hazard is real in
+   the directories whose modules run inside simulation domains. *)
+let domain_unsafe_scope file =
+  List.exists
+    (fun d ->
+      contains_sub file ("lib/" ^ d ^ "/") || String.ends_with ~suffix:("lib/" ^ d) file)
+    [ "core"; "dsim"; "store"; "harness"; "obs" ]
+
+let lib_scope file = String.starts_with ~prefix:"lib/" file || contains_sub file "/lib/"
+
+(* Suffix match with a path-component boundary: "lib/obs/trace.ml"
+   matches itself and ".../lib/obs/trace.ml" but not "xlib/obs/trace.ml". *)
+let path_matches ~suffix path =
+  path = suffix || String.ends_with ~suffix:("/" ^ suffix) path
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type fp_check = { record_file : string; record_name : string; fp_file : string }
+
+type config = {
+  trace_file : string;
+  fingerprint_checks : fp_check list;
+  span_exempt : string list;
+}
+
+let default_config =
+  {
+    trace_file = "lib/obs/trace.ml";
+    fingerprint_checks =
+      [
+        { record_file = "lib/core/types.ml"; record_name = "tx"; fp_file = "lib/core/engine.ml" };
+        { record_file = "lib/core/engine.ml"; record_name = "node"; fp_file = "lib/core/engine.ml" };
+        { record_file = "lib/core/engine.ml"; record_name = "t"; fp_file = "lib/core/engine.ml" };
+        {
+          record_file = "lib/core/partition_server.ml";
+          record_name = "t";
+          fp_file = "lib/core/engine.ml";
+        };
+        { record_file = "lib/store/mvstore.ml"; record_name = "t"; fp_file = "lib/store/mvstore.ml" };
+      ];
+    span_exempt = [ "lib/obs/trace.ml" ];
+  }
+
+type source = { path : string; text : string }
+
+(* ------------------------------------------------------------------ *)
+(* Allow markers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every rule can be named in a marker except unused-allow itself
+   (suppressing the staleness report would defeat it). *)
+let allowable_rules = List.filter (fun r -> r <> "unused-allow") rule_names
+
+let find_sub hay sub =
+  let nh = String.length hay and ns = String.length sub in
+  let rec go i =
+    if i + ns > nh then None else if String.sub hay i ns = sub then Some i else go (i + 1)
+  in
+  go 0
+
+(** Rules named in one marker comment body ([lint: allow r1, r2 ...]). *)
+let marker_rules body =
+  match find_sub body "lint:" with
+  | None -> []
+  | Some i ->
+    let n = String.length body in
+    let rec ws j = if j < n && (body.[j] = ' ' || body.[j] = '\t') then ws (j + 1) else j in
+    let j = ws (i + 5) in
+    if j + 5 <= n && String.sub body j 5 = "allow" && j + 5 < n
+       && (body.[j + 5] = ' ' || body.[j + 5] = '\t')
+    then begin
+      let k = ref (j + 5) in
+      let buf = Buffer.create 32 in
+      let cont = ref true in
+      while !cont && !k < n do
+        (match body.[!k] with
+        | 'a' .. 'z' | '-' | ',' | ' ' | '\t' -> Buffer.add_char buf body.[!k]
+        | _ -> cont := false);
+        if !cont then incr k
+      done;
+      String.split_on_char ',' (Buffer.contents buf)
+      |> List.concat_map (fun part -> String.split_on_char ' ' (String.trim part))
+      |> List.concat_map (fun part -> String.split_on_char '\t' part)
+      |> List.filter (fun tok -> List.mem tok allowable_rules)
+    end
+    else []
+
+(* ------------------------------------------------------------------ *)
+(* Per-file facts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type span_status =
+  | Sp_ok  (** let-bound handle, close found in the same definition *)
+  | Sp_open of string  (** let-bound handle, no close in its definition *)
+  | Sp_escaped of string  (** handle stored into this field/table *)
+  | Sp_unbound  (** handle discarded at the open site *)
+
+type facts = {
+  f_findings : (string * int * int) list;  (** token-rule hits: rule, line, col *)
+  f_markers : (int * int * string list) list;  (** marker line, target line, rules *)
+  f_fields : (string * string * int) list;  (** type name, mutable field, line *)
+  f_fp_idents : string list;  (** idents inside [let fingerprint ...] *)
+  f_has_fp : bool;
+  f_ctors : (string * int) list;  (** [M_*] constructors declared in type items *)
+  f_ctor_items : (string * int * string list) list;
+      (** let items mentioning message constructors: name, line, ctors *)
+  f_sends : (string * int * int * bool * string list) list;
+      (** kind, line, col, body has a cost marker, body idents *)
+  f_cost_defs : string list;  (** let items whose body takes/charges ~cost *)
+  f_spans : (int * int * span_status) list;  (** line, col, classification *)
+  f_span_ctx : string list;  (** idents around span_end call sites *)
+}
+
+let extract ~config ~file src =
+  let lx = Token.lex src in
+  let toks = lx.Token.tokens in
+  let n = Array.length toks in
+  let text i = if i >= 0 && i < n then toks.(i).Token.text else "" in
+  let tkind i = if i >= 0 && i < n then Some toks.(i).Token.kind else None in
+  let is_id i s = tkind i = Some Token.Ident && text i = s in
+  let is_sym i s = tkind i = Some Token.Symbol && text i = s in
+  let is_uid i = tkind i = Some Token.Uident in
+  let is_ident i = tkind i = Some Token.Ident in
+  let is_label i s = tkind i = Some Token.Label && text i = s in
+  let line i = toks.(i).Token.line in
+  let col1 i = toks.(i).Token.col + 1 in
+  (* --- toplevel items: a structure item starts at a column-0 keyword --- *)
+  let boundary i =
+    toks.(i).Token.col = 0
+    && is_ident i
+    &&
+    match text i with
+    | "let" | "type" | "module" | "open" | "exception" | "external" | "include" -> true
+    | _ -> false
+  in
+  let item_of = Array.make (max n 1) (-1) in
+  let items_rev = ref [] in
+  let n_items = ref 0 in
+  for i = 0 to n - 1 do
+    if boundary i then begin
+      let j = if is_id (i + 1) "rec" then i + 2 else i + 1 in
+      let name =
+        match tkind j with Some (Token.Ident | Token.Uident) -> text j | _ -> ""
+      in
+      items_rev := (text i, name, line i, i) :: !items_rev;
+      incr n_items
+    end;
+    if n > 0 then item_of.(i) <- !n_items - 1
+  done;
+  let items = Array.of_list (List.rev !items_rev) in
+  let item_end k =
+    if k + 1 < Array.length items then
+      let _, _, _, s = items.(k + 1) in
+      s
+    else n
+  in
+  let end_of_item_at i = if i < n && item_of.(i) >= 0 then item_end item_of.(i) else n in
+  (* --- token rules (the regex-lint port) --- *)
+  let tfs = ref [] in
+  let add_tf rule i = tfs := (rule, line i, col1 i) :: !tfs in
+  let du = domain_unsafe_scope file in
+  let lib = lib_scope file in
+  for i = 0 to n - 1 do
+    if
+      is_uid i
+      && (text i = "Hashtbl" || String.ends_with ~suffix:"Tbl" (text i))
+      && is_sym (i + 1) "."
+      && (is_id (i + 2) "iter" || is_id (i + 2) "fold")
+    then add_tf "hashtbl-order" i;
+    if is_uid i && text i = "Random" && is_sym (i + 1) "." then add_tf "raw-random" i;
+    if
+      is_uid i
+      && is_sym (i + 1) "."
+      && ((text i = "Unix" && (is_id (i + 2) "gettimeofday" || is_id (i + 2) "time"))
+         || (text i = "Sys" && is_id (i + 2) "time"))
+    then add_tf "wall-clock" i;
+    if
+      (is_id i "let" && is_id (i + 1) "compare" && is_sym (i + 2) "="
+      && is_id (i + 3) "compare")
+      || (is_uid i && text i = "Stdlib" && is_sym (i + 1) "." && is_id (i + 2) "compare")
+      || (is_uid i
+         && is_sym (i + 1) "."
+         && ((text i = "List"
+             && (is_id (i + 2) "sort" || is_id (i + 2) "stable_sort"
+                || is_id (i + 2) "sort_uniq"))
+            || (text i = "Array" && is_id (i + 2) "sort"))
+         && is_id (i + 3) "compare")
+    then add_tf "poly-compare" i;
+    if du then begin
+      if is_uid i && text i = "Random" && is_sym (i + 1) "." && is_id (i + 2) "self_init"
+      then add_tf "domain-unsafe" i;
+      if is_id i "let" && toks.(i).Token.col = 0 then begin
+        let j = if is_id (i + 1) "rec" then i + 2 else i + 1 in
+        if is_ident j then begin
+          (* [let name [: annot] = rhs]: a binding with parameters
+             allocates per call and is fine.  The annotation skip is
+             bounded and stops at any fresh toplevel item. *)
+          let rhs =
+            if is_sym (j + 1) "=" then Some (j + 2)
+            else if is_sym (j + 1) ":" then begin
+              let stop = min n (j + 34) in
+              let rec find k =
+                if k >= stop then None
+                else if is_sym k "=" then Some (k + 1)
+                else if toks.(k).Token.col = 0 then None
+                else find (k + 1)
+              in
+              find (j + 2)
+            end
+            else None
+          in
+          match rhs with
+          | None -> ()
+          | Some r ->
+            if is_id r "ref" then add_tf "domain-unsafe" i
+            else begin
+              let p = ref r and last = ref "" in
+              while is_uid !p && is_sym (!p + 1) "." do
+                last := text !p;
+                p := !p + 2
+              done;
+              if
+                (!last = "Hashtbl" || (!last <> "" && String.ends_with ~suffix:"Tbl" !last))
+                && is_id !p "create"
+              then add_tf "domain-unsafe" i
+            end
+        end
+      end
+    end;
+    if lib then begin
+      if
+        is_uid i
+        && (text i = "Printf" || text i = "Format")
+        && is_sym (i + 1) "."
+        && is_id (i + 2) "printf"
+      then add_tf "no-direct-print" i;
+      if
+        is_ident i
+        && (match text i with
+           | "print_string" | "print_endline" | "print_newline" | "print_int"
+           | "print_char" | "print_float" ->
+             true
+           | _ -> false)
+        && not (is_sym (i - 1) ".")
+      then add_tf "no-direct-print" i
+    end
+  done;
+  (* --- allow markers: a marker covers the first line at/after the
+     comment that carries a token --- *)
+  let has_tok_line = Array.make (lx.Token.n_lines + 2) false in
+  Array.iter
+    (fun (t : Token.token) -> if t.Token.line <= lx.Token.n_lines then has_tok_line.(t.Token.line) <- true)
+    toks;
+  let marker_target cl =
+    let rec go l = if l > lx.Token.n_lines then cl else if has_tok_line.(l) then l else go (l + 1) in
+    go cl
+  in
+  let markers =
+    List.filter_map
+      (fun (c : Token.comment) ->
+        match marker_rules c.Token.ctext with
+        | [] -> None
+        | rs -> Some (c.Token.cline, marker_target c.Token.cline, rs))
+      lx.Token.comments
+  in
+  (* --- record fields, fingerprints, message constructors --- *)
+  let fields = ref [] in
+  let fp_idents = ref [] and has_fp = ref false in
+  let ctors = ref [] in
+  let ctor_items = ref [] in
+  let cost_defs = ref [] in
+  for k = 0 to Array.length items - 1 do
+    let kw, name, iline, s = items.(k) in
+    let e = item_end k in
+    if kw = "type" then begin
+      for i = s to e - 1 do
+        if is_id i "mutable" && is_ident (i + 1) then
+          fields := (name, text (i + 1), line (i + 1)) :: !fields;
+        if is_uid i && String.starts_with ~prefix:"M_" (text i)
+           && not (List.mem_assoc (text i) !ctors)
+        then ctors := (text i, line i) :: !ctors
+      done
+    end
+    else if kw = "let" then begin
+      if name = "fingerprint" then begin
+        has_fp := true;
+        for i = s to e - 1 do
+          if is_ident i then fp_idents := text i :: !fp_idents
+        done
+      end;
+      let cs = ref [] in
+      let costly = ref false in
+      for i = s to e - 1 do
+        if is_uid i && String.starts_with ~prefix:"M_" (text i) && not (List.mem (text i) !cs)
+        then cs := text i :: !cs;
+        if is_label i "cost" then costly := true
+      done;
+      if !cs <> [] then ctor_items := (name, iline, List.rev !cs) :: !ctor_items;
+      if !costly && name <> "" then cost_defs := name :: !cost_defs
+    end
+  done;
+  (* --- message send sites --- *)
+  let sends = ref [] in
+  let send_site i =
+    is_id i "send"
+    && not (is_id (i - 1) "let" || is_id (i - 1) "and" || is_id (i - 1) "val" || is_sym (i - 1) ".")
+  in
+  for i = 0 to n - 1 do
+    if send_site i then begin
+      let ctor = ref "" in
+      let stop = min n (i + 10) in
+      (let rec find k =
+         if k < stop then
+           if is_label k "kind" then begin
+             let stop2 = min n (k + 10) in
+             let rec find2 m =
+               if m < stop2 then
+                 if is_uid m && String.starts_with ~prefix:"M_" (text m) then ctor := text m
+                 else find2 (m + 1)
+             in
+             find2 (k + 1)
+           end
+           else find (k + 1)
+       in
+       find (i + 1));
+      if !ctor <> "" then begin
+        (* Cost window: the send's own body — up to the next send site,
+           the end of the enclosing item, or a fixed horizon. *)
+        let wstop = ref (min (end_of_item_at i) (i + 90)) in
+        (let rec nxt k = if k < !wstop then if send_site k then wstop := k else nxt (k + 1) in
+         nxt (i + 1));
+        let has_cost = ref false in
+        let wid = ref [] in
+        for k = i to !wstop - 1 do
+          if is_label k "cost" then has_cost := true;
+          if is_ident k then begin
+            if String.starts_with ~prefix:"cost_" (text k) then has_cost := true;
+            wid := text k :: !wid
+          end
+        done;
+        sends := (!ctor, line i, col1 i, !has_cost, List.sort_uniq String.compare !wid) :: !sends
+      end
+    end
+  done;
+  (* --- span opens and close contexts --- *)
+  let spans = ref [] in
+  let span_ctx = ref [] in
+  let span_file =
+    Filename.check_suffix file ".ml"
+    && not (List.exists (fun sfx -> path_matches ~suffix:sfx file) config.span_exempt)
+  in
+  for i = 0 to n - 1 do
+    if is_id i "span_end" then
+      for q = max 0 (i - 25) to min (n - 1) (i + 12) do
+        if is_ident q then span_ctx := text q :: !span_ctx
+      done;
+    if
+      span_file && is_id i "span_begin"
+      && not (is_id (i - 1) "let" || is_id (i - 1) "and" || is_id (i - 1) "val")
+    then begin
+      let status = ref Sp_unbound in
+      let lo = max 0 (i - 40) in
+      (* Walk back to the handle's binding: [let h = ...], a field
+         assignment [x.f <- ...], a record field [f = ...], or storage
+         into a table ([Tbl.replace t.f txid (...)]). *)
+      let rec back j =
+        if j >= lo then
+          if is_id j "replace" || is_id j "add" then begin
+            let p = ref (j + 1) and last = ref "" in
+            let rec fwd () =
+              match tkind !p with
+              | Some (Token.Ident | Token.Uident) ->
+                last := text !p;
+                if is_sym (!p + 1) "." then begin
+                  p := !p + 2;
+                  fwd ()
+                end
+              | _ -> ()
+            in
+            fwd ();
+            status := (if !last = "" then Sp_unbound else Sp_escaped !last)
+          end
+          else if is_sym j "<-" then
+            status := (if is_ident (j - 1) then Sp_escaped (text (j - 1)) else Sp_unbound)
+          else if is_sym j "=" then begin
+            if is_ident (j - 1) && (is_id (j - 2) "let" || (is_id (j - 2) "rec" && is_id (j - 3) "let"))
+            then begin
+              let h = text (j - 1) in
+              let e = end_of_item_at i in
+              let ok = ref false in
+              for m = i + 1 to e - 1 do
+                if is_id m "span_end" then
+                  for q = m + 1 to min (e - 1) (m + 12) do
+                    if is_id q h then ok := true
+                  done
+              done;
+              status := (if !ok then Sp_ok else Sp_open h)
+            end
+            else status := (if is_ident (j - 1) then Sp_escaped (text (j - 1)) else Sp_unbound)
+          end
+          else back (j - 1)
+      in
+      back (i - 1);
+      spans := (line i, col1 i, !status) :: !spans
+    end
+  done;
+  {
+    f_findings = List.rev !tfs;
+    f_markers = markers;
+    f_fields = List.rev !fields;
+    f_fp_idents = List.sort_uniq String.compare !fp_idents;
+    f_has_fp = !has_fp;
+    f_ctors = List.rev !ctors;
+    f_ctor_items = List.rev !ctor_items;
+    f_sends = List.rev !sends;
+    f_cost_defs = List.rev !cost_defs;
+    f_spans = List.rev !spans;
+    f_span_ctx = List.sort_uniq String.compare !span_ctx;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-file phase                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let token_message rule =
+  match rule with
+  | "hashtbl-order" -> msg_hashtbl_order
+  | "raw-random" -> msg_raw_random
+  | "wall-clock" -> msg_wall_clock
+  | "poly-compare" -> msg_poly_compare
+  | "domain-unsafe" -> msg_domain_unsafe
+  | "no-direct-print" -> msg_no_direct_print
+  | _ -> rule
+
+let mk ?(severity = Error) file line col rule message =
+  { file; line; col; rule; severity; message }
+
+let token_findings path facts =
+  List.map (fun (rule, line, col) -> mk path line col rule (token_message rule)) facts.f_findings
+
+let semantic_findings ~config pf =
+  let all_cost_defs =
+    List.sort_uniq String.compare (List.concat_map (fun (_, f) -> f.f_cost_defs) pf)
+  in
+  let span_ctx_all =
+    List.sort_uniq String.compare (List.concat_map (fun (_, f) -> f.f_span_ctx) pf)
+  in
+  let trace_pf =
+    List.find_opt (fun (p, _) -> path_matches ~suffix:config.trace_file p) pf
+  in
+  let message_flow =
+    match trace_pf with
+    | Some (tp, tf) when tf.f_ctors <> [] ->
+      let declared = List.map fst tf.f_ctors in
+      let tables =
+        List.concat_map
+          (fun (iname, iline, cs) ->
+            if List.length cs >= 2 then
+              declared
+              |> List.filter (fun c -> not (List.mem c cs))
+              |> List.map (fun c ->
+                     mk tp iline 1 "message-flow"
+                       (Printf.sprintf
+                          "message kind %s has no arm in '%s'; the dispatch/coverage \
+                           table is incomplete"
+                          c iname))
+            else [])
+          tf.f_ctor_items
+      in
+      let sent =
+        List.sort_uniq String.compare
+          (List.concat_map
+             (fun (_, f) -> List.map (fun (c, _, _, _, _) -> c) f.f_sends)
+             pf)
+      in
+      let dead =
+        tf.f_ctors
+        |> List.filter (fun (c, _) -> not (List.mem c sent))
+        |> List.map (fun (c, l) ->
+               mk tp l 1 "message-flow"
+                 (Printf.sprintf "message kind %s is declared but never sent (dead kind)" c))
+      in
+      let unknown =
+        List.concat_map
+          (fun (p, f) ->
+            f.f_sends
+            |> List.filter_map (fun (c, l, col, _, _) ->
+                   if List.mem c declared then None
+                   else
+                     Some
+                       (mk p l col "message-flow"
+                          (Printf.sprintf "sent message kind %s is not declared in %s" c
+                             config.trace_file))))
+          pf
+      in
+      tables @ dead @ unknown
+    | _ -> []
+  in
+  let cost =
+    List.concat_map
+      (fun (p, f) ->
+        f.f_sends
+        |> List.filter_map (fun (c, l, col, has_cost, wid) ->
+               if String.ends_with ~suffix:"_reply" c then None
+               else if has_cost || List.exists (fun w -> List.mem w all_cost_defs) wid
+               then None
+               else
+                 Some
+                   (mk p l col "cost-coverage"
+                      (Printf.sprintf
+                         "send of %s has no CPU cost in its body (~cost, a cost_* \
+                          parameter, or a charging call); the latency model \
+                          undercounts this hop"
+                         c))))
+      pf
+  in
+  let fp =
+    List.concat_map
+      (fun fc ->
+        let find sfx = List.find_opt (fun (p, _) -> path_matches ~suffix:sfx p) pf in
+        match (find fc.record_file, find fc.fp_file) with
+        | Some (rp, rf), Some (_, ff) ->
+          let flds = List.filter (fun (tn, _, _) -> tn = fc.record_name) rf.f_fields in
+          if flds = [] then []
+          else if not ff.f_has_fp then
+            List.map
+              (fun (_, fld, l) ->
+                mk rp l 1 "fingerprint-coverage"
+                  (Printf.sprintf "mutable field %s.%s: %s declares no fingerprint function"
+                     fc.record_name fld fc.fp_file))
+              flds
+          else
+            List.filter_map
+              (fun (_, fld, l) ->
+                if List.mem fld ff.f_fp_idents then None
+                else
+                  Some
+                    (mk rp l 1 "fingerprint-coverage"
+                       (Printf.sprintf
+                          "mutable field %s.%s is not mixed into the fingerprint in \
+                           %s; model-checker state dedup may equate distinct states"
+                          fc.record_name fld fc.fp_file)))
+              flds
+        | _ -> [])
+      config.fingerprint_checks
+  in
+  let span =
+    List.concat_map
+      (fun (p, f) ->
+        f.f_spans
+        |> List.filter_map (fun (l, c, st) ->
+               match st with
+               | Sp_ok -> None
+               | Sp_open h ->
+                 Some
+                   (mk p l c "span-pairing"
+                      (Printf.sprintf
+                         "span bound to '%s' has no span_end for it in the same \
+                          definition"
+                         h))
+               | Sp_escaped x ->
+                 if List.mem x span_ctx_all then None
+                 else
+                   Some
+                     (mk p l c "span-pairing"
+                        (Printf.sprintf
+                           "span handle stored in '%s' has no span_end mentioning it \
+                            anywhere in the scanned tree"
+                           x))
+               | Sp_unbound ->
+                 Some
+                   (mk p l c "span-pairing"
+                      "span handle is discarded at the open site; the span can never \
+                       be closed")))
+      pf
+  in
+  message_flow @ cost @ fp @ span
+
+(* Was [rule] actually evaluated against [path]?  Unused-marker
+   reporting is restricted to evaluated rules so that partial scans (a
+   single file, a subtree without the trace module) do not flag markers
+   whose rule simply could not run. *)
+let rule_evaluated ~config ~trace_present pf_assoc path facts rule =
+  match rule with
+  | "hashtbl-order" | "raw-random" | "wall-clock" | "poly-compare" -> true
+  | "domain-unsafe" -> domain_unsafe_scope path
+  | "no-direct-print" -> lib_scope path
+  | "message-flow" ->
+    trace_present && (path_matches ~suffix:config.trace_file path || facts.f_sends <> [])
+  | "cost-coverage" -> facts.f_sends <> []
+  | "span-pairing" -> facts.f_spans <> []
+  | "fingerprint-coverage" ->
+    List.exists
+      (fun fc ->
+        path_matches ~suffix:fc.record_file path
+        && List.exists (fun (p, _) -> path_matches ~suffix:fc.fp_file p) pf_assoc)
+      config.fingerprint_checks
+  | _ -> false
+
+let sort_dedup findings =
+  let cmp a b =
+    match String.compare a.file b.file with
+    | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+        match Int.compare (rule_order a.rule) (rule_order b.rule) with
+        | 0 -> Int.compare a.col b.col
+        | c -> c)
+      | c -> c)
+    | c -> c
+  in
+  let sorted = List.sort cmp findings in
+  let rec dedup = function
+    | a :: b :: rest when a.file = b.file && a.line = b.line && a.rule = b.rule ->
+      dedup (a :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+type report = { findings : finding list; files : int; cache_hits : int }
+
+(* Suppression + unused accounting over per-file facts, shared by
+   [analyze] and the single-file [lint_findings]. *)
+let apply_markers ~config ~semantic pf raw =
+  let allowed = Hashtbl.create 64 in
+  List.iter
+    (fun (p, f) ->
+      List.iter
+        (fun (ml, tgt, rs) ->
+          List.iter (fun r -> Hashtbl.replace allowed (p, tgt, r) (ml, ref false)) rs)
+        f.f_markers)
+    pf;
+  let kept =
+    List.filter
+      (fun fi ->
+        match Hashtbl.find_opt allowed (fi.file, fi.line, fi.rule) with
+        | Some (_, used) ->
+          used := true;
+          false
+        | None -> true)
+      raw
+  in
+  let unused =
+    if not semantic then []
+    else begin
+      let trace_present =
+        List.exists (fun (p, _) -> path_matches ~suffix:config.trace_file p) pf
+      in
+      List.concat_map
+        (fun (p, f) ->
+          List.concat_map
+            (fun (ml, tgt, rs) ->
+              List.filter_map
+                (fun r ->
+                  match Hashtbl.find_opt allowed (p, tgt, r) with
+                  | Some (ml', used)
+                    when ml' = ml && (not !used)
+                         && rule_evaluated ~config ~trace_present pf p f r ->
+                    Some
+                      (mk ~severity:Warning p ml 1 "unused-allow"
+                         (Printf.sprintf "allow marker for '%s' suppresses nothing; remove it" r))
+                  | _ -> None)
+                rs)
+            f.f_markers)
+        pf
+    end
+  in
+  kept @ unused
+
+(* ------------------------------------------------------------------ *)
+(* Content-hash cache                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let cache_schema = 1
+
+let content_hash s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+module J = Harness.Bench_json
+
+let jnum i = J.Num (float_of_int i)
+let jstrs ss = J.Arr (List.map (fun s -> J.Str s) ss)
+
+let json_of_facts f =
+  let span_status = function
+    | Sp_ok -> ("ok", "")
+    | Sp_open h -> ("open", h)
+    | Sp_escaped x -> ("escaped", x)
+    | Sp_unbound -> ("unbound", "")
+  in
+  J.Obj
+    [
+      ("findings", J.Arr (List.map (fun (r, l, c) -> J.Arr [ J.Str r; jnum l; jnum c ]) f.f_findings));
+      ("markers", J.Arr (List.map (fun (ml, tg, rs) -> J.Arr [ jnum ml; jnum tg; jstrs rs ]) f.f_markers));
+      ("fields", J.Arr (List.map (fun (t, fl, l) -> J.Arr [ J.Str t; J.Str fl; jnum l ]) f.f_fields));
+      ("fp_idents", jstrs f.f_fp_idents);
+      ("has_fp", J.Bool f.f_has_fp);
+      ("ctors", J.Arr (List.map (fun (c, l) -> J.Arr [ J.Str c; jnum l ]) f.f_ctors));
+      ( "ctor_items",
+        J.Arr (List.map (fun (nm, l, cs) -> J.Arr [ J.Str nm; jnum l; jstrs cs ]) f.f_ctor_items) );
+      ( "sends",
+        J.Arr
+          (List.map
+             (fun (c, l, col, hc, wid) -> J.Arr [ J.Str c; jnum l; jnum col; J.Bool hc; jstrs wid ])
+             f.f_sends) );
+      ("cost_defs", jstrs f.f_cost_defs);
+      ( "spans",
+        J.Arr
+          (List.map
+             (fun (l, c, st) ->
+               let tag, nm = span_status st in
+               J.Arr [ jnum l; jnum c; J.Str tag; J.Str nm ])
+             f.f_spans) );
+      ("span_ctx", jstrs f.f_span_ctx);
+    ]
+
+exception Bad_cache
+
+let facts_of_json j =
+  let int = function J.Num x -> int_of_float x | _ -> raise Bad_cache in
+  let str = function J.Str s -> s | _ -> raise Bad_cache in
+  let boolean = function J.Bool b -> b | _ -> raise Bad_cache in
+  let arr = function J.Arr xs -> xs | _ -> raise Bad_cache in
+  let strs v = List.map str (arr v) in
+  let field o k = match List.assoc_opt k o with Some v -> v | None -> raise Bad_cache in
+  try
+    let o = match j with J.Obj o -> o | _ -> raise Bad_cache in
+    let span_of = function
+      | [ l; c; J.Str tag; J.Str nm ] ->
+        let st =
+          match tag with
+          | "ok" -> Sp_ok
+          | "open" -> Sp_open nm
+          | "escaped" -> Sp_escaped nm
+          | "unbound" -> Sp_unbound
+          | _ -> raise Bad_cache
+        in
+        (int l, int c, st)
+      | _ -> raise Bad_cache
+    in
+    Some
+      {
+        f_findings =
+          List.map
+            (fun v -> match arr v with [ r; l; c ] -> (str r, int l, int c) | _ -> raise Bad_cache)
+            (arr (field o "findings"));
+        f_markers =
+          List.map
+            (fun v -> match arr v with [ ml; tg; rs ] -> (int ml, int tg, strs rs) | _ -> raise Bad_cache)
+            (arr (field o "markers"));
+        f_fields =
+          List.map
+            (fun v -> match arr v with [ t; fl; l ] -> (str t, str fl, int l) | _ -> raise Bad_cache)
+            (arr (field o "fields"));
+        f_fp_idents = strs (field o "fp_idents");
+        f_has_fp = boolean (field o "has_fp");
+        f_ctors =
+          List.map
+            (fun v -> match arr v with [ c; l ] -> (str c, int l) | _ -> raise Bad_cache)
+            (arr (field o "ctors"));
+        f_ctor_items =
+          List.map
+            (fun v -> match arr v with [ nm; l; cs ] -> (str nm, int l, strs cs) | _ -> raise Bad_cache)
+            (arr (field o "ctor_items"));
+        f_sends =
+          List.map
+            (fun v ->
+              match arr v with
+              | [ c; l; col; hc; wid ] -> (str c, int l, int col, boolean hc, strs wid)
+              | _ -> raise Bad_cache)
+            (arr (field o "sends"));
+        f_cost_defs = strs (field o "cost_defs");
+        f_spans = List.map (fun v -> span_of (arr v)) (arr (field o "spans"));
+        f_span_ctx = strs (field o "span_ctx");
+      }
+  with Bad_cache -> None
+
+(** [(path, hash) -> facts] entries of a cache file; empty on any
+    structural or version mismatch (a stale cache is just a miss). *)
+let load_cache path =
+  if not (Sys.file_exists path) then []
+  else
+    match J.read_file path with
+    | Error _ -> []
+    | Ok (J.Obj o) -> (
+      match (List.assoc_opt "schema" o, List.assoc_opt "entries" o) with
+      | Some (J.Num v), Some (J.Arr es) when int_of_float v = cache_schema ->
+        List.filter_map
+          (fun e ->
+            match e with
+            | J.Obj eo -> (
+              match
+                (List.assoc_opt "path" eo, List.assoc_opt "hash" eo, List.assoc_opt "facts" eo)
+              with
+              | Some (J.Str p), Some (J.Str h), Some fj -> (
+                match facts_of_json fj with Some f -> Some ((p, h), f) | None -> None)
+              | _ -> None)
+            | _ -> None)
+          es
+      | _ -> [])
+    | Ok _ -> []
+
+let save_cache path entries =
+  let es =
+    List.map
+      (fun ((p, h), f) ->
+        J.Obj [ ("path", J.Str p); ("hash", J.Str h); ("facts", json_of_facts f) ])
+      entries
+  in
+  (* Best effort: a read-only location silently disables the cache. *)
+  match J.write_file path (J.Obj [ ("schema", jnum cache_schema); ("entries", J.Arr es) ]) with
+  | Ok () | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let is_ml path = Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec collect path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if entry = "_build" || (String.length entry > 0 && entry.[0] = '.') then []
+           else collect (Filename.concat path entry))
+  else if is_ml path then [ { path; text = read_file path } ]
+  else []
+
+let scan_paths paths = List.concat_map collect paths
+
+let analyze ?(config = default_config) ?rules ?(jobs = 1) ?cache_file sources =
+  let cache = match cache_file with None -> [] | Some p -> load_cache p in
+  let keyed = List.map (fun s -> (s, content_hash s.text)) sources in
+  let looked =
+    List.map (fun (s, h) -> ((s, h), List.assoc_opt (s.path, h) cache)) keyed
+  in
+  let misses =
+    List.filter_map (fun ((s, _), c) -> match c with None -> Some s | Some _ -> None) looked
+  in
+  let computed =
+    ref (Harness.Pool.map ~jobs (fun s -> extract ~config ~file:s.path s.text) misses)
+  in
+  let cache_hits = ref 0 in
+  let entries =
+    List.map
+      (fun ((s, h), c) ->
+        match c with
+        | Some f ->
+          incr cache_hits;
+          ((s.path, h), f)
+        | None -> (
+          match !computed with
+          | f :: rest ->
+            computed := rest;
+            ((s.path, h), f)
+          | [] -> assert false))
+      looked
+  in
+  (match cache_file with None -> () | Some p -> save_cache p entries);
+  let pf = List.map (fun ((p, _), f) -> (p, f)) entries in
+  let raw =
+    List.concat_map (fun (p, f) -> token_findings p f) pf @ semantic_findings ~config pf
+  in
+  let findings = apply_markers ~config ~semantic:true pf raw in
+  let findings =
+    match rules with
+    | None -> findings
+    | Some rs -> List.filter (fun f -> List.mem f.rule rs) findings
+  in
+  { findings = sort_dedup findings; files = List.length sources; cache_hits = !cache_hits }
+
+let lint_findings ~file src =
+  let facts = extract ~config:default_config ~file src in
+  let pf = [ (file, facts) ] in
+  sort_dedup (apply_markers ~config:default_config ~semantic:false pf (token_findings file facts))
+
+(* ------------------------------------------------------------------ *)
+(* Renderers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render_text r = String.concat "" (List.map (fun f -> to_string f ^ "\n") r.findings)
+
+let level = function Error -> "error" | Warning -> "warning"
+
+let render_json r =
+  let rules_json =
+    List.map
+      (fun ri ->
+        J.Obj
+          [
+            ("id", J.Str ri.name);
+            ("shortDescription", J.Obj [ ("text", J.Str ri.about) ]);
+            ("defaultConfiguration", J.Obj [ ("level", J.Str (level ri.default_severity)) ]);
+          ])
+      rule_infos
+  in
+  let result f =
+    J.Obj
+      [
+        ("ruleId", J.Str f.rule);
+        ("level", J.Str (level f.severity));
+        ("message", J.Obj [ ("text", J.Str f.message) ]);
+        ( "locations",
+          J.Arr
+            [
+              J.Obj
+                [
+                  ( "physicalLocation",
+                    J.Obj
+                      [
+                        ("artifactLocation", J.Obj [ ("uri", J.Str f.file) ]);
+                        ( "region",
+                          J.Obj [ ("startLine", jnum f.line); ("startColumn", jnum f.col) ] );
+                      ] );
+                ];
+            ] );
+      ]
+  in
+  J.to_string
+    (J.Obj
+       [
+         ("version", J.Str "2.1.0");
+         ( "runs",
+           J.Arr
+             [
+               J.Obj
+                 [
+                   ( "tool",
+                     J.Obj
+                       [
+                         ( "driver",
+                           J.Obj [ ("name", J.Str "str-analyzer"); ("rules", J.Arr rules_json) ] );
+                       ] );
+                   ("results", J.Arr (List.map result r.findings));
+                 ];
+             ] );
+       ])
+
+let _ = severity_of_rule

@@ -1,0 +1,134 @@
+(** Protocol-flow static analyzer: cross-file semantic checks over the
+    token stream of {!Token}, plus the token-rule port of the original
+    determinism lint ({!Lint}).
+
+    The analyzer exists because the repo's central property — a run is
+    a deterministic, fully-checked function of (config, seed) — is
+    guarded by conventions that a line regex cannot see: every message
+    kind needs a dispatch arm, every message send needs a CPU cost,
+    every mutable state field needs to reach the state fingerprint, and
+    every trace span needs a close.  Each convention is stated once
+    here and re-checked mechanically on every [dune runtest].
+
+    {2 Rule catalog}
+
+    Token rules (per file, ported from the regex lint; same names,
+    same messages, same suppression markers):
+    [hashtbl-order], [raw-random], [wall-clock], [poly-compare],
+    [domain-unsafe], [no-direct-print].
+
+    Semantic rules (cross-file):
+    - {b message-flow} — every [M_*] constructor declared in the trace
+      module's [msg_kind] type must be sent somewhere and must appear
+      in every dispatch/coverage table of the trace module (a toplevel
+      definition mentioning at least two message constructors); kinds
+      sent but not declared are flagged at the send site.
+    - {b cost-coverage} — every message-send site (a [send ~kind:M_*]
+      call) must pair with a cost expression in its body: a [~cost]
+      argument, a [cost_*] identifier, or a call to a definition that
+      itself charges cost.  [*_reply] kinds are exempt: replies
+      deliver to an already-charged coordinator fiber.
+    - {b fingerprint-coverage} — every [mutable] field of the
+      configured state records must appear in the corresponding
+      [fingerprint] function, or the model checker's visited-state
+      dedup can equate states that differ.
+    - {b span-pairing} — every [span_begin] must have a reachable
+      [span_end]: a let-bound handle must be closed in the same
+      toplevel definition; a handle stored into a field or table must
+      have a [span_end] mentioning that field somewhere in the tree.
+    - {b unused-allow} (warning) — a [lint: allow <rule>] marker whose
+      rule was evaluated on that file but suppressed nothing.
+
+    Any finding can be suppressed with the usual marker comment on (or
+    directly above) the offending line. *)
+
+type severity = Error | Warning
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+val to_string : finding -> string
+(** [file:line:col: severity [rule] message] *)
+
+type rule_info = {
+  name : string;
+  about : string;  (** one-line description (SARIF rule metadata) *)
+  default_severity : severity;
+}
+
+val rule_infos : rule_info list
+(** Canonical rule order; finding lists are sorted by (file, line,
+    rule order, col). *)
+
+val rule_names : string list
+
+(** {2 Configuration} *)
+
+type fp_check = {
+  record_file : string;  (** path suffix of the file declaring the record *)
+  record_name : string;  (** the record type's name *)
+  fp_file : string;  (** path suffix of the file with the [fingerprint] *)
+}
+
+type config = {
+  trace_file : string;  (** path suffix of the message-kind module *)
+  fingerprint_checks : fp_check list;
+  span_exempt : string list;
+      (** path suffixes where [span_begin] occurrences are not span
+          opens (the trace module itself) *)
+}
+
+val default_config : config
+(** This repository's layout: [lib/obs/trace.ml] declares the message
+    kinds; the [tx]/[node]/engine/server records fingerprint in
+    [lib/core/engine.ml]; the store record in [lib/store/mvstore.ml]. *)
+
+(** {2 Running the analyzer} *)
+
+type source = { path : string; text : string }
+
+val scan_paths : string list -> source list
+(** Recursively collect [.ml]/[.mli] sources ([_build] and dot-entries
+    skipped; entries sorted), reading file contents.  Raises
+    [Sys_error] on unreadable paths. *)
+
+type report = {
+  findings : finding list;  (** sorted, deduplicated, post-suppression *)
+  files : int;
+  cache_hits : int;
+}
+
+val analyze :
+  ?config:config ->
+  ?rules:string list ->
+  ?jobs:int ->
+  ?cache_file:string ->
+  source list ->
+  report
+(** Run every rule over the sources.  [rules] filters the {e reported}
+    findings (everything is still evaluated, so suppression accounting
+    is unaffected).  [jobs > 1] fans the per-file pass over
+    {!Harness.Pool} domains; the report is byte-identical whatever the
+    value.  [cache_file] enables per-file result caching keyed by a
+    content hash: unchanged files skip the lexer entirely, and the
+    cache is rewritten after the run (best-effort: an unreadable or
+    stale cache is simply ignored). *)
+
+val render_text : report -> string
+(** One [to_string] line per finding (empty string when clean). *)
+
+val render_json : report -> string
+(** SARIF-style JSON document (version 2.1.0 shape: tool driver with
+    rule metadata, one result per finding).  Byte-deterministic:
+    depends only on the findings, never on job count or cache state. *)
+
+val lint_findings : file:string -> string -> finding list
+(** Single-file compatibility entry point for {!Lint}: the six token
+    rules plus marker suppression — no cross-file rules, no
+    [unused-allow]. *)

@@ -1,39 +1,7 @@
-(** Determinism lint for the simulator's source tree.
-
-    The whole experimental apparatus rests on runs being a deterministic
-    function of (configuration, seed): replayability, the SPSI checker's
-    end-to-end tests, and above all the model checker's replay-based
-    search all silently break if nondeterminism leaks in.  This lint
-    scans OCaml sources for the hazard patterns that have historically
-    caused such leaks:
-
-    - {b hashtbl-order} — [Hashtbl.iter]/[fold] (incl. [Txid.Tbl],
-      [KeyTbl], ...): iteration order depends on hashing internals, so
-      anything user-visible derived from it must sort first;
-    - {b raw-random} — the global [Random] module bypasses the seeded,
-      splittable {!Dsim.Rng};
-    - {b wall-clock} — [Unix.gettimeofday]/[Unix.time]/[Sys.time] leak
-      host time into simulated logic;
-    - {b poly-compare} — structural [compare] used as a sort comparator
-      or rebound as a module's [compare]: on records/variants its order
-      is declaration-dependent and brittle under refactoring;
-    - {b domain-unsafe} — toplevel mutable module state ([let x = ref
-      ...], [let t = Hashtbl.create ...], [Random.self_init]) in the
-      simulation path ([lib/core], [lib/dsim], [lib/store],
-      [lib/harness]): the parallel sweep harness ({!Harness.Pool}) runs
-      experiment cells on concurrent domains, which is only sound while
-      runs share nothing.
-
-    The patterns are deliberately syntactic (line regexes over
-    comment- and string-stripped source): cheap, transparent, and easy
-    to appease.  Where a flagged site is actually sound — e.g. a fold
-    whose result is sorted before use, or an order-insensitive
-    reduction — suppress it with an inline marker comment:
-
-    {[ (* lint: allow hashtbl-order — keys are sorted before hashing *) ]}
-
-    A marker suppresses the named rule(s) on the first following line
-    that contains code (or on its own line, when code shares it). *)
+(* Compatibility front end over Analyzer's single-file pass.  The rule
+   logic moved to analyzer.ml when the regex matching was retired (the
+   old Str-based scan kept global match state — a domain-unsafe hazard
+   of exactly the kind this lint exists to flag). *)
 
 type finding = { file : string; line : int; rule : string; message : string }
 
@@ -41,252 +9,25 @@ let to_string f = Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
 
 let pp_finding ppf f = Format.pp_print_string ppf (to_string f)
 
-type rule = {
-  name : string;
-  re : Str.regexp;
-  message : string;
-  (* When set, the rule only applies to files whose path matches — used
-     to scope rules to the directories where the hazard is real. *)
-  scope : Str.regexp option;
-}
-
-let rules =
+let rule_names =
   [
-    {
-      name = "hashtbl-order";
-      re = Str.regexp "\\(Hashtbl\\|[A-Za-z_0-9]*Tbl\\)\\.\\(iter\\|fold\\)";
-      message =
-        "hash-table iteration order is nondeterministic; sort before exposing \
-         the result";
-      scope = None;
-    };
-    {
-      name = "raw-random";
-      re = Str.regexp "\\(^\\|[^A-Za-z0-9_]\\)Random\\.";
-      message = "use the seeded Dsim.Rng, not the global Random state";
-      scope = None;
-    };
-    {
-      name = "wall-clock";
-      re = Str.regexp "\\(Unix\\.gettimeofday\\|Unix\\.time\\|Sys\\.time\\)";
-      message = "wall-clock time breaks replay; use Dsim.Sim.now / Dsim.Clock";
-      scope = None;
-    };
-    {
-      name = "poly-compare";
-      re =
-        Str.regexp
-          "\\(let[ \t]+compare[ \t]*=[ \t]*compare\\([^A-Za-z0-9_]\\|$\\)\\|Stdlib\\.compare\\|\\(List\\.sort\\|List\\.stable_sort\\|List\\.sort_uniq\\|Array\\.sort\\)[ \t]+compare\\([^A-Za-z0-9_]\\|$\\)\\)";
-      message =
-        "polymorphic compare's order on structured types is brittle; use a \
-         typed comparator";
-      scope = None;
-    };
-    {
-      (* The sweep harness fans independent simulation runs across
-         domains (Harness.Pool); that is only sound while runs share
-         nothing, i.e. while no module in the simulation path keeps
-         toplevel mutable state.  Flag new toplevel [ref] /
-         [Hashtbl.create] bindings (a binding with parameters allocates
-         per call and is fine) and any [Random.self_init]. *)
-      name = "domain-unsafe";
-      re =
-        Str.regexp
-          "\\(^let[ \t]+\\(rec[ \t]+\\)?[a-z_][A-Za-z0-9_']*[ \t]*\\(:[^=]*\\)?=[ \t]*\\(ref\\([^A-Za-z0-9_']\\|$\\)\\|\\([A-Za-z_0-9]+\\.\\)*\\(Hashtbl\\|[A-Za-z_0-9]*Tbl\\)\\.create\\)\\|Random\\.self_init\\)";
-      message =
-        "toplevel mutable module state is shared by parallel sweep runs \
-         (Harness.Pool); allocate per run instead";
-      scope = Some (Str.regexp "lib/\\(core\\|dsim\\|store\\|harness\\|obs\\)\\(/\\|$\\)");
-    };
-    {
-      (* Library code must not write to stdout directly: reports go
-         through Report/Export values that the binaries print, and stray
-         prints corrupt machine-read outputs (trace JSON on stdout,
-         bench JSON diffs).  Printing in [bin/] and [bench/] is fine. *)
-      name = "no-direct-print";
-      re =
-        Str.regexp
-          "\\(Printf\\.printf\\|Format\\.printf\\|\\(^\\|[^A-Za-z0-9_.]\\)print_\\(string\\|endline\\|newline\\|int\\|char\\|float\\)\\([^A-Za-z0-9_]\\|$\\)\\)";
-      message =
-        "library code must not print to stdout; return a string/Report and let \
-         the binary print it";
-      scope = Some (Str.regexp "\\(^\\|/\\)lib/");
-    };
+    "hashtbl-order";
+    "raw-random";
+    "wall-clock";
+    "poly-compare";
+    "domain-unsafe";
+    "no-direct-print";
   ]
 
-let rule_names = List.map (fun r -> r.name) rules
-
-let applies rule ~file =
-  match rule.scope with
-  | None -> true
-  | Some re -> ( match Str.search_forward re file 0 with _ -> true | exception Not_found -> false)
-
-let marker_re = Str.regexp "lint:[ \t]*allow[ \t]+\\([a-z, \t-]+\\)"
-
-(** Rules named in one marker comment body. *)
-let marker_rules text =
-  match Str.search_forward marker_re text 0 with
-  | exception Not_found -> []
-  | _ ->
-    Str.matched_group 1 text
-    |> Str.split (Str.regexp "[ \t,]+")
-    |> List.filter (fun tok -> List.mem tok rule_names)
-
-(** Blank out comments and string/char literals (newlines preserved so
-    line numbers survive), collecting allow markers as
-    [(comment_start_line, rules)]. *)
-let strip src =
-  let n = String.length src in
-  let out = Buffer.create n in
-  let markers = ref [] in
-  let blank c = Buffer.add_char out (if c = '\n' then '\n' else ' ') in
-  let line = ref 1 in
-  let bump c = if c = '\n' then incr line in
-  let i = ref 0 in
-  let next () =
-    let c = src.[!i] in
-    bump c;
-    incr i;
-    c
-  in
-  let peek k = if !i + k < n then Some src.[!i + k] else None in
-  while !i < n do
-    match src.[!i] with
-    | '(' when peek 1 = Some '*' ->
-      (* comment, possibly nested; capture the text for markers *)
-      let start_line = !line in
-      let cbuf = Buffer.create 64 in
-      blank (next ());
-      blank (next ());
-      let depth = ref 1 in
-      while !depth > 0 && !i < n do
-        if src.[!i] = '(' && peek 1 = Some '*' then begin
-          incr depth;
-          Buffer.add_char cbuf (next ());
-          blank ' ';
-          Buffer.add_char cbuf (next ());
-          blank ' '
-        end
-        else if src.[!i] = '*' && peek 1 = Some ')' then begin
-          decr depth;
-          blank (next ());
-          blank (next ())
-        end
-        else begin
-          let c = next () in
-          Buffer.add_char cbuf c;
-          blank c
-        end
-      done;
-      (match marker_rules (Buffer.contents cbuf) with
-      | [] -> ()
-      | rs -> markers := (start_line, rs) :: !markers)
-    | '"' ->
-      blank (next ());
-      let closed = ref false in
-      while (not !closed) && !i < n do
-        match src.[!i] with
-        | '\\' when !i + 1 < n ->
-          blank (next ());
-          blank (next ())
-        | '"' ->
-          closed := true;
-          blank (next ())
-        | _ -> blank (next ())
-      done
-    | '{' when (match peek 1 with Some ('a' .. 'z' | '_' | '|') -> true | _ -> false)
-               && (try
-                     (* {id| ... |id} quoted string: find the opening bar *)
-                     let j = ref (!i + 1) in
-                     while
-                       !j < n
-                       && match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false
-                     do
-                       incr j
-                     done;
-                     !j < n && src.[!j] = '|'
-                   with _ -> false) ->
-      (* consume up to and including the matching |id} *)
-      let j = ref (!i + 1) in
-      while !j < n && (match src.[!j] with 'a' .. 'z' | '_' -> true | _ -> false) do
-        incr j
-      done;
-      let id = String.sub src (!i + 1) (!j - !i - 1) in
-      let closing = "|" ^ id ^ "}" in
-      blank (next ());
-      (* "{" *)
-      String.iter (fun _ -> blank (next ())) id;
-      blank (next ());
-      (* "|" *)
-      let m = String.length closing in
-      let closed = ref false in
-      while (not !closed) && !i < n do
-        if !i + m <= n && String.sub src !i m = closing then begin
-          for _ = 1 to m do
-            blank (next ())
-          done;
-          closed := true
-        end
-        else blank (next ())
-      done
-    | '\'' ->
-      (* char literal vs type-variable quote *)
-      if peek 1 = Some '\\' then begin
-        (* '\x..' escape: blank until the closing quote *)
-        blank (next ());
-        blank (next ());
-        let closed = ref false in
-        while (not !closed) && !i < n do
-          let c = next () in
-          blank c;
-          if c = '\'' then closed := true
-        done
-      end
-      else if peek 2 = Some '\'' then begin
-        blank (next ());
-        blank (next ());
-        blank (next ())
-      end
-      else Buffer.add_char out (next ())
-    | _ -> Buffer.add_char out (next ())
-  done;
-  (Buffer.contents out, !markers)
-
 let scan_source ~file src =
-  let rules = List.filter (applies ~file) rules in
-  let stripped, markers = strip src in
-  let lines = Array.of_list (String.split_on_char '\n' stripped) in
-  let n_lines = Array.length lines in
-  let allowed = Hashtbl.create 16 in
-  List.iter
-    (fun (start_line, rs) ->
-      (* the marker covers the first line at/after it that has code *)
-      let rec target l =
-        if l > n_lines then start_line
-        else if String.trim lines.(l - 1) <> "" then l
-        else target (l + 1)
-      in
-      let t = target start_line in
-      List.iter (fun r -> Hashtbl.replace allowed (t, r) ()) rs)
-    markers;
-  let findings = ref [] in
-  Array.iteri
-    (fun idx text ->
-      let lineno = idx + 1 in
-      List.iter
-        (fun r ->
-          if
-            (match Str.search_forward r.re text 0 with
-            | _ -> true
-            | exception Not_found -> false)
-            && not (Hashtbl.mem allowed (lineno, r.name))
-          then
-            findings :=
-              { file; line = lineno; rule = r.name; message = r.message }
-              :: !findings)
-        rules)
-    lines;
-  List.rev !findings
+  Analyzer.lint_findings ~file src
+  |> List.map (fun (f : Analyzer.finding) ->
+         {
+           file = f.Analyzer.file;
+           line = f.Analyzer.line;
+           rule = f.Analyzer.rule;
+           message = f.Analyzer.message;
+         })
 
 let read_file path =
   let ic = open_in_bin path in
@@ -296,16 +37,14 @@ let read_file path =
 
 let scan_file path = scan_source ~file:path (read_file path)
 
-let is_ml path =
-  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+let is_ml path = Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
 
 let rec scan_path path =
   if Sys.is_directory path then
     Sys.readdir path |> Array.to_list
     |> List.sort String.compare
     |> List.concat_map (fun entry ->
-           if entry = "_build" || (String.length entry > 0 && entry.[0] = '.') then
-             []
+           if entry = "_build" || (String.length entry > 0 && entry.[0] = '.') then []
            else scan_path (Filename.concat path entry))
   else if is_ml path then scan_file path
   else []

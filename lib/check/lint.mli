@@ -1,25 +1,33 @@
-(** Determinism lint: syntactic scan of OCaml sources for patterns that
-    leak nondeterminism into the simulator — [hashtbl-order] (exposed
-    hash-table iteration), [raw-random] (global [Random] instead of
-    {!Dsim.Rng}), [wall-clock] (host time), [poly-compare] (structural
-    compare as a comparator), [domain-unsafe] (toplevel mutable module
-    state in the simulation path, which the parallel sweep harness
-    would share across domains; scoped to [lib/core], [lib/dsim],
-    [lib/store], [lib/harness]).  Comments and string literals are
-    stripped before matching; a site can be suppressed with an inline
-    [(* lint: allow <rule> ... *)] marker on the same or the preceding
-    line(s). *)
+(** Determinism lint: single-file front end of {!Analyzer} kept for
+    callers of the original interface.  Scans OCaml sources for
+    patterns that leak nondeterminism into the simulator —
+    [hashtbl-order] (exposed hash-table iteration), [raw-random]
+    (global [Random] instead of {!Dsim.Rng}), [wall-clock] (host
+    time), [poly-compare] (structural compare as a comparator),
+    [domain-unsafe] (toplevel mutable module state in the simulation
+    path, which the parallel sweep harness would share across domains;
+    scoped to [lib/core], [lib/dsim], [lib/store], [lib/harness],
+    [lib/obs]), [no-direct-print] (stdout printing from library code).
+    Comments and string literals are ignored via the {!Token} lexer; a
+    site can be suppressed with an inline [(* lint: allow <rule> ... *)]
+    marker on the same or the preceding line(s).
+
+    Cross-file rules (message flow, cost coverage, fingerprint
+    coverage, span pairing, stale markers) live in {!Analyzer}, which
+    is what [bin/lint.exe] runs. *)
 
 type finding = { file : string; line : int; rule : string; message : string }
 
 val to_string : finding -> string
 val pp_finding : Format.formatter -> finding -> unit
 
-(** Names of the rules, for marker validation: [hashtbl-order],
-    [raw-random], [wall-clock], [poly-compare], [domain-unsafe]. *)
+(** Names of the single-file rules, for marker validation:
+    [hashtbl-order], [raw-random], [wall-clock], [poly-compare],
+    [domain-unsafe], [no-direct-print]. *)
 val rule_names : string list
 
-(** Scan a source string ([file] is only used in findings). *)
+(** Scan a source string ([file] is only used in findings and for rule
+    scoping). *)
 val scan_source : file:string -> string -> finding list
 
 val scan_file : string -> finding list

@@ -1,0 +1,457 @@
+(* Tests for the protocol-flow static analyzer (Check.Analyzer) and the
+   shared token lexer (Check.Token).
+
+   The semantic rules are exercised both ways on in-memory fixture
+   corpora whose paths mimic the real tree layout (so the default
+   configuration's suffix matching applies): a seeded violation must
+   fire, and the repaired twin must be clean.  The clean-real-tree
+   direction is covered by the root `dune runtest` rule, which runs
+   bin/lint.exe over lib/ and fails on any finding. *)
+
+module A = Check.Analyzer
+module T = Check.Token
+
+let src path text = { A.path; A.text }
+
+let run ?rules ?jobs ?cache_file srcs = A.analyze ?rules ?jobs ?cache_file srcs
+
+let fired report =
+  List.sort_uniq String.compare
+    (List.map (fun (f : A.finding) -> f.A.rule) report.A.findings)
+
+let check_fired msg report rules =
+  Alcotest.(check (list string)) msg rules (fired report)
+
+let find_rule report rule =
+  List.filter (fun (f : A.finding) -> f.A.rule = rule) report.A.findings
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer_nested_comments () =
+  let lx = T.lex "(* a (* nested (* deeper *) still *) b *)\nlet x = 1\n" in
+  let texts = Array.to_list lx.T.tokens |> List.map (fun t -> t.T.text) in
+  Alcotest.(check (list string)) "only the code tokenizes" [ "let"; "x"; "="; "1" ] texts;
+  (match lx.T.tokens.(0) with
+  | { T.line = 2; T.col = 0; _ } -> ()
+  | t -> Alcotest.failf "let at %d:%d, expected 2:0" t.T.line t.T.col);
+  match lx.T.comments with
+  | [ c ] ->
+    Alcotest.(check int) "comment opens on line 1" 1 c.T.cline;
+    Alcotest.(check bool) "nested body captured" true
+      (String.length c.T.ctext > 0)
+  | cs -> Alcotest.failf "expected 1 comment, got %d" (List.length cs)
+
+let test_lexer_strings_hide_code () =
+  (* A string containing a comment closer and an escaped quote must not
+     derail the scan; the following code still tokenizes at the right
+     position. *)
+  let lx = T.lex "let s = \"x *) \\\" Random.\" in\nRandom.int 3\n" in
+  let on_line2 =
+    Array.to_list lx.T.tokens |> List.filter (fun t -> t.T.line = 2)
+  in
+  Alcotest.(check (list string)) "line 2 tokens"
+    [ "Random"; "."; "int"; "3" ]
+    (List.map (fun t -> t.T.text) on_line2)
+
+let test_lexer_quoted_string () =
+  let lx = T.lex "let q = {xy|\" *) |x} Random.|xy} in\nlet z = 1\n" in
+  let on_line2 =
+    Array.to_list lx.T.tokens |> List.filter (fun t -> t.T.line = 2)
+  in
+  Alcotest.(check (list string)) "code after {id|...|id}"
+    [ "let"; "z"; "="; "1" ]
+    (List.map (fun t -> t.T.text) on_line2);
+  Alcotest.(check bool) "no Random token leaks from the literal" true
+    (Array.for_all (fun t -> t.T.text <> "Random") lx.T.tokens)
+
+let test_lexer_char_literals () =
+  (* '\'' and '\n' are literals, not quote/comment starts; 'a' likewise;
+     a lone quote after an identifier is a type-variable-style symbol. *)
+  let lx = T.lex "let c = '\\'' let d = '\\n' let e = 'a' let f = c\n" in
+  let kinds = Array.to_list lx.T.tokens |> List.map (fun t -> t.T.kind) in
+  let n_chars = List.length (List.filter (fun k -> k = T.Char_lit) kinds) in
+  Alcotest.(check int) "three char literals" 3 n_chars
+
+let test_lexer_labels () =
+  let lx = T.lex "send eng ~kind:M_a ?opt ~cost:(f 1)\n" in
+  let labels =
+    Array.to_list lx.T.tokens
+    |> List.filter (fun t -> t.T.kind = T.Label)
+    |> List.map (fun t -> t.T.text)
+  in
+  Alcotest.(check (list string)) "labels carry bare names"
+    [ "kind"; "opt"; "cost" ] labels
+
+let prop_strip_preserves_lines =
+  let chars =
+    [ 'a'; 'Z'; '0'; ' '; '\n'; '"'; '('; ')'; '*'; '\''; '\\'; '{'; '|'; '}'; '~'; '.'; '=' ]
+  in
+  QCheck.Test.make ~name:"strip preserves length and newline positions" ~count:500
+    (QCheck.make
+       QCheck.Gen.(string_size ~gen:(oneofl chars) (int_bound 200)))
+    (fun s ->
+      let s' = T.strip s in
+      String.length s' = String.length s
+      && (let ok = ref true in
+          String.iteri
+            (fun i c ->
+              if (c = '\n') <> (s'.[i] = '\n') then ok := false)
+            s;
+          !ok))
+
+(* ------------------------------------------------------------------ *)
+(* Fixture corpus                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let trace_ok =
+  src "lib/obs/trace.ml"
+    {fix|type msg_kind = M_a | M_b | M_c
+let msg_kinds = [ M_a; M_b; M_c ]
+let msg_name = function M_a -> 1 | M_b -> 2 | M_c -> 3
+|fix}
+
+let engine_sends_ok =
+  src "lib/core/engine.ml"
+    {fix|let run eng =
+  send eng ~kind:M_a ~cost:1 ();
+  send eng ~kind:M_b ~cost:2 ();
+  send eng ~kind:M_c ~cost:3 ()
+|fix}
+
+let test_message_flow_clean () =
+  check_fired "complete flow is clean" (run [ trace_ok; engine_sends_ok ]) []
+
+let test_message_flow_missing_arm () =
+  let trace_bad =
+    src "lib/obs/trace.ml"
+      {fix|type msg_kind = M_a | M_b | M_c
+let msg_kinds = [ M_a; M_b; M_c ]
+let msg_name = function M_a -> 1 | M_b -> 2
+|fix}
+  in
+  let report = run [ trace_bad; engine_sends_ok ] in
+  check_fired "missing arm fires" report [ "message-flow" ];
+  match find_rule report "message-flow" with
+  | [ f ] ->
+    Alcotest.(check int) "at the incomplete table" 3 f.A.line;
+    Alcotest.(check bool) "names the kind and the table" true
+      (f.A.message = "message kind M_c has no arm in 'msg_name'; the \
+                      dispatch/coverage table is incomplete")
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+
+let test_message_flow_dead_kind () =
+  let engine_partial =
+    src "lib/core/engine.ml"
+      {fix|let run eng =
+  send eng ~kind:M_a ~cost:1 ();
+  send eng ~kind:M_b ~cost:2 ()
+|fix}
+  in
+  let report = run [ trace_ok; engine_partial ] in
+  check_fired "dead kind fires" report [ "message-flow" ];
+  match find_rule report "message-flow" with
+  | [ f ] ->
+    Alcotest.(check int) "at the declaration" 1 f.A.line;
+    Alcotest.(check bool) "reported as dead" true
+      (f.A.message = "message kind M_c is declared but never sent (dead kind)")
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+
+let test_message_flow_unknown_kind () =
+  let engine_unknown =
+    src "lib/core/engine.ml"
+      {fix|let run eng =
+  send eng ~kind:M_a ~cost:1 ();
+  send eng ~kind:M_b ~cost:2 ();
+  send eng ~kind:M_c ~cost:3 ();
+  send eng ~kind:M_zzz ~cost:4 ()
+|fix}
+  in
+  let report = run [ trace_ok; engine_unknown ] in
+  check_fired "unknown kind fires" report [ "message-flow" ];
+  match find_rule report "message-flow" with
+  | [ f ] -> Alcotest.(check int) "at the send site" 5 f.A.line
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+
+let test_cost_coverage () =
+  let engine_nocost =
+    src "lib/core/engine.ml"
+      {fix|let run eng =
+  send eng ~kind:M_a ~cost:1 ();
+  send eng ~kind:M_b (fun () -> deliver eng);
+  send eng ~kind:M_c ~cost:3 ()
+|fix}
+  in
+  let report = run [ trace_ok; engine_nocost ] in
+  check_fired "costless send fires" report [ "cost-coverage" ];
+  (match find_rule report "cost-coverage" with
+  | [ f ] -> Alcotest.(check int) "at the M_b send" 3 f.A.line
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+  (* A call into a definition that itself charges cost counts. *)
+  let charged =
+    src "lib/core/engine.ml"
+      {fix|let deliver eng = charge eng ~cost:5
+let run eng =
+  send eng ~kind:M_a ~cost:1 ();
+  send eng ~kind:M_b (fun () -> deliver eng);
+  send eng ~kind:M_c ~cost:3 ()
+|fix}
+  in
+  check_fired "charging callee is clean" (run [ trace_ok; charged ]) []
+
+let test_cost_coverage_reply_exempt () =
+  let trace_reply =
+    src "lib/obs/trace.ml"
+      {fix|type msg_kind = M_a | M_a_reply
+let msg_name = function M_a -> 1 | M_a_reply -> 2
+|fix}
+  in
+  let engine_reply =
+    src "lib/core/engine.ml"
+      {fix|let run eng =
+  send eng ~kind:M_a ~cost:1 ();
+  send eng ~kind:M_a_reply ()
+|fix}
+  in
+  check_fired "reply sends are exempt" (run [ trace_reply; engine_reply ]) []
+
+let test_fingerprint_coverage () =
+  let types_two =
+    src "lib/core/types.ml" "type tx = {\n  mutable aa : int;\n  mutable bb : int;\n}\n"
+  in
+  let engine_partial_fp =
+    src "lib/core/engine.ml" "let fingerprint t = combine 17 t.aa\n"
+  in
+  let report = run [ types_two; engine_partial_fp ] in
+  check_fired "dropped field fires" report [ "fingerprint-coverage" ];
+  (match find_rule report "fingerprint-coverage" with
+  | [ f ] ->
+    Alcotest.(check int) "at the bb declaration" 3 f.A.line;
+    Alcotest.(check bool) "names record and fp file" true
+      (f.A.message
+      = "mutable field tx.bb is not mixed into the fingerprint in \
+         lib/core/engine.ml; model-checker state dedup may equate distinct \
+         states")
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+  let engine_full_fp =
+    src "lib/core/engine.ml" "let fingerprint t = combine (combine 17 t.aa) t.bb\n"
+  in
+  check_fired "full fingerprint is clean" (run [ types_two; engine_full_fp ]) []
+
+let test_fingerprint_allow_marker () =
+  let types_marked =
+    src "lib/core/types.ml"
+      "type tx = {\n  mutable aa : int;\n  (* lint: allow fingerprint-coverage \
+       *)\n  mutable bb : int;\n}\n"
+  in
+  let engine_partial_fp =
+    src "lib/core/engine.ml" "let fingerprint t = combine 17 t.aa\n"
+  in
+  check_fired "marker suppresses the dropped field (and is counted used)"
+    (run [ types_marked; engine_partial_fp ]) []
+
+let test_span_pairing () =
+  let closed =
+    src "lib/core/flow.ml"
+      {fix|let timed t =
+  let s = Obs.Trace.span_begin t ~kind:1 in
+  work t;
+  Obs.Trace.span_end t s
+|fix}
+  in
+  check_fired "closed span is clean" (run [ closed ]) [];
+  let dangling =
+    src "lib/core/flow.ml"
+      {fix|let timed t =
+  let s = Obs.Trace.span_begin t ~kind:1 in
+  work t s
+|fix}
+  in
+  let report = run [ dangling ] in
+  check_fired "dangling span fires" report [ "span-pairing" ];
+  match find_rule report "span-pairing" with
+  | [ f ] -> Alcotest.(check int) "at the open site" 2 f.A.line
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+
+let test_span_pairing_escaped () =
+  let opener =
+    src "lib/core/flow.ml" "let start t = t.sp <- Obs.Trace.span_begin t ~kind:1\n"
+  in
+  let closer =
+    src "lib/core/flow_end.ml" "let finish t = Obs.Trace.span_end t.tr t.sp\n"
+  in
+  check_fired "field-stashed span with a closer is clean" (run [ opener; closer ]) [];
+  let report = run [ opener ] in
+  check_fired "field-stashed span without any closer fires" report [ "span-pairing" ]
+
+let test_span_mli_and_trace_exempt () =
+  (* Declarations and the trace module itself are not span opens. *)
+  let mli = src "lib/obs/other.mli" "val span_begin : t -> kind:int -> int\n" in
+  let trace_def =
+    src "lib/obs/trace.ml"
+      "type msg_kind = M_a | M_b\nlet msg_name = function M_a -> 1 | M_b -> 2\n\
+       let span_begin t = alloc t\n"
+  in
+  let sender =
+    src "lib/core/engine.ml"
+      "let run eng =\n  send eng ~kind:M_a ~cost:1 ();\n  send eng ~kind:M_b \
+       ~cost:2 ()\n"
+  in
+  check_fired "no span findings" (run [ mli; trace_def; sender ]) []
+
+let test_unused_allow () =
+  let stale =
+    src "lib/core/stale.ml" "(* lint: allow raw-random *)\nlet pick n = n + 1\n"
+  in
+  let report = run [ stale ] in
+  check_fired "stale marker fires" report [ "unused-allow" ];
+  (match report.A.findings with
+  | [ f ] ->
+    Alcotest.(check bool) "warning severity" true (f.A.severity = A.Warning);
+    Alcotest.(check int) "at the marker line" 1 f.A.line
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+  let used =
+    src "lib/core/used.ml"
+      "(* lint: allow raw-random *)\nlet pick n = Random.int n\n"
+  in
+  check_fired "used marker is silent both ways" (run [ used ]) []
+
+let test_rule_filter () =
+  let engine_nocost =
+    src "lib/core/engine.ml" "let run eng = send eng ~kind:M_zzz ()\n"
+  in
+  let report = run ~rules:[ "cost-coverage" ] [ trace_ok; engine_nocost ] in
+  check_fired "filter reports only the requested rule" report [ "cost-coverage" ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and caching                                             *)
+(* ------------------------------------------------------------------ *)
+
+let corpus =
+  [
+    trace_ok;
+    engine_sends_ok;
+    src "lib/core/stale.ml" "(* lint: allow raw-random *)\nlet pick n = n + 1\n";
+    src "lib/core/flow.ml"
+      "let timed t =\n  let s = Obs.Trace.span_begin t ~kind:1 in\n  work t s\n";
+    src "lib/store/hot.ml" "let dump t = KeyTbl.iter visit t.chains\n";
+    src "lib/dsim/seedy.ml" "let boot () = Random.self_init ()\n";
+    src "lib/workload/wl.ml" "let ks l = List.sort compare l\n";
+    src "lib/harness/out.ml" "let show r = print_endline r\n";
+  ]
+
+let test_jobs_determinism () =
+  let r1 = run ~jobs:1 corpus in
+  let r4 = run ~jobs:4 corpus in
+  Alcotest.(check bool) "corpus has findings" true (r1.A.findings <> []);
+  Alcotest.(check string) "text identical" (A.render_text r1) (A.render_text r4);
+  Alcotest.(check string) "json identical" (A.render_json r1) (A.render_json r4)
+
+let test_cache () =
+  let cache = Filename.temp_file "analyzer_cache" ".json" in
+  let r1 = run ~cache_file:cache corpus in
+  Alcotest.(check int) "cold cache" 0 r1.A.cache_hits;
+  let r2 = run ~cache_file:cache corpus in
+  Alcotest.(check int) "warm cache hits every file" (List.length corpus)
+    r2.A.cache_hits;
+  Alcotest.(check string) "cached run renders identically" (A.render_json r1)
+    (A.render_json r2);
+  let edited =
+    List.map
+      (fun s ->
+        if s.A.path = "lib/core/stale.ml" then
+          src s.A.path "(* lint: allow raw-random *)\nlet pick n = Random.int n\n"
+        else s)
+      corpus
+  in
+  let r3 = run ~cache_file:cache edited in
+  Alcotest.(check int) "edited file misses, others hit"
+    (List.length corpus - 1) r3.A.cache_hits;
+  Alcotest.(check bool) "edited file's findings change" true
+    (A.render_json r3 <> A.render_json r2);
+  Sys.remove cache
+
+let test_cache_garbage_tolerated () =
+  let cache = Filename.temp_file "analyzer_cache" ".json" in
+  let oc = open_out cache in
+  output_string oc "not json at all {";
+  close_out oc;
+  let r = run ~cache_file:cache corpus in
+  Alcotest.(check int) "garbage cache is a miss" 0 r.A.cache_hits;
+  Alcotest.(check string) "findings unaffected" (A.render_json (run corpus))
+    (A.render_json r);
+  Sys.remove cache
+
+(* ------------------------------------------------------------------ *)
+(* Renderers                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_render_shapes () =
+  let report = run corpus in
+  let txt = A.render_text report in
+  List.iter
+    (fun (f : A.finding) ->
+      let line = A.to_string f in
+      Alcotest.(check bool) (line ^ " present in text") true
+        (List.mem line (String.split_on_char '\n' txt)))
+    report.A.findings;
+  let js = A.render_json report in
+  match Harness.Bench_json.parse js with
+  | Error e -> Alcotest.failf "render_json does not parse: %s" e
+  | Ok (Harness.Bench_json.Obj top) ->
+    Alcotest.(check bool) "sarif version present" true
+      (List.mem_assoc "version" top && List.mem_assoc "runs" top)
+  | Ok _ -> Alcotest.fail "render_json is not an object"
+
+let () =
+  Alcotest.run "analyzer"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "nested comments" `Quick test_lexer_nested_comments;
+          Alcotest.test_case "strings hide code" `Quick test_lexer_strings_hide_code;
+          Alcotest.test_case "quoted strings" `Quick test_lexer_quoted_string;
+          Alcotest.test_case "char literals" `Quick test_lexer_char_literals;
+          Alcotest.test_case "labels" `Quick test_lexer_labels;
+          QCheck_alcotest.to_alcotest prop_strip_preserves_lines;
+        ] );
+      ( "message-flow",
+        [
+          Alcotest.test_case "clean" `Quick test_message_flow_clean;
+          Alcotest.test_case "missing arm" `Quick test_message_flow_missing_arm;
+          Alcotest.test_case "dead kind" `Quick test_message_flow_dead_kind;
+          Alcotest.test_case "unknown kind" `Quick test_message_flow_unknown_kind;
+        ] );
+      ( "cost-coverage",
+        [
+          Alcotest.test_case "fires and repaired twin clean" `Quick test_cost_coverage;
+          Alcotest.test_case "replies exempt" `Quick test_cost_coverage_reply_exempt;
+        ] );
+      ( "fingerprint-coverage",
+        [
+          Alcotest.test_case "fires and repaired twin clean" `Quick
+            test_fingerprint_coverage;
+          Alcotest.test_case "allow marker" `Quick test_fingerprint_allow_marker;
+        ] );
+      ( "span-pairing",
+        [
+          Alcotest.test_case "let-bound handles" `Quick test_span_pairing;
+          Alcotest.test_case "escaped handles" `Quick test_span_pairing_escaped;
+          Alcotest.test_case "mli/trace exempt" `Quick test_span_mli_and_trace_exempt;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "unused-allow both ways" `Quick test_unused_allow;
+          Alcotest.test_case "rule filter" `Quick test_rule_filter;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4 byte-identical" `Quick
+            test_jobs_determinism;
+          Alcotest.test_case "content-hash cache" `Quick test_cache;
+          Alcotest.test_case "garbage cache tolerated" `Quick
+            test_cache_garbage_tolerated;
+        ] );
+      ("render", [ Alcotest.test_case "text and sarif shapes" `Quick test_render_shapes ]);
+    ]
