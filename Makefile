@@ -1,4 +1,4 @@
-.PHONY: all build test check mc lint trace-smoke bench bench-quick tables tables-quick
+.PHONY: all build test check mc lint trace-smoke bench bench-quick bench-scale tables tables-quick
 
 all: build
 
@@ -63,3 +63,12 @@ bench:
 bench-quick:
 	dune build bench/main.exe
 	./_build/default/bench/main.exe json
+
+# Million-client scale probe: one open-loop run of ~1M clients on the
+# 9-DC grid per queue structure (binary heap, then timer wheel),
+# asserting the two produce identical results, then the regular json
+# report with the scale rows (events/s, bytes/event, peak RSS) appended
+# into the numbered trajectory slot.
+bench-scale:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe scale bench/BENCH_$(if $(BENCH_ID),$(BENCH_ID),0).json

@@ -13,6 +13,8 @@
      dune exec bench/main.exe -- tables  # experiment tables only
      dune exec bench/main.exe -- json [OUT]  # write OUT (default BENCH.json)
                                              # + diff baseline
+     dune exec bench/main.exe -- scale [OUT] # million-client open-loop probe
+                                             # (wheel vs heap) + json rows
 
    -j (or STR_JOBS) fans the independent experiment cells across a
    domain pool; table output is byte-identical whatever the value. *)
@@ -230,7 +232,7 @@ let strip_group name =
   | Some i -> String.sub name (i + 1) (String.length name - i - 1)
   | None -> name
 
-let run_json ?(out = "BENCH.json") () =
+let run_json ?(extra_micro = []) ?(out = "BENCH.json") () =
   let t0 = Unix.gettimeofday () in
   let micro =
     List.filter_map
@@ -239,6 +241,7 @@ let run_json ?(out = "BENCH.json") () =
         | Some ns -> Some { BJ.bench_name = strip_group name; ns_per_run = ns }
         | None -> None)
       (bechamel_rows micro_tests)
+    @ extra_micro
   in
   let experiments =
     List.map
@@ -287,6 +290,121 @@ let run_json ?(out = "BENCH.json") () =
       | Ok deltas ->
         Printf.printf "== diff vs %s ==\n%s" path (BJ.render_diff deltas)))
 
+(* ------------------------------------------------------------------ *)
+(* Million-client scale probe (`scale` mode, `make bench-scale`)        *)
+(* ------------------------------------------------------------------ *)
+
+(* Peak resident set size in KiB from /proc/self/status (Linux VmHWM);
+   0 where the file or the field is missing. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec scan acc =
+      match input_line ic with
+      | exception End_of_file -> acc
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          let digits =
+            String.to_seq line
+            |> Seq.filter (fun c -> c >= '0' && c <= '9')
+            |> String.of_seq
+          in
+          scan (match int_of_string_opt digits with Some k -> k | None -> acc)
+        else scan acc
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> scan 0)
+
+(* Arrival-heavy, contention-light: every access cold-uniform so latency
+   stays near the WAN floor and the event queue is dominated by the
+   near-horizon arrival/timer churn the wheel is built for. *)
+let scale_params =
+  {
+    Workload.Synthetic.default with
+    hot_prob = 0.0;
+    local_space = 20_000;
+    remote_space = 20_000;
+    remote_access_prob = 0.1;
+  }
+
+let scale_clients_per_dc = 111_112 (* 9 DCs -> 1,000,008 clients *)
+
+let scale_setup ~queue =
+  let placement = Store.Placement.ring ~n_nodes:9 ~replication_factor:6 () in
+  {
+    (Harness.Openloop.default_setup
+       ~workload:(Workload.Synthetic.make ~params:scale_params placement)
+       ~config:(Core.Config.str ()))
+    with
+    clients_per_dc = scale_clients_per_dc;
+    arrival = Workload.Arrival.poisson ~rate_per_dc:5_000.;
+    warmup_us = 300_000;
+    measure_us = 700_000;
+    seed = 9;
+    queue;
+  }
+
+let scale_probe ~queue =
+  Gc.compact ();
+  let alloc0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let r = Harness.Openloop.run (scale_setup ~queue) in
+  let wall = Unix.gettimeofday () -. t0 in
+  let bytes = Gc.allocated_bytes () -. alloc0 in
+  (r, wall, bytes)
+
+let run_scale ?(out = "BENCH.json") () =
+  Printf.eprintf "scale: open-loop, %d clients, heap...\n%!" (9 * scale_clients_per_dc);
+  let rh, wall_h, bytes_h = scale_probe ~queue:`Heap in
+  Printf.eprintf "scale: same run on the timer wheel...\n%!";
+  let rw, wall_w, bytes_w = scale_probe ~queue:`Wheel in
+  let eps_h = float_of_int rh.Harness.Openloop.events /. wall_h in
+  let eps_w = float_of_int rw.Harness.Openloop.events /. wall_w in
+  let identical =
+    rh.Harness.Openloop.completed = rw.Harness.Openloop.completed
+    && rh.Harness.Openloop.admitted = rw.Harness.Openloop.admitted
+    && rh.Harness.Openloop.dropped = rw.Harness.Openloop.dropped
+    && rh.Harness.Openloop.events = rw.Harness.Openloop.events
+    && rh.Harness.Openloop.final_latency = rw.Harness.Openloop.final_latency
+  in
+  Printf.printf
+    "== scale: open-loop, %d clients on the 9-DC grid ==\n\
+    \  completed %d, admitted %d, dropped %d, peak in flight %d\n\
+    \  heap : %10.0f events/s  (%.1fs wall, %.0f B/event)\n\
+    \  wheel: %10.0f events/s  (%.1fs wall, %.0f B/event)\n\
+    \  wheel/heap results identical: %b\n\
+    \  peak RSS: %d KiB\n"
+    rh.Harness.Openloop.clients rh.Harness.Openloop.completed
+    rh.Harness.Openloop.admitted rh.Harness.Openloop.dropped
+    rh.Harness.Openloop.peak_in_flight eps_h wall_h
+    (bytes_h /. float_of_int rh.Harness.Openloop.events)
+    eps_w wall_w
+    (bytes_w /. float_of_int rw.Harness.Openloop.events)
+    identical (peak_rss_kb ());
+  if not identical then begin
+    prerr_endline "scale: wheel and heap runs diverged (determinism bug)";
+    exit 1
+  end;
+  let row name v = { BJ.bench_name = name; ns_per_run = v } in
+  let rows =
+    [
+      row "openloop-1m-clients" (float_of_int rh.Harness.Openloop.clients);
+      row "openloop-1m-completed" (float_of_int rh.Harness.Openloop.completed);
+      row "openloop-1m-dropped" (float_of_int rh.Harness.Openloop.dropped);
+      row "openloop-1m-peak-in-flight"
+        (float_of_int rh.Harness.Openloop.peak_in_flight);
+      row "openloop-1m-events" (float_of_int rh.Harness.Openloop.events);
+      row "openloop-1m-heap-events-per-s" eps_h;
+      row "openloop-1m-wheel-events-per-s" eps_w;
+      row "openloop-1m-heap-bytes-per-event"
+        (bytes_h /. float_of_int rh.Harness.Openloop.events);
+      row "openloop-1m-wheel-bytes-per-event"
+        (bytes_w /. float_of_int rw.Harness.Openloop.events);
+      row "openloop-1m-peak-rss-kb" (float_of_int (peak_rss_kb ()));
+    ]
+  in
+  run_json ~extra_micro:rows ~out ()
+
 (* Pull [-j N] (worker domains for the sweep grid) out of the argument
    list; absent, fall back to STR_JOBS / the recommended domain count. *)
 let rec extract_jobs acc = function
@@ -309,6 +427,8 @@ let () =
   | [ "tables" ] -> run_tables ~jobs scale
   | [ "json" ] -> run_json ()
   | [ "json"; out ] -> run_json ~out ()
+  | [ "scale" ] -> run_scale ()
+  | [ "scale"; out ] -> run_scale ~out ()
   | [] ->
     run_tables ~jobs scale;
     run_bechamel ()

@@ -11,15 +11,16 @@
 
 open Cmdliner
 
-let run dcs keys txs rf broken max_runs max_depth expect quiet =
+let run dcs keys txs rf broken wheel max_runs max_depth expect quiet =
   let config =
     match broken with
     | None -> Check.Scenario.config ()
     | Some `Ww -> Check.Scenario.config ~skip_ww_check:true ()
     | Some `Spec -> Check.Scenario.config ~unsafe_speculation:true ()
   in
+  let queue = if wheel then `Wheel else `Heap in
   let s =
-    try Check.Scenario.make ~rf ~config ~dcs ~keys ~txs ()
+    try Check.Scenario.make ~rf ~config ~queue ~dcs ~keys ~txs ()
     with Invalid_argument msg ->
       Format.eprintf "mc: %s@." msg;
       exit 2
@@ -64,6 +65,16 @@ let broken =
            certification (no pre-commit locks), $(b,spec) lifts the SPSI \
            speculative-read guards.")
 
+let wheel =
+  Arg.(
+    value & flag
+    & info [ "wheel" ]
+        ~doc:
+          "Create the simulator on the hierarchical timer wheel instead of the \
+           binary heap.  The explorer's controlled mode supersedes either \
+           structure, so counts must be identical — this flag exists to verify \
+           that.")
+
 let max_runs =
   Arg.(
     value & opt int 200_000
@@ -93,6 +104,8 @@ let cmd =
   let doc = "bounded model checking of SPSI on small STR deployments" in
   Cmd.v
     (Cmd.info "mc" ~doc)
-    Term.(const run $ dcs $ keys $ txs $ rf $ broken $ max_runs $ max_depth $ expect $ quiet)
+    Term.(
+      const run $ dcs $ keys $ txs $ rf $ broken $ wheel $ max_runs $ max_depth $ expect
+      $ quiet)
 
 let () = exit (Cmd.eval' cmd)

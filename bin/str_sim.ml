@@ -8,8 +8,10 @@
      str_sim fig5a|fig5b|fig5c  Figure 5, TPC-C mixes
      str_sim fig6  [--full]     Figure 6, RUBiS
      str_sim storage            Precise Clocks storage overhead
+     str_sim openloop [--full]  open-loop latency vs offered load
      str_sim all   [--full]     everything
-     str_sim run ...            one custom simulation *)
+     str_sim run ...            one custom simulation
+                                (--arrival-rate switches it to open loop) *)
 
 open Cmdliner
 
@@ -103,7 +105,43 @@ let traced_experiment_cmd name doc f =
   in
   Cmd.v (Cmd.info name ~doc) term
 
-let run_custom protocol workload clients seconds warmup seed trace_file trace_jsonl =
+(* Open-loop variant of `run`: fixed-rate Poisson injection through
+   Harness.Openloop; --clients is the population per DC. *)
+let run_openloop ~protocol ~wname ~config ~workload ~clients ~seconds ~warmup ~seed
+    ~rate ~wheel =
+  let setup =
+    {
+      (Harness.Openloop.default_setup ~workload ~config) with
+      clients_per_dc = clients;
+      arrival = Workload.Arrival.poisson ~rate_per_dc:rate;
+      warmup_us = warmup * 1_000_000;
+      measure_us = seconds * 1_000_000;
+      seed;
+      queue = (if wheel then `Wheel else `Heap);
+    }
+  in
+  let r = Harness.Openloop.run setup in
+  Printf.printf "open-loop protocol=%s workload=%s clients/DC=%d rate=%.1f tx/s/DC (%s)\n"
+    protocol wname clients rate
+    (if wheel then "wheel" else "heap");
+  Printf.printf "  population     : %d clients\n" r.Harness.Openloop.clients;
+  Printf.printf "  throughput     : %.1f tx/s (offered %.1f)\n"
+    r.Harness.Openloop.throughput
+    (rate *. float_of_int (Dsim.Topology.size setup.Harness.Openloop.topology));
+  Printf.printf "  admitted/dropped : %d / %d arrivals\n" r.Harness.Openloop.admitted
+    r.Harness.Openloop.dropped;
+  Printf.printf "  peak in flight : %d\n" r.Harness.Openloop.peak_in_flight;
+  Printf.printf "  abort rate     : %.1f%%\n" (100. *. r.Harness.Openloop.abort_rate);
+  Format.printf "  final latency  : %a@." Harness.Metrics.pp_summary
+    r.Harness.Openloop.final_latency;
+  if r.Harness.Openloop.spec_latency.Harness.Metrics.count > 0 then
+    Format.printf "  spec latency   : %a@." Harness.Metrics.pp_summary
+      r.Harness.Openloop.spec_latency;
+  Printf.printf "  events         : %d\n" r.Harness.Openloop.events;
+  Format.printf "  stats          : %a@." Core.Stats.pp r.Harness.Openloop.stats
+
+let run_custom protocol workload clients seconds warmup seed arrival_rate wheel
+    trace_file trace_jsonl =
   let config =
     match protocol with
     | "str" -> Core.Config.str ()
@@ -128,6 +166,15 @@ let run_custom protocol workload clients seconds warmup seed trace_file trace_js
     | "rubis" -> Workload.Rubis.make placement
     | other -> failwith ("unknown workload: " ^ other)
   in
+  match arrival_rate with
+  | Some rate ->
+    if trace_file <> None || trace_jsonl <> None then
+      prerr_endline "note: --trace is not supported in open-loop mode; ignoring";
+    run_openloop ~protocol ~wname:workload ~config ~workload:wl ~clients ~seconds
+      ~warmup ~seed ~rate ~wheel
+  | None ->
+  if wheel then
+    prerr_endline "note: --wheel only applies with --arrival-rate; ignoring";
   let setup =
     {
       (Harness.Runner.default_setup ~workload:wl ~config) with
@@ -190,11 +237,31 @@ let run_cmd =
     Arg.(value & opt int 5 & info [ "warmup" ] ~doc:"warmup (simulated) seconds")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed") in
+  let arrival_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "arrival-rate" ] ~docv:"TX_PER_S"
+          ~doc:
+            "Switch to open-loop injection: Poisson arrivals at $(docv) \
+             transactions per second into each DC.  $(b,--clients) then sets \
+             the client population per DC (arrivals finding every client busy \
+             are dropped, not queued).")
+  in
+  let wheel =
+    Arg.(
+      value & flag
+      & info [ "wheel" ]
+          ~doc:
+            "Back the simulator with the hierarchical timer wheel instead of \
+             the binary heap (with $(b,--arrival-rate) only).  Results are \
+             byte-identical; only wall-clock changes.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a single simulation and print its metrics")
     Term.(
-      const run_custom $ protocol $ workload $ clients $ seconds $ warmup $ seed $ trace_arg
-      $ trace_jsonl_arg)
+      const run_custom $ protocol $ workload $ clients $ seconds $ warmup $ seed
+      $ arrival_rate $ wheel $ trace_arg $ trace_jsonl_arg)
 
 let () =
   let open Harness.Experiments in
@@ -218,6 +285,8 @@ let () =
         (fun ?tracer ~jobs s -> [ fig6 ?tracer ~jobs ~scale:s () ]);
       experiment_cmd "storage" "Precise Clocks storage overhead"
         (fun ~jobs s -> [ storage ~jobs ~scale:s () ]);
+      experiment_cmd "openloop" "Open-loop latency vs offered load (STR vs baselines)"
+        (fun ~jobs s -> [ openloop_load ~jobs ~scale:s () ]);
       experiment_cmd "ablations" "Extra ablations (DC count, replication factor, remote reads)"
         (fun ~jobs s -> ablations ~jobs ~scale:s ());
       experiment_cmd "all" "All tables and figures" (fun ~jobs s -> all ~jobs ~scale:s ());

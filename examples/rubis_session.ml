@@ -38,10 +38,12 @@ let () =
     (100. *. Core.Stats.abort_rate stats)
     stats.Core.Stats.spec_reads;
   print_endline "per-interaction committed counts and latency:";
+  (* Busiest first; equal counts fall back to the label order the
+     sorted view already provides, keeping the listing deterministic. *)
   let rows =
-    Hashtbl.fold (fun label m acc -> (label, Harness.Metrics.summarize m) :: acc)
-      shared.Harness.Client.per_label []
-    |> List.sort (fun (_, a) (_, b) ->
+    Harness.Client.per_label_sorted shared
+    |> List.map (fun (label, m) -> (label, Harness.Metrics.summarize m))
+    |> List.stable_sort (fun (_, a) (_, b) ->
            compare b.Harness.Metrics.count a.Harness.Metrics.count)
   in
   List.iter

@@ -41,14 +41,14 @@ let run name config =
   Printf.printf "  throughput : %.1f tx/s\n"
     (float_of_int commits /. Dsim.Sim.to_sec setup.Harness.Runner.measure_us);
   Printf.printf "  spec reads : %d\n" (s2.Core.Stats.spec_reads - s1.Core.Stats.spec_reads);
-  Hashtbl.iter
-    (fun label m ->
+  List.iter
+    (fun (label, m) ->
       let s = Harness.Metrics.summarize m in
       Printf.printf "  %-14s n=%5d  p50=%7.1fms  p95=%7.1fms\n" label
         s.Harness.Metrics.count
         (float_of_int s.Harness.Metrics.p50_us /. 1000.)
         (float_of_int s.Harness.Metrics.p95_us /. 1000.))
-    shared.Harness.Client.per_label;
+    (Harness.Client.per_label_sorted shared);
   Printf.printf "  order-status scans: %d orders, %d broken order-lines (must be 0)\n\n"
     counters.Workload.Tpcc.orders_checked counters.Workload.Tpcc.null_order_lines;
   if counters.Workload.Tpcc.null_order_lines > 0 then exit 1

@@ -125,7 +125,7 @@ let domain_unsafe_scope file =
   List.exists
     (fun d ->
       contains_sub file ("lib/" ^ d ^ "/") || String.ends_with ~suffix:("lib/" ^ d) file)
-    [ "core"; "dsim"; "store"; "harness"; "obs" ]
+    [ "core"; "dsim"; "store"; "harness"; "obs"; "workload" ]
 
 let lib_scope file = String.starts_with ~prefix:"lib/" file || contains_sub file "/lib/"
 

@@ -16,6 +16,11 @@ type t = {
   txs : int;
   rf : int;  (** replication factor (1 exercises the cache/unsafe path) *)
   config : Core.Config.t;
+  queue : [ `Heap | `Wheel ];
+      (** event-queue structure backing the simulator.  Irrelevant once a
+          chooser switches it to controlled mode (the lanes supersede the
+          single queue), but threading it through lets the driver verify
+          exactly that: exploration counts are identical either way. *)
 }
 
 let zero_costs = (0, 0, 0, 0, 0)
@@ -28,11 +33,11 @@ let config ?(skip_ww_check = false) ?(unsafe_speculation = false) () =
     ~unsafe_speculation ~skip_ww_check ~max_clock_skew_us:0 ~costs:zero_costs
     ~prune_every_inserts:0 ()
 
-let make ?(rf = 1) ?config:(cfg = config ()) ~dcs ~keys ~txs () =
+let make ?(rf = 1) ?config:(cfg = config ()) ?(queue = `Heap) ~dcs ~keys ~txs () =
   if dcs < 2 then invalid_arg "Scenario.make: need at least 2 DCs";
   if keys < 1 || txs < 1 then invalid_arg "Scenario.make: need keys, txs >= 1";
   if rf < 1 || rf > dcs then invalid_arg "Scenario.make: rf out of range";
-  { dcs; keys; txs; rf; config = cfg }
+  { dcs; keys; txs; rf; config = cfg; queue }
 
 (** Key [i] lives on partition [i mod dcs], so consecutive keys are
     mastered by different nodes and every multi-key transaction needs
@@ -69,7 +74,7 @@ type world = {
     nothing runs until {!start}.  When [chooser] is given the simulator
     is switched to controlled mode first (before any event exists). *)
 let prepare ?chooser s =
-  let sim = Dsim.Sim.create () in
+  let sim = Dsim.Sim.create ~queue:s.queue () in
   (match chooser with Some c -> Dsim.Sim.set_chooser sim c | None -> ());
   let topology = Dsim.Topology.uniform ~dcs:s.dcs ~rtt_ms:50. ~intra_rtt_ms:0.5 in
   let node_dc = Array.init s.dcs (fun i -> i) in

@@ -9,6 +9,11 @@ type t = {
   txs : int;
   rf : int;  (** replication factor (1 exercises the cache/unsafe path) *)
   config : Core.Config.t;
+  queue : [ `Heap | `Wheel ];
+      (** event-queue structure backing the simulator (default [`Heap]).
+          A chooser supersedes either with the lane structure, so
+          exploration is identical — the knob exists so the driver can
+          demonstrate that. *)
 }
 
 (** Speculative STR with deterministic environment.  [skip_ww_check] and
@@ -17,7 +22,15 @@ type t = {
 val config :
   ?skip_ww_check:bool -> ?unsafe_speculation:bool -> unit -> Core.Config.t
 
-val make : ?rf:int -> ?config:Core.Config.t -> dcs:int -> keys:int -> txs:int -> unit -> t
+val make :
+  ?rf:int ->
+  ?config:Core.Config.t ->
+  ?queue:[ `Heap | `Wheel ] ->
+  dcs:int ->
+  keys:int ->
+  txs:int ->
+  unit ->
+  t
 
 val key_of : t -> int -> Store.Keyspace.Key.t
 

@@ -58,18 +58,27 @@ let clear_observer t = t.observer <- None
 
 let emit t ev = match t.observer with None -> () | Some f -> f ev
 
+(* Shared continuation for fire-and-forget CPU charges (rollback/apply
+   cost accounting) — hoisted so the hot paths don't allocate a fresh
+   unit closure per call. *)
+let nop () = ()
+
 (** All protocol messaging goes through here: messages to or from a
     crashed node are silently dropped — both endpoints are re-checked at
-    delivery time, so messages already in flight when the crash happens
-    are lost with it.  Together with the purge in {!crash} this is a
+    delivery time (by the simulator's delivery gate, installed in
+    {!create}), so messages already in flight when the crash happens are
+    lost with it.  Together with the purge in {!crash} this is a
     presumed-abort termination for the dead coordinator's in-doubt
     transactions; true coordinator-state high availability is the
-    orthogonal mechanism the paper defers to (§5.6). *)
+    orthogonal mechanism the paper defers to (§5.6).
+
+    The gate replaces a guard closure this function used to wrap around
+    every payload: the hot path now forwards [f] to the network
+    unmodified, and the queue entry's unboxed endpoint word is what the
+    run loop checks — one allocation per message eliminated. *)
 let send eng ~kind ~src ~dst f =
   Obs.Trace.count_msg eng.trace kind;
-  if eng.nodes.(src).alive then
-    Network.send eng.net ~src ~dst (fun () ->
-        if eng.nodes.(dst).alive && eng.nodes.(src).alive then f ())
+  if eng.nodes.(src).alive then Network.send eng.net ~src ~dst f
 
 (** Trace process id of the data center hosting [n] ([+1] keeps pid 0
     free — some trace viewers reserve it). *)
@@ -178,6 +187,11 @@ let create ~sim ~net ~placement ~config ?(seed = 42) ?trace () =
               !best
             end))
   in
+  (* Delivery-time liveness check for every message scheduled through
+     {!send}: one closure per engine instead of one guard wrapper per
+     message.  Internal events (timers, CPU completions, fiber wakeups)
+     bypass the gate. *)
+  Sim.set_delivery_gate sim (fun ~src ~dst -> nodes.(src).alive && nodes.(dst).alive);
   {
     sim;
     net;
@@ -274,9 +288,7 @@ let rec abort_tx eng tx reason =
     (* Rollback is not free: removing speculative versions and unwinding
        dependents consumes node CPU (fire-and-forget: it delays
        subsequent work on this node). *)
-    Cpu.exec nd.cpu
-      ~cost:(eng.config.Config.cost_apply_key * tx.n_wkeys)
-      (fun () -> ());
+    Cpu.exec nd.cpu ~cost:(eng.config.Config.cost_apply_key * tx.n_wkeys) nop;
     if tx.spec_exposed then nd.stats.Stats.ext_misspec <- nd.stats.Stats.ext_misspec + 1;
     let dependents = tx.dependents in
     tx.dependents <- [];
@@ -328,9 +340,7 @@ let commit_apply eng tx ct =
         end
         else abort_tx eng d Snapshot_too_old)
     dependents;
-  Cpu.exec nd.cpu
-    ~cost:(eng.config.Config.cost_apply_key * tx.n_wkeys)
-    (fun () -> ());
+  Cpu.exec nd.cpu ~cost:(eng.config.Config.cost_apply_key * tx.n_wkeys) nop;
   List.iter
     (fun (p, _) -> Partition_server.commit (server eng ~node:tx.origin ~partition:p) tx.id ~ct)
     (local_partitions_of eng tx);
@@ -534,18 +544,41 @@ let write eng tx key value =
   KeyTbl.replace tx.wbuf key value;
   emit eng (Ev_write { id = tx.id; key; time = Sim.now eng.sim })
 
+(* Group the write set by partition — ascending partitions, each
+   partition's writes in insertion order.  Sort-based: a permutation
+   over an index array replaces the scratch hash table the previous
+   version allocated per commit (this runs once per update
+   transaction, squarely on the commit hot path). *)
 let group_writes tx =
-  let tbl = Hashtbl.create 8 in
-  List.iter
-    (fun key ->
+  match tx.wkeys with
+  | [] -> []
+  | [ key ] -> [ (Key.partition key, [ (key, KeyTbl.find tx.wbuf key) ]) ]
+  | wkeys ->
+    (* [wkeys] is reverse insertion order: array index 0 holds the most
+       recent write, so ascending insertion order = descending index. *)
+    let keys = Array.of_list wkeys in
+    let n = Array.length keys in
+    let idx = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = Int.compare (Key.partition keys.(a)) (Key.partition keys.(b)) in
+        if c <> 0 then c else Int.compare b a)
+      idx;
+    (* Walk the sorted permutation backwards, consing: partitions come
+       out ascending, writes within each partition in insertion order. *)
+    let groups = ref [] and writes = ref [] in
+    let cur_p = ref (Key.partition keys.(idx.(n - 1))) in
+    for i = n - 1 downto 0 do
+      let key = keys.(idx.(i)) in
       let p = Key.partition key in
-      let existing = try Hashtbl.find tbl p with Not_found -> [] in
-      Hashtbl.replace tbl p ((key, KeyTbl.find tx.wbuf key) :: existing))
-    tx.wkeys (* wkeys is reverse insertion order, so this restores it *)
-  |> ignore;
-  (* lint: allow hashtbl-order — groups are sorted by partition below *)
-  Hashtbl.fold (fun p writes acc -> (p, writes) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      if p <> !cur_p then begin
+        groups := (!cur_p, !writes) :: !groups;
+        writes := [];
+        cur_p := p
+      end;
+      writes := (key, KeyTbl.find tx.wbuf key) :: !writes
+    done;
+    (!cur_p, !writes) :: !groups
 
 let externalize eng tx =
   if eng.config.Config.externalize_local_commit && not tx.spec_exposed then begin

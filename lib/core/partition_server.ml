@@ -274,7 +274,16 @@ let prepare ?(stack_over = Txid.Set.empty) ?(origin_spec = true) t ~txid ~origin
         Mvstore.insert_version t.store key
           (Version.make ~writer:txid ~state:Version.Pre_committed ~ts ~value))
       writes;
-    let keys = Array.of_list (List.map fst writes) in
+    let keys =
+      (* build the key array directly — [Array.of_list (List.map ...)]
+         would allocate a second, intermediate list per prepare *)
+      match writes with
+      | [] -> [||]
+      | (k0, _) :: _ ->
+        let a = Array.make (List.length writes) k0 in
+        List.iteri (fun i (k, _) -> a.(i) <- k) writes;
+        a
+    in
     Txid.Tbl.replace t.pending txid keys;
     (* The lock-hold span runs from a successful prepare until the
        decision releases the written keys — the lock hold time whose

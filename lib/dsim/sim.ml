@@ -1,8 +1,16 @@
-(* The engine runs in one of two modes:
+(* The engine runs in one of three modes:
 
    - [Heap] (default): a single priority queue; events fire in strict
      (time, insertion) order.  This is the mode every benchmark and test
      harness uses, and its behaviour is unchanged.
+
+   - [Wheel]: the same strict (time, insertion) order served from a
+     hierarchical timer wheel ([Dsim.Wheel]) instead of the binary
+     heap — O(1) amortized for the near-horizon bulk of arrival /
+     think-time / timeout events, selected per simulator at creation
+     ([create ~queue:`Wheel ()]).  The two structures are
+     pop-for-pop identical, so everything downstream (replay, traces,
+     fingerprints) is unaffected by the choice.
 
    - [Controlled]: events are split into {e lanes} — one [Internal] lane
      for timers, CPU completions and fiber wakeups, plus one lane per
@@ -14,9 +22,15 @@
      each message an arbitrary finite latency).  Firing an event whose
      timestamp lies behind the current instant advances nothing; firing
      one from the future advances [now] to it.  Simulated time therefore
-     never regresses, and every monotone-clock guarantee holds in both
+     never regresses, and every monotone-clock guarantee holds in all
      modes.  This is the hook the bounded model checker in [lib/check]
-     drives. *)
+     drives.
+
+   Deliveries scheduled via [schedule_msg] carry their endpoints
+   unboxed in the queue entry, and the run loop consults a per-sim
+   {e delivery gate} just before invoking them.  The gate is how the
+   protocol engine drops messages to/from crashed nodes at delivery
+   time without allocating a guard closure around every send. *)
 
 type tag = Internal | Chan of { src : int; dst : int }
 
@@ -41,34 +55,64 @@ type controlled = {
   chooser : candidate array -> int;
 }
 
-type mode = Heap of (unit -> unit) Event_queue.t | Controlled of controlled
+type mode =
+  | Heap of (unit -> unit) Event_queue.t
+  | Wheel of (unit -> unit) Wheel.t
+  | Controlled of controlled
 
-type t = { mutable now : int; mutable mode : mode }
+(* Shared default so [create] allocates no closure; replaced by
+   [set_delivery_gate]. *)
+let gate_open ~src:_ ~dst:_ = true
 
-let create () = { now = 0; mode = Heap (Event_queue.create ()) }
+type t = {
+  mutable now : int;
+  mutable mode : mode;
+  mutable gate : src:int -> dst:int -> bool;
+}
+
+let create ?(queue = `Heap) () =
+  let mode =
+    match queue with
+    | `Heap -> Heap (Event_queue.create ())
+    | `Wheel -> Wheel (Wheel.create ())
+  in
+  { now = 0; mode; gate = gate_open }
+
+let set_delivery_gate t gate = t.gate <- gate
 
 let now t = t.now
 
 let pending t =
   match t.mode with
   | Heap q -> Event_queue.length q
+  | Wheel w -> Wheel.length w
   | Controlled c ->
     List.fold_left (fun acc l -> acc + Event_queue.length l.events) 0 c.lanes
 
 (* Lifetime queue accounting, aggregated over whatever queues back the
    current mode (observability run summaries). *)
-let fold_queues f t init =
+let queue_pushes t =
   match t.mode with
-  | Heap q -> f init q
-  | Controlled c -> List.fold_left (fun acc l -> f acc l.events) init c.lanes
+  | Heap q -> Event_queue.pushes q
+  | Wheel w -> Wheel.pushes w
+  | Controlled c ->
+    List.fold_left (fun acc l -> acc + Event_queue.pushes l.events) 0 c.lanes
 
-let queue_pushes t = fold_queues (fun acc q -> acc + Event_queue.pushes q) t 0
-
-let queue_pops t = fold_queues (fun acc q -> acc + Event_queue.pops q) t 0
+let queue_pops t =
+  match t.mode with
+  | Heap q -> Event_queue.pops q
+  | Wheel w -> Wheel.pops w
+  | Controlled c ->
+    List.fold_left (fun acc l -> acc + Event_queue.pops l.events) 0 c.lanes
 
 (* In Controlled mode this is the max over lanes, not the global
    high-water mark — good enough for a per-run summary. *)
-let queue_max_depth t = fold_queues (fun acc q -> max acc (Event_queue.max_depth q)) t 0
+let queue_max_depth t =
+  match t.mode with
+  | Heap q -> Event_queue.max_depth q
+  | Wheel w -> Wheel.max_depth w
+  | Controlled c ->
+    List.fold_left (fun acc l -> max acc (Event_queue.max_depth l.events)) 0 c.lanes
 
 let set_chooser t chooser =
   if pending t > 0 then invalid_arg "Sim.set_chooser: events already scheduled";
@@ -92,44 +136,63 @@ let lane_for c tag =
     c.lanes <- insert c.lanes;
     l
 
-let push_tagged t ~time ~tag f =
-  match t.mode with
-  | Heap q -> Event_queue.push q ~time f
-  | Controlled c -> Event_queue.push (lane_for c tag).events ~time f
-
 let schedule t ~delay f =
   if delay < 0 then invalid_arg "Sim.schedule: negative delay";
-  push_tagged t ~time:(t.now + delay) ~tag:Internal f
+  let time = t.now + delay in
+  match t.mode with
+  | Heap q -> Event_queue.push q ~time f
+  | Wheel w -> Wheel.push w ~time f
+  | Controlled c -> Event_queue.push (lane_for c Internal).events ~time f
 
 let schedule_at t ~time f =
   let time = if time < t.now then t.now else time in
-  push_tagged t ~time ~tag:Internal f
+  match t.mode with
+  | Heap q -> Event_queue.push q ~time f
+  | Wheel w -> Wheel.push w ~time f
+  | Controlled c -> Event_queue.push (lane_for c Internal).events ~time f
 
-(** Schedule a network delivery on channel [src -> dst].  In [Heap] mode
-    this is exactly {!schedule_at}; in [Controlled] mode the event goes
-    to the channel's own lane, where the chooser may defer it behind
-    events of other lanes (but never behind later messages of the same
+(** Schedule a network delivery on channel [src -> dst].  In single-
+    queue modes this is {!schedule_at} plus the endpoint record the
+    delivery gate checks; in [Controlled] mode the event goes to the
+    channel's own lane, where the chooser may defer it behind events of
+    other lanes (but never behind later messages of the same
     channel). *)
 let schedule_msg t ~time ~src ~dst f =
   let time = if time < t.now then t.now else time in
-  push_tagged t ~time ~tag:(Chan { src; dst }) f
-
-(** Order-insensitive hash of the pending-event multiset, as [(tag,
-    time, seq)] triples (payload closures are not hashable; determinism
-    makes them a function of the schedule anyway).  [Heap] mode returns
-    0 — only the model checker, which runs in [Controlled] mode, needs
-    this. *)
-let pending_fingerprint t =
   match t.mode with
-  | Heap _ -> 0
+  | Heap q -> Event_queue.push_msg q ~time ~src ~dst f
+  | Wheel w -> Wheel.push_msg w ~time ~src ~dst f
+  | Controlled c ->
+    Event_queue.push_msg (lane_for c (Chan { src; dst })).events ~time ~src ~dst f
+
+(* FNV-1a over the sorted key stream: a sequential mix is fine because
+   every backing structure now offers the same ascending (time, seq)
+   enumeration, so the hash is independent of heap/wheel internals. *)
+let fnv_offset = 0x3bf29ce484222325
+let fnv_prime = 0x100000001b3
+
+let fnv h x = (h lxor x) * fnv_prime
+
+(** Hash of the pending-event multiset, as the sorted [(time, seq)] key
+    stream ([Controlled]: per lane, in lane order, mixed with the lane
+    tag; payload closures are not hashable — determinism makes them a
+    function of the schedule anyway).  Part of the model checker's
+    state fingerprint. *)
+let pending_fingerprint t =
+  let mix_keys acc time seq = fnv (fnv acc time) seq in
+  match t.mode with
+  | Heap q -> Event_queue.fold_keys_sorted (fun time seq acc -> mix_keys acc time seq) q fnv_offset
+  | Wheel w -> Wheel.fold_keys_sorted (fun time seq acc -> mix_keys acc time seq) w fnv_offset
   | Controlled c ->
     List.fold_left
       (fun acc l ->
-        let th = Hashtbl.hash l.ltag in
-        Event_queue.fold_keys
-          (fun (time, seq) acc -> acc + Hashtbl.hash (th, time, seq))
-          l.events acc)
-      0 c.lanes
+        if Event_queue.is_empty l.events then acc
+        else
+          Event_queue.fold_keys_sorted
+            (fun time seq acc -> mix_keys acc time seq)
+            l.events
+            (fnv acc (Hashtbl.hash l.ltag)))
+      fnv_offset c.lanes
 
 let candidates c =
   List.filter_map
@@ -153,10 +216,25 @@ let run ?until t =
           t.now <- limit;
           continue := false
         | _ ->
-          let time, f = Event_queue.pop q in
-          t.now <- time;
+          let f = Event_queue.pop_payload q in
+          t.now <- Event_queue.popped_time q;
           incr processed;
-          f ()))
+          let src = Event_queue.popped_src q in
+          if src < 0 || t.gate ~src ~dst:(Event_queue.popped_dst q) then f ()))
+    | Wheel w -> (
+      match Wheel.min_time w with
+      | None -> continue := false
+      | Some time -> (
+        match until with
+        | Some limit when time > limit ->
+          t.now <- limit;
+          continue := false
+        | _ ->
+          let f = Wheel.pop_payload w in
+          t.now <- Wheel.popped_time w;
+          incr processed;
+          let src = Wheel.popped_src w in
+          if src < 0 || t.gate ~src ~dst:(Wheel.popped_dst w) then f ()))
     | Controlled c -> (
       match candidates c with
       | [] -> continue := false
@@ -174,10 +252,13 @@ let run ?until t =
           if idx < 0 || idx >= Array.length arr then
             invalid_arg "Sim.run: chooser returned an out-of-range index";
           let _, lane = List.nth cands idx in
-          let time, f = Event_queue.pop lane.events in
+          let f = Event_queue.pop_payload lane.events in
+          let time = Event_queue.popped_time lane.events in
           if time > t.now then t.now <- time;
           incr processed;
-          f ()))
+          let src = Event_queue.popped_src lane.events in
+          if src < 0 || t.gate ~src ~dst:(Event_queue.popped_dst lane.events)
+          then f ()))
   done;
   !processed
 

@@ -15,7 +15,24 @@
 
 type t
 
-val create : unit -> t
+(** [create ?queue ()] makes a simulator backed by the given
+    single-queue structure: the binary heap (default, [`Heap]) or the
+    hierarchical timer wheel ([`Wheel], see {!Wheel}).  The two are
+    pop-for-pop identical — strict [(time, seq)] order with FIFO ties —
+    so the choice affects performance only: the wheel wins on
+    arrival-heavy workloads with deep queues, the heap on small or
+    far-scattered ones.  {!set_chooser} supersedes either with the
+    model checker's lane structure. *)
+val create : ?queue:[ `Heap | `Wheel ] -> unit -> t
+
+(** Install the delivery gate: called as [gate ~src ~dst] just before a
+    {!schedule_msg} event fires; returning [false] drops the delivery
+    (the event is consumed, its callback never runs).  The protocol
+    engine uses this to drop messages to/from crashed nodes at
+    delivery time — the gate replaces the per-message guard closure the
+    engine used to allocate around every send.  Internal events
+    ({!schedule} / {!schedule_at}) bypass the gate. *)
+val set_delivery_gate : t -> (src:int -> dst:int -> bool) -> unit
 
 (** {1 Controlled scheduling (model-checker hook)} *)
 
@@ -75,8 +92,11 @@ val queue_pushes : t -> int
 val queue_pops : t -> int
 val queue_max_depth : t -> int
 
-(** Order-insensitive hash of the pending-event multiset (controlled
-    mode; 0 in default mode).  Part of the model checker's state
+(** Hash of the pending-event multiset: FNV-1a over the ascending
+    [(time, seq)] key stream (in controlled mode: per lane, in lane
+    order, mixed with the lane tag).  Every backing structure exposes
+    the same sorted enumeration, so the fingerprint is independent of
+    heap/wheel internals.  Part of the model checker's state
     fingerprint. *)
 val pending_fingerprint : t -> int
 

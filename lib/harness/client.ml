@@ -41,6 +41,13 @@ let label_metrics shared label =
     Hashtbl.add shared.per_label label m;
     m
 
+(* Hashtbl.fold order depends on hashing internals; anything rendered
+   from [per_label] must go through here so reports stay byte-stable. *)
+let per_label_sorted shared =
+  (* lint: allow hashtbl-order — sorted by label before exposure *)
+  Hashtbl.fold (fun label m acc -> (label, m) :: acc) shared.per_label []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 (** Spawn one client fiber.  [start_delay] staggers client start-up so
     clients do not run in lockstep. *)
 let spawn eng workload ~node ~rng ~shared ~stop_at ~start_delay =

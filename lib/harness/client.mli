@@ -24,6 +24,12 @@ val in_window : shared -> int -> bool
 (** Per-transaction-type recorder (creates it on first use). *)
 val label_metrics : shared -> string -> Metrics.t
 
+(** The per-label recorders in ascending label order.  Renderers must
+    use this rather than iterating [per_label] directly: [Hashtbl]
+    iteration order is an implementation detail, so direct iteration
+    makes reports nondeterministic. *)
+val per_label_sorted : shared -> (string * Metrics.t) list
+
 (** Spawn one client fiber on [node]; it stops issuing transactions at
     [stop_at] or when its node crashes.  [start_delay] staggers client
     start-up so clients do not run in lockstep. *)

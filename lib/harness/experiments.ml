@@ -366,6 +366,73 @@ let storage ?(jobs = 1) ~scale () =
   report
 
 (* ------------------------------------------------------------------ *)
+(* Open-loop: latency vs offered load                                   *)
+(* ------------------------------------------------------------------ *)
+
+let openloop_rates = function
+  | Quick -> [ 100.; 400.; 1600. ]
+  | Full -> [ 100.; 200.; 400.; 800.; 1600.; 3200. ]
+
+(** Latency vs offered load under open-loop injection ({!Openloop}):
+    the arrival rate is fixed per cell, so when a protocol saturates,
+    the cliff shows up as latency (and dropped arrivals) instead of the
+    closed-loop harness's silent self-throttling.  Self-tuning is off
+    for all protocols — the controller reacts to closed-loop client
+    pressure, which open-loop injection bypasses. *)
+let openloop_load ?(jobs = 1) ?(clients_per_dc = 2_000) ~scale () =
+  let report =
+    Report.create
+      ~title:
+        "Open-loop: latency vs offered load (Synth-A, Poisson arrivals, \
+         2000 clients/DC)"
+      ~headers:
+        [
+          "offered(tx/s/DC)"; "protocol"; "thr(tx/s)"; "dropped"; "abort";
+          "lat-p50(ms)"; "lat-mean(ms)"; "lat-p99(ms)";
+        ]
+  in
+  let timing = synth_timing scale in
+  Sweep.product (openloop_rates scale) protagonists
+  |> List.map (fun (rate, (pname, mk_config, _tune)) ->
+         Sweep.cell (int_of_float rate, pname) (fun () ->
+             Openloop.run
+               {
+                 Openloop.topology;
+                 replication_factor;
+                 config = mk_config ();
+                 workload =
+                   Workload.Synthetic.make ~params:Workload.Synthetic.synth_a
+                     (placement ());
+                 clients_per_dc;
+                 arrival = Workload.Arrival.poisson ~rate_per_dc:rate;
+                 warmup_us = timing.warmup_us;
+                 measure_us = timing.measure_us;
+                 seed = int_of_float rate + 61;
+                 jitter = 0.02;
+                 queue = `Heap;
+               }))
+  (* Process workers, not domain workers: each open-loop cell pushes
+     one to two orders of magnitude more simulator events than the
+     closed-loop grids, which makes the OCaml 5.1 parallel-fiber race
+     (see procpool.mli) near-certain on a domain pool. *)
+  |> Sweep.run_processes ~jobs
+  |> List.iter (fun ((rate, pname), r) ->
+         let arrivals = r.Openloop.admitted + r.Openloop.dropped in
+         Report.add_row report
+           [
+             string_of_int rate;
+             pname;
+             Report.f1 r.Openloop.throughput;
+             Report.pct
+               (float_of_int r.Openloop.dropped /. float_of_int (max 1 arrivals));
+             Report.pct r.Openloop.abort_rate;
+             Report.ms_of_us r.Openloop.final_latency.Metrics.p50_us;
+             Report.f1 (r.Openloop.final_latency.Metrics.mean_us /. 1000.);
+             Report.ms_of_us r.Openloop.final_latency.Metrics.p99_us;
+           ]);
+  report
+
+(* ------------------------------------------------------------------ *)
 (* Ablations (beyond the paper's artifacts)                             *)
 (* ------------------------------------------------------------------ *)
 

@@ -41,6 +41,14 @@ val storage : ?jobs:int -> scale:scale -> unit -> Report.t
 
 (** {1 Ablations and extensions beyond the paper's artifacts} *)
 
+(** Open-loop latency vs offered load (STR vs the baselines): Poisson
+    arrivals at a fixed per-DC rate through {!Openloop}, so saturation
+    shows up as a latency cliff and dropped arrivals instead of
+    closed-loop self-throttling.  [clients_per_dc] bounds concurrency
+    per DC (default 2000). *)
+val openloop_load :
+  ?jobs:int -> ?clients_per_dc:int -> scale:scale -> unit -> Report.t
+
 val ablation_dcs : ?jobs:int -> scale:scale -> unit -> Report.t
 val ablation_rf : ?jobs:int -> scale:scale -> unit -> Report.t
 val ablation_remote_reads : ?jobs:int -> scale:scale -> unit -> Report.t

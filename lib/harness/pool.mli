@@ -11,7 +11,14 @@
 
     A pool with [jobs <= 1] spawns no domains at all and executes every
     batch inline in the calling domain — [dune runtest] and any caller
-    that does not opt in stay single-threaded. *)
+    that does not opt in stay single-threaded.
+
+    Before spawning real workers the pool widens the minor heap to 4M
+    words: standard OCaml 5 multi-domain tuning, and it shrinks the
+    window of a rare 5.1 runtime crash in parallel fiber-stack scanning
+    (see procpool.mli, and "Parallel execution and the OCaml 5.1 fiber
+    race" in DESIGN.md).  Very high-event-volume grids should use
+    {!Procpool} instead. *)
 
 type t
 

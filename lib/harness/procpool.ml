@@ -1,0 +1,106 @@
+(** See procpool.mli. *)
+
+(* Child-side outcome of one thunk.  Exceptions cannot be marshalled
+   usefully across a process boundary (the reader gets a structurally
+   equal but unmatchable block), so they are flattened to strings in
+   the child and re-raised as [Cell_failed] in the parent. *)
+type 'a outcome = Ok_ of 'a | Error_ of string * string
+
+exception Cell_failed of string
+
+let read_all fd =
+  let buf = Buffer.create 4_096 in
+  let chunk = Bytes.create 65_536 in
+  let rec loop () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      loop ()
+  in
+  loop ()
+
+let run ?(jobs = 1) thunks =
+  let n = List.length thunks in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 || n = 0 then List.map (fun f -> f ()) thunks
+  else begin
+    let thunks = Array.of_list thunks in
+    (* Flush before forking so no buffered output is duplicated into
+       the children. *)
+    flush stdout;
+    flush stderr;
+    (* Worker [w] owns the index slice [i mod jobs = w] — a static
+       assignment, so the result vector (and anything rendered from it)
+       never depends on scheduling. *)
+    let spawn w =
+      let rd, wr = Unix.pipe ~cloexec:false () in
+      match Unix.fork () with
+      | 0 ->
+        Unix.close rd;
+        let mine = ref [] in
+        for i = n - 1 downto 0 do
+          if i mod jobs = w then mine := i :: !mine
+        done;
+        let results =
+          List.map
+            (fun i ->
+              let r =
+                try Ok_ (thunks.(i) ())
+                with e ->
+                  Error_ (Printexc.to_string e, Printexc.get_backtrace ())
+              in
+              (i, r))
+            !mine
+        in
+        let payload = Marshal.to_bytes results [] in
+        let rec write_all off =
+          if off < Bytes.length payload then
+            let k = Unix.write wr payload off (Bytes.length payload - off) in
+            write_all (off + k)
+        in
+        write_all 0;
+        Unix.close wr;
+        (* _exit: skip at_exit handlers — the parent owns the
+           formatters and any tempfile cleanups. *)
+        Unix._exit 0
+      | pid ->
+        Unix.close wr;
+        (pid, rd)
+    in
+    let children = List.init jobs spawn in
+    let results = Array.make n None in
+    List.iter
+      (fun (pid, rd) ->
+        let raw = read_all rd in
+        Unix.close rd;
+        let (_, status) = Unix.waitpid [] pid in
+        (match status with
+        | Unix.WEXITED 0 when String.length raw > 0 ->
+          List.iter
+            (fun (i, r) -> results.(i) <- Some r)
+            (Marshal.from_string raw 0 : (int * _ outcome) list)
+        | Unix.WEXITED c ->
+          raise
+            (Cell_failed (Printf.sprintf "worker process exited with code %d" c))
+        | Unix.WSIGNALED s ->
+          raise (Cell_failed (Printf.sprintf "worker process killed by signal %d" s))
+        | Unix.WSTOPPED _ -> raise (Cell_failed "worker process stopped")))
+      children;
+    (* Lowest-index failure wins, mirroring [Pool.run]. *)
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some (Error_ (msg, bt)) ->
+          raise
+            (Cell_failed
+               (Printf.sprintf "cell %d raised: %s%s" i msg
+                  (if bt = "" then "" else "\n" ^ bt)))
+        | Some (Ok_ _) -> ()
+        | None -> raise (Cell_failed (Printf.sprintf "cell %d produced no result" i)))
+      results;
+    Array.to_list
+      (Array.map
+         (function Some (Ok_ v) -> v | Some (Error_ _) | None -> assert false)
+         results)
+  end

@@ -15,6 +15,10 @@ let run ?pool ?(jobs = 1) cells =
   in
   List.map2 (fun c r -> (c.key, r)) cells results
 
+let run_processes ?(jobs = 1) cells =
+  let results = Procpool.run ~jobs (List.map (fun c -> c.thunk) cells) in
+  List.map2 (fun c r -> (c.key, r)) cells results
+
 let get results key =
   match List.assq_opt key results with
   | Some r -> r

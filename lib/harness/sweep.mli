@@ -23,6 +23,15 @@ val run : ?pool:Pool.t -> ?jobs:int -> ('k, 'r) cell list -> ('k * 'r) list
     (it is not shut down); otherwise a pool of [jobs] workers (default
     [1]: inline, no domains) is created for the batch. *)
 
+val run_processes : ?jobs:int -> ('k, 'r) cell list -> ('k * 'r) list
+(** Like {!run}, but executes cells on forked single-domain worker
+    {e processes} ({!Procpool}) instead of a domain pool.  Same
+    enumeration-order contract.  Use for high-event-volume grids (the
+    open-loop cells) where the OCaml 5.1 parallel-fiber race documented
+    in procpool.mli makes domain workers unreliable; results must be
+    marshallable plain data and cell side effects (tracing) do not
+    cross back. *)
+
 val get : ('k * 'r) list -> 'k -> 'r
 (** Keyed lookup into {!run} output.  Raises [Invalid_argument] when
     the key is absent — a grid-enumeration bug, not a data condition. *)

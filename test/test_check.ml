@@ -142,8 +142,10 @@ let test_lint_domain_unsafe_self_init () =
     (finding_rules (Lint.scan_source ~file:"lib/dsim/fixture.ml" src))
 
 let test_lint_domain_unsafe_scope () =
-  (* The rule is scoped to lib/{core,dsim,store,harness}: the same
-     source outside the simulation path produces no findings. *)
+  (* The rule is scoped to the directories whose modules run inside
+     simulation domains (lib/{core,dsim,store,harness,obs,workload});
+     the same source outside the simulation path produces no
+     findings. *)
   let src = "let cache = Hashtbl.create 16\nlet counter = ref 0\n" in
   List.iter
     (fun file ->
@@ -151,10 +153,15 @@ let test_lint_domain_unsafe_scope () =
         (Printf.sprintf "%s out of scope" file)
         0
         (List.length (Lint.scan_source ~file src)))
-    [ "fixture.ml"; "lib/workload/fixture.ml"; "lib/check/lint.ml"; "bin/str_sim.ml" ];
+    [ "fixture.ml"; "lib/check/lint.ml"; "bin/str_sim.ml" ];
   Alcotest.(check int)
     "lib/store in scope" 2
-    (List.length (Lint.scan_source ~file:"lib/store/fixture.ml" src))
+    (List.length (Lint.scan_source ~file:"lib/store/fixture.ml" src));
+  (* Workloads run inside sweep worker domains too (arrival processes,
+     Zipf tables): in scope since the open-loop harness landed. *)
+  Alcotest.(check int)
+    "lib/workload in scope" 2
+    (List.length (Lint.scan_source ~file:"lib/workload/fixture.ml" src))
 
 let test_lint_domain_unsafe_allow () =
   let src =

@@ -243,6 +243,134 @@ let test_event_queue_accounting () =
   Alcotest.(check int) "drained pops" 6 (EQ.pops q);
   Alcotest.(check int) "max depth unchanged by drain" 5 (EQ.max_depth q)
 
+(* --- wheel vs heap differential oracle --- *)
+
+module Wheel = Dsim.Wheel
+
+(* Drive the binary heap and the timer wheel with an identical random
+   push/pop script and demand bit-for-bit agreement: same pop times,
+   same payloads (which pins FIFO order at equal times), same peeked
+   keys, same sorted key streams, same lifetime counters.  The time
+   distribution deliberately covers every placement class: dense
+   same-instant ties, each wheel level, the far-horizon overflow heap,
+   and late pushes behind an advanced base (forced by peeking, which
+   may settle the wheel forward). *)
+let differential_script seed n =
+  let rng = Dsim.Rng.create ~seed in
+  let h = EQ.create () and w = Wheel.create () in
+  let next_id = ref 0 in
+  let last = ref 0 in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  let pop_both () =
+    let th, vh = EQ.pop h and tw, vw = Wheel.pop w in
+    check (th = tw && vh = vw);
+    last := th
+  in
+  for _ = 1 to n do
+    let op = Dsim.Rng.int rng 100 in
+    if op < 55 || EQ.is_empty h then begin
+      let bucket = Dsim.Rng.int rng 100 in
+      let t =
+        if bucket < 35 then !last + Dsim.Rng.int rng 8 (* level 0, many ties *)
+        else if bucket < 60 then !last + Dsim.Rng.int rng 2_000 (* levels 0-1 *)
+        else if bucket < 75 then !last + Dsim.Rng.int rng 2_000_000 (* level 2 *)
+        else if bucket < 85 then !last + Dsim.Rng.int rng 2_000_000_000 (* level 3 *)
+        else if bucket < 92 then !last + (1 lsl 40) + Dsim.Rng.int rng 10_000
+          (* beyond the horizon: overflow heap *)
+        else max 0 (!last - Dsim.Rng.int rng 5_000)
+        (* at-or-behind the floor: hits the wheel's late path when a
+           peek has advanced its base *)
+      in
+      let v = !next_id in
+      incr next_id;
+      EQ.push h ~time:t v;
+      Wheel.push w ~time:t v
+    end
+    else if op < 90 then pop_both ()
+    else begin
+      (* peek: settles the wheel (may advance base); keys must agree *)
+      check (EQ.peek_key h = Wheel.peek_key w);
+      check (EQ.min_time h = Wheel.min_time w)
+    end
+  done;
+  let stream fold q = List.rev (fold (fun t s acc -> (t, s) :: acc) q []) in
+  check (stream EQ.fold_keys_sorted h = stream Wheel.fold_keys_sorted w);
+  check (EQ.length h = Wheel.length w);
+  while not (EQ.is_empty h) do
+    pop_both ()
+  done;
+  check (Wheel.is_empty w);
+  check (EQ.pushes h = Wheel.pushes w);
+  check (EQ.pops h = Wheel.pops w);
+  !ok
+
+let prop_wheel_heap_differential =
+  QCheck.Test.make ~name:"wheel and heap pop identically" ~count:60 QCheck.int
+    (fun seed -> differential_script seed 1_500)
+
+let test_wheel_heap_deep () =
+  List.iter
+    (fun seed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "differential seed %d" seed)
+        true
+        (differential_script seed 25_000))
+    [ 1; 42; 1337 ]
+
+let test_wheel_fifo_ties () =
+  (* Same-instant FIFO order survives a cascade: events pushed for one
+     instant at different wheel levels (before and after base advances)
+     still pop in push order. *)
+  let w = Wheel.create () in
+  let t = 5_000_000 in
+  Wheel.push w ~time:t "far";
+  (* place within level 0 of that window after advancing base there *)
+  Wheel.push w ~time:(t - 1) "warm";
+  let _, v1 = Wheel.pop w in
+  Alcotest.(check string) "warm first" "warm" v1;
+  Wheel.push w ~time:t "near";
+  Wheel.push w ~time:t "last";
+  let order = List.init 3 (fun _ -> snd (Wheel.pop w)) in
+  Alcotest.(check (list string)) "push order at equal time" [ "far"; "near"; "last" ] order
+
+let sim_script queue =
+  (* A small fiber + message + until/resume workload; the log (event
+     identity, firing time) must not depend on the backing queue. *)
+  let sim = Sim.create ~queue () in
+  let log = ref [] in
+  let record tag = log := (tag, Sim.now sim) :: !log in
+  Sim.schedule sim ~delay:2_000_000 (fun () -> record "far");
+  for i = 1 to 5 do
+    Sim.schedule sim ~delay:(i * 10) (fun () -> record "tick")
+  done;
+  Sim.schedule_msg sim ~time:40 ~src:0 ~dst:1 (fun () -> record "msg");
+  Dsim.Fiber.spawn sim (fun () ->
+      Dsim.Fiber.sleep sim 25;
+      record "fiber";
+      Dsim.Fiber.sleep sim 0;
+      record "fiber-wake");
+  ignore (Sim.run ~until:45 sim);
+  (* push behind the wheel's (possibly advanced) base *)
+  Sim.schedule sim ~delay:5 (fun () -> record "late");
+  ignore (Sim.run sim);
+  (List.rev !log, Sim.now sim)
+
+let test_sim_wheel_matches_heap () =
+  let lh = sim_script `Heap and lw = sim_script `Wheel in
+  Alcotest.(check (pair (list (pair string int)) int)) "identical runs" lh lw
+
+let test_sim_delivery_gate () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  Sim.set_delivery_gate sim (fun ~src ~dst:_ -> src <> 7);
+  Sim.schedule_msg sim ~time:10 ~src:7 ~dst:1 (fun () -> fired := "dropped" :: !fired);
+  Sim.schedule_msg sim ~time:20 ~src:2 ~dst:1 (fun () -> fired := "kept" :: !fired);
+  Sim.schedule sim ~delay:30 (fun () -> fired := "internal" :: !fired);
+  let processed = Sim.run sim in
+  Alcotest.(check int) "all events consumed" 3 processed;
+  Alcotest.(check (list string)) "gate drops src=7" [ "internal"; "kept" ] !fired
+
 (* --- properties --- *)
 
 let prop_event_queue_sorted =
@@ -289,6 +417,14 @@ let () =
           Alcotest.test_case "fifo at equal times" `Quick test_event_order;
           Alcotest.test_case "push/pop/depth accounting" `Quick test_event_queue_accounting;
           QCheck_alcotest.to_alcotest prop_event_queue_sorted;
+        ] );
+      ( "wheel",
+        [
+          QCheck_alcotest.to_alcotest prop_wheel_heap_differential;
+          Alcotest.test_case "deep differential" `Quick test_wheel_heap_deep;
+          Alcotest.test_case "FIFO ties across levels" `Quick test_wheel_fifo_ties;
+          Alcotest.test_case "sim runs identically on wheel" `Quick test_sim_wheel_matches_heap;
+          Alcotest.test_case "delivery gate" `Quick test_sim_delivery_gate;
         ] );
       ( "sim",
         [

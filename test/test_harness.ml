@@ -330,6 +330,126 @@ let test_bench_json_from_runner () =
   | Ok _ -> ()
   | Error e -> Alcotest.fail e
 
+(* --- per-label rendering determinism ------------------------------- *)
+
+let test_per_label_sorted () =
+  let shared = Harness.Client.make_shared ~measure_from:0 ~measure_to:1 in
+  (* Scrambled insertion order; the sorted view must not depend on it
+     (Hashtbl iteration order is what it fixes). *)
+  List.iteri
+    (fun i label -> Harness.Metrics.record (Harness.Client.label_metrics shared label) i)
+    [ "payment"; "delivery"; "new-order"; "stock-level"; "order-status" ];
+  let labels = List.map fst (Harness.Client.per_label_sorted shared) in
+  Alcotest.(check (list string)) "ascending label order"
+    [ "delivery"; "new-order"; "order-status"; "payment"; "stock-level" ]
+    labels;
+  (* The recorders themselves are the live ones, not copies. *)
+  Harness.Metrics.record (Harness.Client.label_metrics shared "payment") 7;
+  let payment = List.assoc "payment" (Harness.Client.per_label_sorted shared) in
+  Alcotest.(check int) "live recorder" 2 (Harness.Metrics.count payment)
+
+(* --- open-loop harness --------------------------------------------- *)
+
+let openloop_setup ?(clients_per_dc = 150) ?(rate = 100.) ?(queue = `Heap) config =
+  let placement = Store.Placement.ring ~n_nodes:3 ~replication_factor:2 () in
+  (* Mild contention: latency stays near the WAN floor, so at 100 tx/s
+     per DC the in-flight count sits far below the 150-client population
+     and the no-drop assertion below is robust. *)
+  let params =
+    {
+      Workload.Synthetic.default with
+      hot_prob = 0.02;
+      local_hot = 2;
+      remote_hot = 10;
+      local_space = 400;
+      remote_space = 400;
+    }
+  in
+  {
+    (Harness.Openloop.default_setup
+       ~workload:(Workload.Synthetic.make ~params placement)
+       ~config)
+    with
+    Harness.Openloop.topology = Dsim.Topology.uniform ~dcs:3 ~rtt_ms:40. ~intra_rtt_ms:0.5;
+    replication_factor = 2;
+    clients_per_dc;
+    arrival = Workload.Arrival.poisson ~rate_per_dc:rate;
+    warmup_us = 400_000;
+    measure_us = 1_500_000;
+    seed = 5;
+    jitter = 0.;
+    queue;
+  }
+
+let test_openloop_end_to_end () =
+  let r = Harness.Openloop.run (openloop_setup (Core.Config.str ())) in
+  Alcotest.(check int) "population" 450 r.Harness.Openloop.clients;
+  Alcotest.(check bool) "completed some" true (r.Harness.Openloop.completed > 0);
+  Alcotest.(check bool) "latency recorded" true
+    (r.Harness.Openloop.final_latency.Harness.Metrics.count > 0);
+  Alcotest.(check bool) "admitted arrivals" true (r.Harness.Openloop.admitted > 0);
+  Alcotest.(check bool) "no drops with ample population" true
+    (r.Harness.Openloop.dropped = 0);
+  Alcotest.(check bool) "peak bounded by population" true
+    (r.Harness.Openloop.peak_in_flight <= r.Harness.Openloop.clients);
+  Alcotest.(check (float 0.01)) "throughput consistent"
+    (float_of_int r.Harness.Openloop.completed /. r.Harness.Openloop.duration_s)
+    r.Harness.Openloop.throughput
+
+let test_openloop_saturation_drops () =
+  (* One client per DC at 150 tx/s/DC: almost every arrival finds the
+     lone client busy and must be counted as dropped, never queued. *)
+  let r =
+    Harness.Openloop.run (openloop_setup ~clients_per_dc:1 (Core.Config.str ()))
+  in
+  Alcotest.(check bool) "dropped counted" true (r.Harness.Openloop.dropped > 0);
+  Alcotest.(check bool) "still commits" true (r.Harness.Openloop.completed > 0);
+  Alcotest.(check int) "peak equals population" r.Harness.Openloop.clients
+    r.Harness.Openloop.peak_in_flight
+
+let test_openloop_wheel_matches_heap () =
+  (* The whole result record — metrics, counters, stats deltas — must be
+     identical whichever structure backs the event queue. *)
+  let rh = Harness.Openloop.run (openloop_setup ~queue:`Heap (Core.Config.str ())) in
+  let rw = Harness.Openloop.run (openloop_setup ~queue:`Wheel (Core.Config.str ())) in
+  Alcotest.(check bool) "identical results" true (rh = rw)
+
+let test_openloop_deterministic () =
+  let r1 = Harness.Openloop.run (openloop_setup (Core.Config.ext_spec ())) in
+  let r2 = Harness.Openloop.run (openloop_setup (Core.Config.ext_spec ())) in
+  Alcotest.(check bool) "same run twice" true (r1 = r2)
+
+let test_procpool_matches_inline () =
+  (* Forked workers must return the same values in the same order as
+     sequential execution, whatever the worker count. *)
+  let cells = List.init 11 (fun i -> Harness.Sweep.cell i (fun () -> (i, i * i))) in
+  let inline = Harness.Sweep.run_processes ~jobs:1 cells in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d matches inline" jobs)
+        true
+        (Harness.Sweep.run_processes ~jobs cells = inline))
+    [ 2; 3; 16 ]
+
+let test_procpool_propagates_failure () =
+  let cells =
+    [
+      Harness.Sweep.cell "ok" (fun () -> 1);
+      Harness.Sweep.cell "boom" (fun () -> failwith "cell exploded");
+    ]
+  in
+  match Harness.Sweep.run_processes ~jobs:2 cells with
+  | _ -> Alcotest.fail "expected Cell_failed"
+  | exception Harness.Procpool.Cell_failed msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) "message names the cell error" true
+      (contains msg "cell exploded")
+
 let () =
   Alcotest.run "harness"
     [
@@ -355,7 +475,20 @@ let () =
           Alcotest.test_case "rates" `Quick test_stats_rates;
           Alcotest.test_case "sum" `Quick test_stats_sum;
         ] );
-      ("client", [ Alcotest.test_case "retries counted" `Quick test_client_retries_counted ]);
+      ( "client",
+        [
+          Alcotest.test_case "retries counted" `Quick test_client_retries_counted;
+          Alcotest.test_case "per-label sorted" `Quick test_per_label_sorted;
+        ] );
+      ( "openloop",
+        [
+          Alcotest.test_case "end to end" `Quick test_openloop_end_to_end;
+          Alcotest.test_case "saturation drops" `Quick test_openloop_saturation_drops;
+          Alcotest.test_case "wheel matches heap" `Quick test_openloop_wheel_matches_heap;
+          Alcotest.test_case "deterministic" `Quick test_openloop_deterministic;
+          Alcotest.test_case "procpool matches inline" `Quick test_procpool_matches_inline;
+          Alcotest.test_case "procpool propagates failure" `Quick test_procpool_propagates_failure;
+        ] );
       ( "bench-json",
         [
           Alcotest.test_case "roundtrip" `Quick test_bench_json_roundtrip;
