@@ -1,4 +1,4 @@
-.PHONY: all build test check mc lint trace-smoke bench bench-quick bench-scale tables tables-quick
+.PHONY: all build test check mc mc-crash lint trace-smoke bench bench-quick bench-scale tables tables-quick
 
 all: build
 
@@ -25,7 +25,13 @@ trace-smoke:
 mc:
 	dune build @mc
 
-check: test mc lint
+# Deep crash-schedule model checking: crash-recover of a node ordered
+# against every reachable protocol point (heap + wheel), including the
+# rf=1 tree where fail-over cannot promote.  Slower than @mc.
+mc-crash:
+	dune build @mc-crash
+
+check: test mc mc-crash lint
 
 # Worker domains for the sweep grid (empty = STR_JOBS or the
 # recommended domain count).  Table output is byte-identical whatever

@@ -44,7 +44,7 @@ let run_tables ~jobs scale =
 (* A miniature run of one experiment cell: small client count, short
    window.  One of these per paper table/figure, so the suite exercises
    every experiment code path under the measurement loop. *)
-let mini_experiment_result ?trace ~workload_of ~config () =
+let mini_experiment_result ?trace ?(fault_plan = []) ~workload_of ~config () =
   let placement = Store.Placement.ring ~n_nodes:9 ~replication_factor:6 () in
   let setup =
     {
@@ -53,6 +53,7 @@ let mini_experiment_result ?trace ~workload_of ~config () =
       warmup_us = 200_000;
       measure_us = 500_000;
       jitter = 0.;
+      fault_plan;
     }
   in
   Harness.Runner.run ?trace setup
@@ -170,6 +171,23 @@ let micro_tests =
     in
     Sys.opaque_identity r.Harness.Runner.committed
   in
+  (* Fault-machinery overhead probe: the same mini experiment with the
+     fault layer installed but no fault ever firing (the plan is one
+     immediate [Heal] of an already-clean link state).  This prices
+     what every faulted run pays on the hot path — the per-delivery
+     cut/loss gate plus the per-send incarnation-epoch capture — and
+     must stay within noise of the fig3a row, which runs the identical
+     workload with no layer at all. *)
+  let fault_off_bench () =
+    let r =
+      mini_experiment_result
+        ~fault_plan:[ (0, Dsim.Fault.Heal) ]
+        ~workload_of:(fun pl ->
+          Workload.Synthetic.make ~params:Workload.Synthetic.synth_a pl)
+        ~config:(Core.Config.str ()) ()
+    in
+    Sys.opaque_identity r.Harness.Runner.committed
+  in
   Test.make_grouped ~name:"micro"
     [
       Test.make ~name:"event-queue-1k" (Staged.stage eq_bench);
@@ -178,6 +196,7 @@ let micro_tests =
       Test.make ~name:"zipf-1k" (Staged.stage zipf_bench);
       Test.make ~name:"trace-off-mini" (Staged.stage (fun () -> trace_bench ~on:false ()));
       Test.make ~name:"trace-on-mini" (Staged.stage (fun () -> trace_bench ~on:true ()));
+      Test.make ~name:"fault-off-mini" (Staged.stage fault_off_bench);
     ]
 
 (* Run a bechamel suite and return [(name, ns_per_run option)] rows

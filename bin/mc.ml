@@ -4,6 +4,11 @@
 
      mc --dcs 2 --keys 2 --txs 3              # clean engine, deep search
      mc --dcs 2 --keys 2 --txs 2 --broken ww  # must find violations
+     mc --dcs 2 --keys 2 --txs 2 --rf 2 --crash-recover 1
+                                              # crash-schedule search: node 1's
+                                              # crash and recovery become two
+                                              # extra transitions the explorer
+                                              # orders against every delivery
 
    Exit status: 0 when the outcome matches the expectation flags
    (--expect-clean / --expect-violation; no flag = report only), 1
@@ -11,16 +16,23 @@
 
 open Cmdliner
 
-let run dcs keys txs rf broken wheel max_runs max_depth expect quiet =
+let run dcs keys txs rf broken crash_recover wheel max_runs max_depth expect quiet =
   let config =
     match broken with
     | None -> Check.Scenario.config ()
     | Some `Ww -> Check.Scenario.config ~skip_ww_check:true ()
     | Some `Spec -> Check.Scenario.config ~unsafe_speculation:true ()
+    | Some `LostCommit -> Check.Scenario.config ~broken_lost_commit:true ()
+    | Some `DoubleRes -> Check.Scenario.config ~broken_double_resolution:true ()
+  in
+  let fault_plan =
+    match crash_recover with
+    | None -> []
+    | Some n -> [ (0, Dsim.Fault.Crash n); (0, Dsim.Fault.Recover n) ]
   in
   let queue = if wheel then `Wheel else `Heap in
   let s =
-    try Check.Scenario.make ~rf ~config ~queue ~dcs ~keys ~txs ()
+    try Check.Scenario.make ~rf ~config ~queue ~fault_plan ~dcs ~keys ~txs ()
     with Invalid_argument msg ->
       Format.eprintf "mc: %s@." msg;
       exit 2
@@ -55,7 +67,14 @@ let rf =
   Arg.(value & opt int 1 & info [ "rf" ] ~docv:"N" ~doc:"Replication factor.")
 
 let broken =
-  let variants = [ ("ww", Some `Ww); ("spec", Some `Spec) ] in
+  let variants =
+    [
+      ("ww", Some `Ww);
+      ("spec", Some `Spec);
+      ("lost-commit", Some `LostCommit);
+      ("double-res", Some `DoubleRes);
+    ]
+  in
   Arg.(
     value
     & opt (enum (("none", None) :: variants)) None
@@ -63,7 +82,20 @@ let broken =
         ~doc:
           "Deliberately broken engine variant: $(b,ww) skips write-write \
            certification (no pre-commit locks), $(b,spec) lifts the SPSI \
-           speculative-read guards.")
+           speculative-read guards, $(b,lost-commit) makes recovery presume \
+           abort even for logged commits, $(b,double-res) makes recovery \
+           commit in-doubt transactions without consulting the decision log.")
+
+let crash_recover =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "crash-recover" ] ~docv:"NODE"
+        ~doc:
+          "Add a crash and a recovery of $(docv) to the explored transition \
+           system (with the atomic-commitment recovery protocol on): the \
+           explorer enumerates every placement of both actions relative to \
+           every message delivery.")
 
 let wheel =
   Arg.(
@@ -105,7 +137,7 @@ let cmd =
   Cmd.v
     (Cmd.info "mc" ~doc)
     Term.(
-      const run $ dcs $ keys $ txs $ rf $ broken $ wheel $ max_runs $ max_depth $ expect
-      $ quiet)
+      const run $ dcs $ keys $ txs $ rf $ broken $ crash_recover $ wheel $ max_runs
+      $ max_depth $ expect $ quiet)
 
 let () = exit (Cmd.eval' cmd)

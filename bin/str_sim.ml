@@ -8,10 +8,13 @@
      str_sim fig5a|fig5b|fig5c  Figure 5, TPC-C mixes
      str_sim fig6  [--full]     Figure 6, RUBiS
      str_sim storage            Precise Clocks storage overhead
+     str_sim failover           region failure: goodput through DC crash + recovery
      str_sim openloop [--full]  open-loop latency vs offered load
      str_sim all   [--full]     everything
      str_sim run ...            one custom simulation
-                                (--arrival-rate switches it to open loop) *)
+                                (--arrival-rate switches it to open loop;
+                                 --crash N crash-stops DC N mid-run and
+                                 recovers it, under the recovery protocol) *)
 
 open Cmdliner
 
@@ -141,7 +144,7 @@ let run_openloop ~protocol ~wname ~config ~workload ~clients ~seconds ~warmup ~s
   Format.printf "  stats          : %a@." Core.Stats.pp r.Harness.Openloop.stats
 
 let run_custom protocol workload clients seconds warmup seed arrival_rate wheel
-    trace_file trace_jsonl =
+    crash crash_at_ms recover_at_ms trace_file trace_jsonl =
   let config =
     match protocol with
     | "str" -> Core.Config.str ()
@@ -166,10 +169,29 @@ let run_custom protocol workload clients seconds warmup seed arrival_rate wheel
     | "rubis" -> Workload.Rubis.make placement
     | other -> failwith ("unknown workload: " ^ other)
   in
+  (* Crash-recover drill: crash-stop one DC mid-measurement and bring it
+     back, with the atomic-commitment recovery protocol switched on (the
+     config gains failure-detection periods so blocked certifications and
+     in-doubt prepares terminate). *)
+  let config, fault_plan =
+    match crash with
+    | None -> (config, [])
+    | Some n ->
+      let plan =
+        (crash_at_ms * 1_000, Dsim.Fault.Crash n)
+        ::
+        (if recover_at_ms > crash_at_ms then
+           [ (recover_at_ms * 1_000, Dsim.Fault.Recover n) ]
+         else [])
+      in
+      (Core.Config.with_recovery config, plan)
+  in
   match arrival_rate with
   | Some rate ->
     if trace_file <> None || trace_jsonl <> None then
       prerr_endline "note: --trace is not supported in open-loop mode; ignoring";
+    if fault_plan <> [] then
+      prerr_endline "note: --crash is not supported in open-loop mode; ignoring";
     run_openloop ~protocol ~wname:workload ~config ~workload:wl ~clients ~seconds
       ~warmup ~seed ~rate ~wheel
   | None ->
@@ -183,6 +205,7 @@ let run_custom protocol workload clients seconds warmup seed arrival_rate wheel
       measure_us = seconds * 1_000_000;
       seed;
       self_tune = (if protocol = "str" then `On 1_000_000 else `Off);
+      fault_plan;
     }
   in
   let trace =
@@ -257,11 +280,38 @@ let run_cmd =
              the binary heap (with $(b,--arrival-rate) only).  Results are \
              byte-identical; only wall-clock changes.")
   in
+  let crash =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash" ] ~docv:"DC"
+          ~doc:
+            "Crash-stop data center $(docv) at $(b,--crash-at-ms) and recover \
+             it at $(b,--recover-at-ms) (absolute simulated time).  Switches \
+             the config to $(b,Core.Config.with_recovery): decision logging, \
+             in-doubt holds and timeout-driven termination.")
+  in
+  let crash_at_ms =
+    Arg.(
+      value & opt int 7_000
+      & info [ "crash-at-ms" ] ~docv:"MS"
+          ~doc:"Crash instant, absolute simulated milliseconds (with $(b,--crash)).")
+  in
+  let recover_at_ms =
+    Arg.(
+      value & opt int 9_000
+      & info [ "recover-at-ms" ] ~docv:"MS"
+          ~doc:
+            "Recovery instant, absolute simulated milliseconds (with \
+             $(b,--crash)); a value at or below $(b,--crash-at-ms) means the \
+             DC stays down (crash-stop).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a single simulation and print its metrics")
     Term.(
       const run_custom $ protocol $ workload $ clients $ seconds $ warmup $ seed
-      $ arrival_rate $ wheel $ trace_arg $ trace_jsonl_arg)
+      $ arrival_rate $ wheel $ crash $ crash_at_ms $ recover_at_ms $ trace_arg
+      $ trace_jsonl_arg)
 
 let () =
   let open Harness.Experiments in
@@ -285,6 +335,10 @@ let () =
         (fun ?tracer ~jobs s -> [ fig6 ?tracer ~jobs ~scale:s () ]);
       experiment_cmd "storage" "Precise Clocks storage overhead"
         (fun ~jobs s -> [ storage ~jobs ~scale:s () ]);
+      experiment_cmd "failover"
+        "Region failure: goodput and externalized misspeculation through a DC \
+         crash and recovery"
+        (fun ~jobs s -> [ region_failure ~jobs ~scale:s () ]);
       experiment_cmd "openloop" "Open-loop latency vs offered load (STR vs baselines)"
         (fun ~jobs s -> [ openloop_load ~jobs ~scale:s () ]);
       experiment_cmd "ablations" "Extra ablations (DC count, replication factor, remote reads)"

@@ -21,23 +21,49 @@ type t = {
           chooser switches it to controlled mode (the lanes supersede the
           single queue), but threading it through lets the driver verify
           exactly that: exploration counts are identical either way. *)
+  fault_plan : Dsim.Fault.plan;
+      (** declarative crash/partition/loss schedule ([[]] = fault-free).
+          Each planned action lands in the simulator's dedicated [Fault]
+          lane, so under a chooser it is one more first-class transition
+          to order against message deliveries and fiber wakeups: the
+          explorer enumerates {e crash points}, not just delivery
+          orders. *)
+  recovery : bool;
+      (** switch on the atomic-commitment recovery protocol when the
+          fault layer is installed (decision logging, in-doubt holds,
+          recover-time resolution).  Irrelevant when [fault_plan] is
+          empty. *)
 }
 
 let zero_costs = (0, 0, 0, 0, 0)
 
 (** Speculative STR with every environmental source of nondeterminism
     disabled.  [skip_ww_check] / [unsafe_speculation] select the broken
-    engine variants the checker's own validation runs must catch. *)
-let config ?(skip_ww_check = false) ?(unsafe_speculation = false) () =
+    engine variants the checker's own validation runs must catch;
+    [broken_lost_commit] / [broken_double_resolution] select the broken
+    {e recovery} variants (presumed-abort amnesia and double resolution)
+    that the crash-schedule runs must catch.  All failure-detection
+    periods stay zero so in-doubt resolution is purely recover-driven
+    and the state space stays finite. *)
+let config ?(skip_ww_check = false) ?(unsafe_speculation = false)
+    ?(broken_lost_commit = false) ?(broken_double_resolution = false) () =
   Core.Config.make ~clocks:Core.Config.Precise ~speculative_reads:true
     ~unsafe_speculation ~skip_ww_check ~max_clock_skew_us:0 ~costs:zero_costs
-    ~prune_every_inserts:0 ()
+    ~prune_every_inserts:0 ~broken_lost_commit ~broken_double_resolution ()
 
-let make ?(rf = 1) ?config:(cfg = config ()) ?(queue = `Heap) ~dcs ~keys ~txs () =
+let make ?(rf = 1) ?config:(cfg = config ()) ?(queue = `Heap) ?(fault_plan = [])
+    ?(recovery = true) ~dcs ~keys ~txs () =
   if dcs < 2 then invalid_arg "Scenario.make: need at least 2 DCs";
   if keys < 1 || txs < 1 then invalid_arg "Scenario.make: need keys, txs >= 1";
   if rf < 1 || rf > dcs then invalid_arg "Scenario.make: rf out of range";
-  { dcs; keys; txs; rf; config = cfg; queue }
+  List.iter
+    (fun (_, a) ->
+      match a with
+      | Dsim.Fault.Crash n | Dsim.Fault.Recover n | Dsim.Fault.Isolate n ->
+        if n < 0 || n >= dcs then invalid_arg "Scenario.make: fault node out of range"
+      | _ -> ())
+    fault_plan;
+  { dcs; keys; txs; rf; config = cfg; queue; fault_plan; recovery }
 
 (** Key [i] lives on partition [i mod dcs], so consecutive keys are
     mastered by different nodes and every multi-key transaction needs
@@ -68,6 +94,7 @@ type world = {
   sim : Dsim.Sim.t;
   eng : Core.Engine.t;
   history : Spsi.History.t;
+  fault : Dsim.Fault.t option;  (** the installed layer, when [fault_plan <> []] *)
 }
 
 (** Build the deployment and spawn one client fiber per transaction;
@@ -95,8 +122,10 @@ let prepare ?chooser s =
            its snapshot covers their in-flight pre-committed versions —
            the window the SPSI read guards must protect. *)
         if writes = [] then Dsim.Fiber.sleep sim 40_000;
-        let tx = Core.Engine.begin_tx eng ~origin in
         try
+          (* inside the [try]: under a crash plan [begin] itself can be
+             refused (crash-stop nodes serve nothing while down) *)
+          let tx = Core.Engine.begin_tx eng ~origin in
           List.iter (fun i -> ignore (Core.Engine.read eng tx (key_of s i))) reads;
           List.iter
             (fun i ->
@@ -107,7 +136,20 @@ let prepare ?chooser s =
           (* no retry: each schedule decides each transaction's fate
              exactly once, keeping the state space finite *))
   done;
-  { sim; eng; history }
+  (* The fault layer is installed after the client fibers: under FIFO
+     replay equal-time client starts fire first, and under a chooser the
+     plan rides its own [Fault] lane, orderable against any delivery or
+     wakeup. *)
+  let fault =
+    if s.fault_plan = [] then None
+    else begin
+      let f = Dsim.Fault.create ~n:s.dcs () in
+      Core.Engine.install_fault ~recovery:s.recovery eng f;
+      Dsim.Fault.install f ~sim s.fault_plan;
+      Some f
+    end
+  in
+  { sim; eng; history; fault }
 
 (** Run the world to quiescence (the event queue drains completely —
     there are no periodic timers in this configuration). *)

@@ -14,18 +14,36 @@ type t = {
           A chooser supersedes either with the lane structure, so
           exploration is identical — the knob exists so the driver can
           demonstrate that. *)
+  fault_plan : Dsim.Fault.plan;
+      (** declarative crash/partition/loss schedule (default [[]]).
+          Planned actions are first-class Internal-lane transitions, so
+          a chooser explores {e crash points} interleaved with message
+          deliveries, not just delivery orders. *)
+  recovery : bool;
+      (** enable the atomic-commitment recovery protocol alongside the
+          fault layer (default [true]; moot when [fault_plan] is
+          empty). *)
 }
 
 (** Speculative STR with deterministic environment.  [skip_ww_check] and
     [unsafe_speculation] select deliberately broken engine variants for
-    the checker's validation runs. *)
+    the checker's validation runs; [broken_lost_commit] and
+    [broken_double_resolution] select the broken recovery variants the
+    crash-schedule runs must catch. *)
 val config :
-  ?skip_ww_check:bool -> ?unsafe_speculation:bool -> unit -> Core.Config.t
+  ?skip_ww_check:bool ->
+  ?unsafe_speculation:bool ->
+  ?broken_lost_commit:bool ->
+  ?broken_double_resolution:bool ->
+  unit ->
+  Core.Config.t
 
 val make :
   ?rf:int ->
   ?config:Core.Config.t ->
   ?queue:[ `Heap | `Wheel ] ->
+  ?fault_plan:Dsim.Fault.plan ->
+  ?recovery:bool ->
   dcs:int ->
   keys:int ->
   txs:int ->
@@ -42,6 +60,8 @@ type world = {
   sim : Dsim.Sim.t;
   eng : Core.Engine.t;
   history : Spsi.History.t;
+  fault : Dsim.Fault.t option;
+      (** the installed fault layer when [fault_plan] is non-empty *)
 }
 
 (** Build the deployment and spawn one fiber per transaction without

@@ -45,6 +45,32 @@ type t = {
           [prepare] (every prepare succeeds), i.e. the pre-commit lock
           of Algorithm 2 is never taken.  The resulting first-committer-
           wins violations must be caught by the SPSI oracle. *)
+  (* --- failure detection & atomic-commitment recovery ---
+     All three periods default to 0 = disabled, which restores the
+     pre-recovery engine bit-for-bit: no timers are armed, no status
+     messages exist, and the coordinator blocks indefinitely on lost
+     prepares (the fail-free world the paper evaluates). *)
+  prepare_timeout_us : int;
+      (** coordinator side: abort global certification ([Prepare_timeout])
+          when prepares are still outstanding after this long *)
+  status_retry_us : int;
+      (** failure-detection period: remote-read guard timers and the
+          retry period of in-doubt status queries during recovery *)
+  termination_timeout_us : int;
+      (** participant side: a replica holding a remotely-prepared
+          transaction this long without a decision starts cooperative
+          termination (queries the coordinator / surviving peers) *)
+  broken_lost_commit : bool;
+      (** Seeded recovery bug for the checker's validation runs: a
+          recovering node resolves every in-doubt transaction by
+          presumed abort without consulting the coordinator's decision
+          log — dropping commits whose decision message was lost.  The
+          recovery oracle (REC-durable) must catch it. *)
+  broken_double_resolution : bool;
+      (** Seeded recovery bug: a recovering node presumes {e commit} for
+          in-doubt transactions, so a transaction the coordinator
+          aborted is resolved both ways.  The recovery oracle
+          (REC-atomic) must catch it. *)
   (* --- service-cost model (microseconds of node CPU time) --- *)
   cost_read : int;  (** serving one read request *)
   cost_prepare_key : int;  (** certifying + installing one written key *)
@@ -69,6 +95,8 @@ let default_costs = (60, 40, 20, 40, 20)
 let make ?(clocks = Precise) ?(isolation = Snapshot_isolation)
     ?(speculative_reads = true) ?(externalize_local_commit = false)
     ?(unsafe_speculation = false) ?(skip_ww_check = false)
+    ?(prepare_timeout_us = 0) ?(status_retry_us = 0) ?(termination_timeout_us = 0)
+    ?(broken_lost_commit = false) ?(broken_double_resolution = false)
     ?(max_clock_skew_us = 500) ?(costs = default_costs)
     ?(prune_every_inserts = 4096) ?(prune_horizon_us = 2_000_000) () =
   let cost_read, cost_prepare_key, cost_apply_key, cost_coord_op, cost_tx_logic =
@@ -81,6 +109,11 @@ let make ?(clocks = Precise) ?(isolation = Snapshot_isolation)
     externalize_local_commit;
     unsafe_speculation;
     skip_ww_check;
+    prepare_timeout_us;
+    status_retry_us;
+    termination_timeout_us;
+    broken_lost_commit;
+    broken_double_resolution;
     cost_read;
     cost_prepare_key;
     cost_apply_key;
@@ -90,6 +123,12 @@ let make ?(clocks = Precise) ?(isolation = Snapshot_isolation)
     prune_every_inserts;
     prune_horizon_us;
   }
+
+(** [recovery] layers failure detection + atomic-commitment recovery
+    onto an existing configuration (periods in simulated µs). *)
+let with_recovery ?(prepare_timeout_us = 600_000) ?(status_retry_us = 300_000)
+    ?(termination_timeout_us = 600_000) t =
+  { t with prepare_timeout_us; status_retry_us; termination_timeout_us }
 
 (** The paper's protagonists. *)
 let str ?(speculative_reads = true) () = make ~clocks:Precise ~speculative_reads ()

@@ -25,8 +25,37 @@ type node = {
   cache : Partition_server.t;
   active : tx Txid.Tbl.t;  (** local transactions, active or local-committed *)
   stats : Stats.t;
+  decisions : decision Txid.Tbl.t;
+      (** persistent write-once decision log of this coordinator, the
+          atomic-commitment recovery anchor: consulted by participants
+          resolving in-doubt prepares after a crash window.  Written only
+          when the recovery protocol is enabled (the log models durable
+          storage, so it survives {!crash}/{!recover}). *)
+  status_waiters : (int * int) list Txid.Tbl.t;
+      (** [(asker_node, partition)] pairs owed a status reply once this
+          coordinator decides the transaction — registered when a status
+          query arrives while certification is still in flight, so
+          in-doubt resolution is event-driven rather than polled *)
+  outstanding_reads : (int * Partition_server.read_reply Ivar.t) list ref;
+      (** [(target_node, reply ivar)] of this node's in-flight remote
+          reads — registered only when a fault layer or the recovery
+          protocol is on, so {!crash} can complete reads aimed at the
+          dead node with the failure sentinel instead of leaving their
+          client fibers parked forever (deterministic, timer-free
+          failure detection; the config's retry guard is the timed
+          alternative).  Compacted opportunistically; plain transport
+          plumbing, not fingerprinted protocol state. *)
+  outstanding_read_count : int ref;
   mutable next_tx : int;
   mutable alive : bool;  (** false after a simulated crash (§5.6 fail-over) *)
+  mutable epoch : int;
+      (** incarnation number, bumped by {!recover}.  Messages sent by a
+          previous incarnation must not be delivered to the cluster after
+          the node restarts — they carry volatile pre-crash state that the
+          crash already aborted or purged — and the delivery-time liveness
+          gate cannot tell them apart once the node is alive again, so
+          {!send} captures the sender's epoch when a fault layer or the
+          recovery protocol is on and drops stale deliveries. *)
 }
 
 type t = {
@@ -43,6 +72,17 @@ type t = {
   (* lint: allow fingerprint-coverage — test/trace hook installed by
      harnesses; not simulation state *)
   mutable observer : (event -> unit) option;
+  mutable fault : Dsim.Fault.t option;
+      (** declarative fault layer, when installed; its link state is
+          mixed into {!fingerprint} via [Fault.fingerprint] *)
+  (* lint: allow fingerprint-coverage — derived from static configuration
+     (recovery periods / fault installation), not evolving protocol
+     state *)
+  mutable recovery_on : bool;
+      (** atomic-commitment recovery enabled: decision logging, in-doubt
+          holds across crashes, and decision-carrying commit upserts.
+          Derived from the config's recovery periods, or forced by
+          {!install_fault}.  Off = the pre-recovery engine bit-for-bit. *)
 }
 
 let sim t = t.sim
@@ -63,6 +103,13 @@ let emit t ev = match t.observer with None -> () | Some f -> f ev
    unit closure per call. *)
 let nop () = ()
 
+(* Sentinel installed by the remote-read failure guard when every
+   (re)sent request stays unanswered past the detection window.
+   Compared by physical equality: a genuine [`Missing] reply is a
+   distinct allocation, so it can never be mistaken for the sentinel. *)
+let read_failed_reply : Partition_server.read_reply =
+  { value = None; src = `Missing; writer = None }
+
 (** All protocol messaging goes through here: messages to or from a
     crashed node are silently dropped — both endpoints are re-checked at
     delivery time (by the simulator's delivery gate, installed in
@@ -78,7 +125,16 @@ let nop () = ()
     run loop checks — one allocation per message eliminated. *)
 let send eng ~kind ~src ~dst f =
   Obs.Trace.count_msg eng.trace kind;
-  if eng.nodes.(src).alive then Network.send eng.net ~src ~dst f
+  let nd = eng.nodes.(src) in
+  if nd.alive then
+    if eng.recovery_on || eng.fault <> None then begin
+      (* Crash-recover is possible: stamp the payload with the sender's
+         incarnation so a message from a since-restarted node is dropped
+         at delivery even though the liveness gate sees it alive again. *)
+      let epoch = nd.epoch in
+      Network.send eng.net ~src ~dst (fun () -> if nd.epoch = epoch then f ())
+    end
+    else Network.send eng.net ~src ~dst f
 
 (** Trace process id of the data center hosting [n] ([+1] keeps pid 0
     free — some trace viewers reserve it). *)
@@ -157,8 +213,13 @@ let create ~sim ~net ~placement ~config ?(seed = 42) ?trace () =
               ~partition:(-1) ~is_cache:true ~stats ~trace ~pid:(node_pid id) ();
           active = Txid.Tbl.create 256;
           stats;
+          decisions = Txid.Tbl.create 64;
+          status_waiters = Txid.Tbl.create 8;
+          outstanding_reads = ref [];
+          outstanding_read_count = ref 0;
           next_tx = 0;
           alive = true;
+          epoch = 0;
         })
   in
   for p = 0 to Placement.n_partitions placement - 1 do
@@ -202,6 +263,13 @@ let create ~sim ~net ~placement ~config ?(seed = 42) ?trace () =
     cur_master = Array.init (Placement.n_partitions placement) (Placement.master placement);
     trace;
     observer = None;
+    fault = None;
+    recovery_on =
+      config.Config.prepare_timeout_us > 0
+      || config.Config.status_retry_us > 0
+      || config.Config.termination_timeout_us > 0
+      || config.Config.broken_lost_commit
+      || config.Config.broken_double_resolution;
   }
 
 (** Install an initial committed version of [key] (timestamp 0) at every
@@ -237,6 +305,176 @@ let rec wait_until tx cond =
     Fiber.await iv;
     wait_until tx cond
   end
+
+(* ------------------------------------------------------------------ *)
+(* Atomic-commitment decision log and in-doubt resolution              *)
+(* ------------------------------------------------------------------ *)
+
+(* The recovery protocol satisfies the atomic-commitment properties by
+   construction:
+   - AC1 (agreement): every resolution applies a decision from the
+     coordinator's write-once log, from committed peer evidence of that
+     same decision, or presumed abort when provably no commit decision
+     exists — no two participants resolve differently;
+   - AC2 (validity): a commit decision is only ever logged after every
+     expected prepare acknowledged (Alg. 1's replication wait);
+   - AC3/AC4 (non-triviality/stability): decisions are logged before
+     they are broadcast and never change;
+   - AC5 (termination): a recovering replica re-resolves its in-doubt
+     prepares against the coordinator's log, or — when the coordinator
+     is down — runs cooperative termination against the surviving peer
+     replicas, blocking (the classic 2PC window) only while neither the
+     coordinator nor decisive peer evidence is reachable. *)
+
+(** Apply a recovered decision to an in-doubt prepare held by [node]'s
+    replica of [partition].  No-op once nothing is pending for [txid]
+    there (late or duplicate resolutions are absorbed). *)
+let apply_resolution eng ~node:n ~partition:p txid d =
+  let nd = eng.nodes.(n) in
+  if nd.alive then begin
+    let srv = server eng ~node:n ~partition:p in
+    if Partition_server.has_tx srv txid then begin
+      match d with
+      | D_commit ct ->
+        nd.stats.Stats.in_doubt_commits <- nd.stats.Stats.in_doubt_commits + 1;
+        Partition_server.commit srv txid ~ct
+      | D_abort ->
+        nd.stats.Stats.in_doubt_aborts <- nd.stats.Stats.in_doubt_aborts + 1;
+        Partition_server.abort ~tombstone:true srv txid
+    end
+  end
+
+(** Record the coordinator's decision in its persistent log (write-once)
+    and answer any status queries that arrived before it was made. *)
+let log_decision eng (tx : tx) d =
+  if eng.recovery_on && tx.global_started then begin
+    let nd = eng.nodes.(tx.origin) in
+    if not (Txid.Tbl.mem nd.decisions tx.id) then begin
+      Txid.Tbl.replace nd.decisions tx.id d;
+      match Txid.Tbl.find_opt nd.status_waiters tx.id with
+      | None -> ()
+      | Some waiters ->
+        Txid.Tbl.remove nd.status_waiters tx.id;
+        List.iter
+          (fun (asker, p) ->
+            send eng ~kind:Obs.Trace.M_status_reply ~src:tx.origin ~dst:asker
+              (fun () -> apply_resolution eng ~node:asker ~partition:p tx.id d))
+          (List.rev waiters)
+    end
+  end
+
+(** Resolve one in-doubt prepared transaction held by [node]'s replica
+    of [partition] (AC5 termination).  Consults the coordinator's
+    decision log when the coordinator is reachable — replying later,
+    event-driven, if it has not decided yet — and falls back to
+    cooperative termination over the surviving peer replicas when it is
+    not.  With [status_retry_us > 0] unresolved queries are re-issued
+    each period (bounded), covering lost status traffic; otherwise
+    resolution is re-triggered by the next {!recover}. *)
+let rec resolve_in_doubt ?(tries = 0) eng ~node:n ~partition:p txid =
+  let nd = eng.nodes.(n) in
+  if nd.alive && Partition_server.has_tx (server eng ~node:n ~partition:p) txid then begin
+    if eng.config.Config.broken_lost_commit then
+      (* Seeded bug (validation): presume abort without consulting the
+         decision log — drops commits whose decision message was lost. *)
+      apply_resolution eng ~node:n ~partition:p txid D_abort
+    else if eng.config.Config.broken_double_resolution then
+      (* Seeded bug (validation): presume commit at the prepare
+         timestamp — resolves coordinator-aborted transactions the
+         other way. *)
+      (match Partition_server.pending_ts (server eng ~node:n ~partition:p) txid with
+       | Some ts -> apply_resolution eng ~node:n ~partition:p txid (D_commit ts)
+       | None -> apply_resolution eng ~node:n ~partition:p txid D_abort)
+    else begin
+      let origin = Txid.origin txid in
+      let retry_later () =
+        (* Failure-detection period; bounded so a permanently blocked
+           transaction (coordinator crash-stopped, no peer evidence)
+           cannot keep the event queue alive forever. *)
+        if eng.config.Config.status_retry_us > 0 && tries < 100 then
+          Sim.schedule eng.sim ~delay:eng.config.Config.status_retry_us (fun () ->
+              resolve_in_doubt ~tries:(tries + 1) eng ~node:n ~partition:p txid)
+      in
+      if eng.nodes.(origin).alive then begin
+        send eng ~kind:Obs.Trace.M_status_req ~src:n ~dst:origin (fun () ->
+            let ond = eng.nodes.(origin) in
+            Cpu.exec ond.cpu ~cost:eng.config.Config.cost_coord_op (fun () ->
+                match Txid.Tbl.find_opt ond.decisions txid with
+                | Some d ->
+                  send eng ~kind:Obs.Trace.M_status_reply ~src:origin ~dst:n (fun () ->
+                      apply_resolution eng ~node:n ~partition:p txid d)
+                | None ->
+                  if Txid.Tbl.mem ond.active txid then begin
+                    (* Still certifying: register the asker and reply the
+                       moment the decision is logged (event-driven). *)
+                    let ws =
+                      Option.value ~default:[]
+                        (Txid.Tbl.find_opt ond.status_waiters txid)
+                    in
+                    if not (List.mem (n, p) ws) then
+                      Txid.Tbl.replace ond.status_waiters txid ((n, p) :: ws)
+                  end
+                  else
+                    (* No log entry and no live transaction: under the
+                       write-once log-then-broadcast discipline, no commit
+                       decision can exist — presumed abort. *)
+                    send eng ~kind:Obs.Trace.M_status_reply ~src:origin ~dst:n
+                      (fun () -> apply_resolution eng ~node:n ~partition:p txid D_abort)));
+        retry_later ()
+      end
+      else begin
+        (* Cooperative termination: the coordinator is down, so query the
+           partition's surviving peer replicas for evidence.  Any applied
+           commit is decisive; unanimous absence is decisive the other
+           way (a prepared-but-undecided transaction still holds pending
+           state at every live acceptor, so absence everywhere proves no
+           commit was applied); otherwise the in-doubt window genuinely
+           blocks until the coordinator recovers. *)
+        let keys = Partition_server.pending_keys (server eng ~node:n ~partition:p) txid in
+        let peers =
+          Array.to_list (Placement.replicas eng.placement p)
+          |> List.filter (fun r -> r <> n && eng.nodes.(r).alive)
+        in
+        (match peers with
+         | [] -> () (* blocked: no surviving evidence; retried / re-triggered *)
+         | peers ->
+           let expected = List.length peers in
+           let absent = ref 0 and settled = ref false in
+           List.iter
+             (fun r ->
+               send eng ~kind:Obs.Trace.M_status_req ~src:n ~dst:r (fun () ->
+                   let rnd = eng.nodes.(r) in
+                   Cpu.exec rnd.cpu ~cost:eng.config.Config.cost_coord_op (fun () ->
+                       let st =
+                         Partition_server.status_of
+                           (server eng ~node:r ~partition:p)
+                           txid ~keys
+                       in
+                       send eng ~kind:Obs.Trace.M_status_reply ~src:r ~dst:n (fun () ->
+                           if not !settled then
+                             match st with
+                             | `Committed ct ->
+                               settled := true;
+                               apply_resolution eng ~node:n ~partition:p txid (D_commit ct)
+                             | `None ->
+                               incr absent;
+                               if !absent >= expected then begin
+                                 settled := true;
+                                 apply_resolution eng ~node:n ~partition:p txid D_abort
+                               end
+                             | `Pending -> ()))))
+             peers);
+        retry_later ()
+      end
+    end
+  end
+
+(** Participant-side AC5 arming: a replica that prepared a remote
+    transaction starts termination if no decision arrived within the
+    window. *)
+let arm_termination eng ~node:n ~partition:p txid =
+  Sim.schedule eng.sim ~delay:eng.config.Config.termination_timeout_us (fun () ->
+      resolve_in_doubt eng ~node:n ~partition:p txid)
 
 (* ------------------------------------------------------------------ *)
 (* Dependency graph                                                    *)
@@ -284,6 +522,9 @@ let rec abort_tx eng tx reason =
   | Active | Local_committed ->
     let nd = eng.nodes.(tx.origin) in
     tx.state <- Aborted reason;
+    (* Log the abort decision before any removal is broadcast, so a
+       status query can never observe a decided-but-unlogged abort. *)
+    log_decision eng tx D_abort;
     Stats.record_abort nd.stats reason;
     (* Rollback is not free: removing speculative versions and unwinding
        dependents consumes node CPU (fire-and-forget: it delays
@@ -325,6 +566,9 @@ let commit_apply eng tx ct =
   let nd = eng.nodes.(tx.origin) in
   tx.ct <- ct;
   tx.state <- Committed;
+  (* Log-then-broadcast: the commit decision hits the persistent log
+     before any decision message leaves the coordinator (AC3). *)
+  log_decision eng tx (D_commit ct);
   tx.ffc <- ct;
   Txid.Tbl.reset tx.olcset;
   let dependents = tx.dependents in
@@ -345,12 +589,29 @@ let commit_apply eng tx ct =
     (fun (p, _) -> Partition_server.commit (server eng ~node:tx.origin ~partition:p) tx.id ~ct)
     (local_partitions_of eng tx);
   if tx.unsafe then Partition_server.commit nd.cache tx.id ~ct;
-  for_each_remote_replica eng tx (fun r p ->
-      send eng ~kind:Obs.Trace.M_commit ~src:tx.origin ~dst:r (fun () ->
-          let srv = server eng ~node:r ~partition:p in
-          Cpu.exec eng.nodes.(r).cpu
-            ~cost:(eng.config.Config.cost_apply_key * Partition_server.pending_key_count srv tx.id)
-            (fun () -> Partition_server.commit srv tx.id ~ct)));
+  List.iter
+    (fun (p, writes) ->
+      Array.iter
+        (fun r ->
+          if r <> tx.origin then
+            send eng ~kind:Obs.Trace.M_commit ~src:tx.origin ~dst:r (fun () ->
+                let srv = server eng ~node:r ~partition:p in
+                if eng.recovery_on && not (Partition_server.has_tx srv tx.id) then
+                  (* The replica lost the prepare across a crash window;
+                     the decision message carries the write set, so the
+                     recovered replica installs the committed versions
+                     directly instead of dropping the decision. *)
+                  Cpu.exec eng.nodes.(r).cpu
+                    ~cost:(eng.config.Config.cost_apply_key * List.length writes)
+                    (fun () -> Partition_server.install_committed srv ~txid:tx.id ~ct writes)
+                else
+                  Cpu.exec eng.nodes.(r).cpu
+                    ~cost:
+                      (eng.config.Config.cost_apply_key
+                      * Partition_server.pending_key_count srv tx.id)
+                    (fun () -> Partition_server.commit srv tx.id ~ct)))
+        (Placement.replicas eng.placement p))
+    tx.groups;
   nd.stats.Stats.commits <- nd.stats.Stats.commits + 1;
   Txid.Tbl.remove nd.active tx.id;
   if Obs.Trace.enabled eng.trace then begin
@@ -370,6 +631,13 @@ let commit_apply eng tx ct =
 
 let begin_tx eng ~origin =
   let nd = eng.nodes.(origin) in
+  (* Crash-stop: a dead node serves nothing, including [begin].  Without
+     this a client fiber racing a planned crash can open a transaction at
+     a down node; its prepares are dropped at the (dead) sender, yet the
+     local prepare it installs survives into the recovered incarnation as
+     an unresolvable in-doubt entry — the recover sweep rightly skips
+     transactions the (now-alive) origin still lists as active. *)
+  if not nd.alive then raise (Tx_abort Node_failure);
   nd.next_tx <- nd.next_tx + 1;
   let id = Txid.make ~origin ~number:nd.next_tx in
   let rs = Clock.now nd.clock in
@@ -451,15 +719,65 @@ let rec read eng tx key =
            if !best < 0 then preferred else !best
          end
        in
-       send eng ~kind:Obs.Trace.M_read_req ~src:tx.origin ~dst:target (fun () ->
-           Partition_server.read
-             (server eng ~node:target ~partition:p)
-             ~rs:tx.rs ~reader_origin:tx.origin key
-             (fun r ->
-               send eng ~kind:Obs.Trace.M_read_reply ~src:target ~dst:tx.origin
-                 (fun () -> Ivar.fill iv r))));
+       let send_req () =
+         send eng ~kind:Obs.Trace.M_read_req ~src:tx.origin ~dst:target (fun () ->
+             Partition_server.read
+               (server eng ~node:target ~partition:p)
+               ~rs:tx.rs ~reader_origin:tx.origin key
+               (fun r ->
+                 send eng ~kind:Obs.Trace.M_read_reply ~src:target ~dst:tx.origin
+                   (fun () -> ignore (Ivar.fill_if_empty iv r))))
+       in
+       if not eng.nodes.(target).alive then
+         (* Perfect failure detection, reader side: every replica of the
+            partition is down (possible at rf=1), so there is nobody to
+            ask — install the failure sentinel now instead of sending a
+            request that the dead node will never answer.  The guard
+            below would eventually do the same, but only when retry
+            periods are configured; the bounded model checker runs with
+            them off. *)
+         ignore (Ivar.fill_if_empty iv read_failed_reply)
+       else send_req ();
+       if eng.recovery_on || eng.fault <> None then begin
+         (* Register for crash-time completion (see the node field doc).
+            Compact once the list accumulates resolved entries so long
+            runs stay O(in-flight), not O(total reads). *)
+         nd.outstanding_reads := (target, iv) :: !(nd.outstanding_reads);
+         incr nd.outstanding_read_count;
+         if !(nd.outstanding_read_count) >= 64 then begin
+           nd.outstanding_reads :=
+             List.filter (fun (_, iv) -> not (Ivar.is_full iv)) !(nd.outstanding_reads);
+           nd.outstanding_read_count := List.length !(nd.outstanding_reads)
+         end
+       end;
+       if eng.config.Config.status_retry_us > 0 then begin
+         (* Failure detection for remote reads: the request or its reply
+            may be lost to a crash, cut link or message drop.  Re-issue
+            the (idempotent) read each period; after three unanswered
+            windows install the failure sentinel, which aborts the
+            transaction below.  A late real reply loses the ivar race
+            and is absorbed. *)
+         let rec guard tries =
+           Sim.schedule eng.sim ~delay:eng.config.Config.status_retry_us (fun () ->
+               if not (Ivar.is_full iv) then
+                 if tries >= 2 then ignore (Ivar.fill_if_empty iv read_failed_reply)
+                 else begin
+                   send_req ();
+                   guard (tries + 1)
+                 end)
+         in
+         guard 0
+       end);
     let r = Fiber.await iv in
     check_live tx;
+    if r == read_failed_reply then begin
+      (* The remote replica (or every path to it) stayed unresponsive
+         past the detection window: abort and let the client retry
+         against the post-fail-over configuration. *)
+      Obs.Trace.span_end eng.trace rspan ~t1:(Sim.now eng.sim);
+      abort_tx eng tx Node_failure;
+      raise (Tx_abort Node_failure)
+    end;
     tx.reads_done <- tx.reads_done + 1;
     let finish (r : Partition_server.read_reply) speculative =
       if not eng.config.Config.unsafe_speculation then begin
@@ -744,6 +1062,30 @@ let commit eng tx =
     (* The dependencies declared to remote replicas: everything the
        origin ordered this transaction after (fixed at this point). *)
     let declared_deps = tx.all_deps in
+    (* The delivery-time epoch guard in [send] covers the network hop,
+       but participants defer the prepare install one more step through
+       their CPU; recheck both incarnations at install time — the
+       coordinator's (a crash-recover window between delivery and
+       processing must not resurrect a dead incarnation's prepare after
+       the recovery sweep already ran) and the participant's own (work
+       consumed but not yet processed when it crashed was volatile CPU
+       state and died with the incarnation; the restarted node must not
+       install a prepare whose decision traffic was dropped while it was
+       down). *)
+    let origin_epoch = eng.nodes.(tx.origin).epoch in
+    (* Perfect failure detection, coordinator side: when a write
+       partition's master is dead and fail-over found no live replica to
+       promote (possible at rf=1), the partition is simply unavailable —
+       abort now rather than send prepares into the void.  Prepares to a
+       dead node are dropped, so without this the certification blocks
+       until the prepare timeout; under the bounded model checker, which
+       disables timeouts to keep the state space finite, it blocks
+       forever and shows up as a deadlock. *)
+    if List.exists (fun (p, _) -> not eng.nodes.(master_of eng p).alive) groups
+    then begin
+      abort_tx eng tx Node_failure;
+      raise (Tx_abort Node_failure)
+    end;
     let expected = ref 0 in
     let reply_handler outcome =
       if not (is_aborted tx) then begin
@@ -758,28 +1100,38 @@ let commit eng tx =
     let send_replicate ~from ~nw slave p writes =
       send eng ~kind:Obs.Trace.M_replicate ~src:from ~dst:slave (fun () ->
           let snd = eng.nodes.(slave) in
+          let snd_epoch = snd.epoch in
           Cpu.exec snd.cpu
             ~cost:(eng.config.Config.cost_prepare_key * nw)
             (fun () ->
-              let srv = server eng ~node:slave ~partition:p in
-              (* Remote prepares evict conflicting local speculation and
-                 its dependents (Alg. 2, replicate handler). *)
-              List.iter
-                (fun victim ->
-                  match Txid.Tbl.find_opt snd.active victim with
-                  | Some vtx -> abort_tx eng vtx Evicted
-                  | None -> ())
-                (Partition_server.evict_candidates srv ~writes ~except:tx.id);
-              let outcome =
-                match
-                  Partition_server.prepare ~stack_over:declared_deps srv ~txid:tx.id
-                    ~origin:tx.origin ~rs:tx.rs ~writes
-                with
-                | Partition_server.Prepared { ts; _ } -> `Prepared ts
-                | Partition_server.Conflict _ -> `Aborted
-              in
-              send eng ~kind:Obs.Trace.M_prepare_reply ~src:slave ~dst:tx.origin
-                (fun () -> reply_handler outcome)))
+              if eng.nodes.(tx.origin).epoch = origin_epoch && snd.epoch = snd_epoch
+              then begin
+                let srv = server eng ~node:slave ~partition:p in
+                (* Remote prepares evict conflicting local speculation and
+                   its dependents (Alg. 2, replicate handler). *)
+                List.iter
+                  (fun victim ->
+                    match Txid.Tbl.find_opt snd.active victim with
+                    | Some vtx -> abort_tx eng vtx Evicted
+                    | None -> ())
+                  (Partition_server.evict_candidates srv ~writes ~except:tx.id);
+                let outcome =
+                  match
+                    Partition_server.prepare ~stack_over:declared_deps srv ~txid:tx.id
+                      ~origin:tx.origin ~rs:tx.rs ~writes
+                  with
+                  | Partition_server.Prepared { ts; _ } -> `Prepared ts
+                  | Partition_server.Conflict _ -> `Aborted
+                in
+                (* Participant-side AC5: a prepare held past the window
+                   without a decision starts cooperative termination. *)
+                (match outcome with
+                 | `Prepared _ when eng.config.Config.termination_timeout_us > 0 ->
+                   arm_termination eng ~node:slave ~partition:p tx.id
+                 | `Prepared _ | `Aborted -> ());
+                send eng ~kind:Obs.Trace.M_prepare_reply ~src:slave ~dst:tx.origin
+                  (fun () -> reply_handler outcome)
+              end))
     in
     List.iter
       (fun (p, writes) ->
@@ -799,27 +1151,48 @@ let commit eng tx =
           List.iter (fun s -> if s <> tx.origin then incr expected) slaves;
           send eng ~kind:Obs.Trace.M_prepare ~src:tx.origin ~dst:m (fun () ->
               let mnd = eng.nodes.(m) in
+              let m_epoch = mnd.epoch in
               Cpu.exec mnd.cpu
                 ~cost:(eng.config.Config.cost_prepare_key * nw)
                 (fun () ->
-                  let srv = server eng ~node:m ~partition:p in
-                  match
-                    Partition_server.prepare ~stack_over:declared_deps srv ~txid:tx.id
-                      ~origin:tx.origin ~rs:tx.rs ~writes
-                  with
-                  | Partition_server.Conflict _ ->
-                    send eng ~kind:Obs.Trace.M_prepare_reply ~src:m ~dst:tx.origin
-                      (fun () -> reply_handler `Aborted)
-                  | Partition_server.Prepared { ts; _ } ->
-                    List.iter
-                      (fun s ->
-                        if s <> tx.origin then send_replicate ~from:m ~nw s p writes)
-                      slaves;
-                    send eng ~kind:Obs.Trace.M_prepare_reply ~src:m ~dst:tx.origin
-                      (fun () -> reply_handler (`Prepared ts))))
+                  if eng.nodes.(tx.origin).epoch = origin_epoch && mnd.epoch = m_epoch
+                  then begin
+                    let srv = server eng ~node:m ~partition:p in
+                    match
+                      Partition_server.prepare ~stack_over:declared_deps srv ~txid:tx.id
+                        ~origin:tx.origin ~rs:tx.rs ~writes
+                    with
+                    | Partition_server.Conflict _ ->
+                      send eng ~kind:Obs.Trace.M_prepare_reply ~src:m ~dst:tx.origin
+                        (fun () -> reply_handler `Aborted)
+                    | Partition_server.Prepared { ts; _ } ->
+                      if eng.config.Config.termination_timeout_us > 0 then
+                        arm_termination eng ~node:m ~partition:p tx.id;
+                      List.iter
+                        (fun s ->
+                          if s <> tx.origin then send_replicate ~from:m ~nw s p writes)
+                        slaves;
+                      send eng ~kind:Obs.Trace.M_prepare_reply ~src:m ~dst:tx.origin
+                        (fun () -> reply_handler (`Prepared ts))
+                  end))
         end)
       groups;
     tx.pending_prepares <- !expected;
+    if eng.config.Config.prepare_timeout_us > 0 && !expected > 0 then
+      (* Coordinator-side failure detection: prepares still outstanding
+         past the window mean a participant (or the path to it) is gone;
+         give up on the certification with a presumed abort rather than
+         blocking forever on a lost reply. *)
+      Sim.schedule eng.sim ~delay:eng.config.Config.prepare_timeout_us (fun () ->
+          if
+            (not (is_aborted tx))
+            && tx.state = Types.Local_committed
+            && tx.pending_prepares > 0
+            && not tx.prepare_failed
+          then begin
+            tx.prepare_timed_out <- true;
+            notify tx
+          end);
     let rspan =
       if Obs.Trace.enabled eng.trace && !expected > 0 then
         Obs.Trace.span_begin eng.trace ~kind:Obs.Trace.S_repl_wait
@@ -828,12 +1201,20 @@ let commit eng tx =
       else -1
     in
     wait_until tx (fun () ->
-        tx.pending_prepares <= 0 || tx.prepare_failed || is_aborted tx);
+        tx.pending_prepares <= 0 || tx.prepare_failed || tx.prepare_timed_out
+        || is_aborted tx);
     Obs.Trace.span_end eng.trace rspan ~t1:(Sim.now eng.sim);
     check_live tx;
     if tx.prepare_failed then begin
       abort_tx eng tx Remote_conflict;
       raise (Tx_abort Remote_conflict)
+    end;
+    if tx.prepare_timed_out && tx.pending_prepares > 0 then begin
+      (* Presumed abort is safe here: with prepares still outstanding no
+         commit decision exists anywhere, and participants that did
+         prepare learn the abort directly or from the decision log. *)
+      abort_tx eng tx Prepare_timeout;
+      raise (Tx_abort Prepare_timeout)
     end;
     (* ---- SPSI-4: all speculative dependencies must resolve ---- *)
     dep_wait eng tx;
@@ -908,20 +1289,24 @@ let crash eng n =
        from n that the (dead) coordinator will never resolve.  abort_tx
        above already sent the removals for global_started transactions,
        but those sends are dropped at source now that n is dead — purge
-       directly. *)
-    Array.iter
-      (fun other ->
-        if other.alive then
-          (* lint: allow hashtbl-order — per-server purges touch disjoint
-             stores; pending_txids itself is sorted *)
-          Hashtbl.iter
-            (fun _ srv ->
-              List.iter
-                (fun txid ->
-                  if Txid.origin txid = n then Partition_server.abort srv txid)
-                (Partition_server.pending_txids srv))
-            other.servers)
-      eng.nodes;
+       directly.  Under the recovery protocol the survivors instead HOLD
+       the in-doubt state: the dead coordinator's decision log survives
+       the crash, so these prepares are resolved — not presumed aborted —
+       when it recovers (or earlier, by cooperative termination). *)
+    if not eng.recovery_on then
+      Array.iter
+        (fun other ->
+          if other.alive then
+            (* lint: allow hashtbl-order — per-server purges touch disjoint
+               stores; pending_txids itself is sorted *)
+            Hashtbl.iter
+              (fun _ srv ->
+                List.iter
+                  (fun txid ->
+                    if Txid.origin txid = n then Partition_server.abort srv txid)
+                  (Partition_server.pending_txids srv))
+              other.servers)
+        eng.nodes;
     (* Abort survivors' transactions that are waiting on replies from n
        (their expected-reply count can otherwise never be reached). *)
     Array.iter
@@ -957,8 +1342,129 @@ let crash eng n =
         | [] -> () (* partition lost: all replicas down *)
         | first :: _ -> eng.cur_master.(p) <- first
       end
-    done
+    done;
+    (* Complete in-flight remote reads the crash orphaned — requests to n
+       and replies from n are dropped, so without this their client
+       fibers would stay parked past quiescence.  Runs after the master
+       promotions so a resuming client retries against the post-fail-over
+       configuration.  Survivors' reads aimed at n get the failure
+       sentinel (-> Node_failure abort, client retries); every read of
+       n's own dead clients is completed too, so the fiber resumes,
+       trips [check_live] and unwinds.  Fills run the fiber inline, so
+       snapshot-and-reset each list before touching it. *)
+    Array.iter
+      (fun other ->
+        let mine = List.rev !(other.outstanding_reads) in
+        let keep =
+          if other.id = n then []
+          else List.filter (fun (target, _) -> target <> n) mine
+        in
+        other.outstanding_reads := List.rev keep;
+        other.outstanding_read_count := List.length keep;
+        List.iter
+          (fun (target, iv) ->
+            if (other.id = n || target = n) && not (Ivar.is_full iv) then
+              ignore (Ivar.fill_if_empty iv read_failed_reply))
+          mine)
+      eng.nodes
   end
+
+(** Ascending partition ids replicated at [nd] (deterministic sweep
+    order for recovery). *)
+let sorted_partitions nd =
+  (* lint: allow hashtbl-order — sorted before use *)
+  Hashtbl.fold (fun p _ acc -> p :: acc) nd.servers [] |> List.sort Int.compare
+
+(** State transfer at recovery: copy the committed versions a replica
+    missed while down from the first live peer replica of each of its
+    partitions.  Modeled as an atomic snapshot copy (the interesting
+    failure behaviour — in-doubt prepares — is handled separately by
+    {!resolve_in_doubt}; decided-and-fully-applied state is plain data
+    movement).  Skips every key the recovering replica already has a
+    version of by the same writer, so in-doubt prepares are left for
+    resolution and nothing is duplicated. *)
+let catch_up eng n =
+  List.iter
+    (fun p ->
+      match
+        Array.to_list (Placement.replicas eng.placement p)
+        |> List.find_opt (fun r -> r <> n && eng.nodes.(r).alive)
+      with
+      | None -> () (* sole replica: nothing was decided while it was down *)
+      | Some src ->
+        let src_store = Partition_server.store (server eng ~node:src ~partition:p) in
+        let dst_store = Partition_server.store (server eng ~node:n ~partition:p) in
+        List.iter
+          (fun (key, (v : Version.t)) ->
+            if Mvstore.find_version dst_store key v.Version.writer = None then
+              Mvstore.insert_version dst_store key
+                (Version.make ~writer:v.Version.writer ~state:Version.Committed
+                   ~ts:v.Version.ts ~value:v.Version.value))
+          (Mvstore.committed_versions src_store))
+    (sorted_partitions eng.nodes.(n))
+
+(** Restart a crashed node from its persistent state (crash-recover
+    failures): committed and pre-committed store state plus the decision
+    log survive; active transactions, speculation and the cache were
+    volatile and are already gone (purged by {!crash}).  The node
+    reclaims the masterships the static placement assigns it, catches up
+    on the committed state it missed, and then drives in-doubt
+    resolution cluster-wide — both for its own held prepares and for
+    survivors whose cooperative termination was blocked on this
+    coordinator.  Idempotent. *)
+let recover eng n =
+  let nd = eng.nodes.(n) in
+  if not nd.alive then begin
+    nd.alive <- true;
+    (* New incarnation: everything the dead one still had in flight is
+       now stale and must stay dropped (see the epoch guard in [send]). *)
+    nd.epoch <- nd.epoch + 1;
+    for p = 0 to Placement.n_partitions eng.placement - 1 do
+      if
+        Placement.master eng.placement p = n
+        || ((not eng.nodes.(eng.cur_master.(p)).alive)
+           && Placement.replicates eng.placement ~node:n ~partition:p)
+      then eng.cur_master.(p) <- n
+    done;
+    catch_up eng n;
+    (* Re-resolve in-doubt prepares everywhere.  Healthy in-flight
+       certifications are skipped (their decision traffic is on the way);
+       the perfect-failure-detection assumption lets the sweep test the
+       coordinator directly. *)
+    Array.iter
+      (fun other ->
+        if other.alive then
+          List.iter
+            (fun p ->
+              let srv = server eng ~node:other.id ~partition:p in
+              List.iter
+                (fun txid ->
+                  let o = Txid.origin txid in
+                  if
+                    (not eng.nodes.(o).alive)
+                    || not (Txid.Tbl.mem eng.nodes.(o).active txid)
+                  then resolve_in_doubt eng ~node:other.id ~partition:p txid)
+                (Partition_server.pending_txids srv))
+            (sorted_partitions other))
+      eng.nodes
+  end
+
+(** Attach a declarative fault layer: its crash/recover actions drive
+    {!crash}/{!recover}, and its link state (cuts, loss) composes with
+    the liveness delivery gate.  [recovery] (default true) additionally
+    enables the atomic-commitment recovery protocol — decision logging,
+    in-doubt holds across crashes and decision-carrying commit upserts —
+    independent of the config's detection periods; pass [false] to keep
+    the legacy crash-stop presumed-abort semantics while still using the
+    fault layer as a pure transport harness. *)
+let install_fault ?(recovery = true) eng fault =
+  eng.fault <- Some fault;
+  if recovery then eng.recovery_on <- true;
+  Dsim.Fault.set_handlers fault ~crash:(fun n -> crash eng n)
+    ~recover:(fun n -> recover eng n);
+  Sim.set_delivery_gate eng.sim (fun ~src ~dst ->
+      eng.nodes.(src).alive && eng.nodes.(dst).alive
+      && Dsim.Fault.deliverable fault ~src ~dst)
 
 (* ------------------------------------------------------------------ *)
 (* State fingerprinting (model-checker support)                        *)
@@ -979,6 +1485,9 @@ let fingerprint eng =
     (fun nd ->
       add nd.id;
       addb nd.alive;
+      (* Mixed only once a recovery happened, so fault-free fingerprints
+         are unchanged from the pre-recovery engine. *)
+      if nd.epoch > 0 then add (0x5ec lxor nd.epoch);
       add nd.next_tx;
       let txs =
         (* lint: allow hashtbl-order — sorted before hashing *)
@@ -1002,6 +1511,10 @@ let fingerprint eng =
           addb tx.unsafe;
           add tx.pending_prepares;
           addb tx.prepare_failed;
+          (* Mixed only when set, so fault-free fingerprints (where no
+             prepare can time out) are unchanged from the pre-recovery
+             engine. *)
+          if tx.prepare_timed_out then add 0x7e0;
           add tx.max_proposal;
           addb tx.global_started;
           add (olc_min tx);
@@ -1017,9 +1530,48 @@ let fingerprint eng =
           add p;
           add (Mvstore.fingerprint (Partition_server.store s)))
         parts;
-      add (Mvstore.fingerprint (Partition_server.store nd.cache)))
+      add (Mvstore.fingerprint (Partition_server.store nd.cache));
+      (* Recovery state, mixed only when present: both tables stay empty
+         unless the recovery protocol is on, keeping fault-free
+         fingerprints identical to the pre-recovery engine. *)
+      if Txid.Tbl.length nd.decisions > 0 then begin
+        add 0x6dec;
+        (* lint: allow hashtbl-order — sorted before hashing *)
+        Txid.Tbl.fold (fun txid d acc -> (txid, d) :: acc) nd.decisions []
+        |> List.sort (fun (a, _) (b, _) -> Txid.compare a b)
+        |> List.iter (fun (txid, d) ->
+               add (Txid.origin txid);
+               add (Txid.number txid);
+               add (match d with D_commit ct -> ct | D_abort -> -1))
+      end;
+      if Txid.Tbl.length nd.status_waiters > 0 then begin
+        add 0x3a17;
+        (* lint: allow hashtbl-order — sorted before hashing *)
+        Txid.Tbl.fold (fun txid ws acc -> (txid, ws) :: acc) nd.status_waiters []
+        |> List.sort (fun (a, _) (b, _) -> Txid.compare a b)
+        |> List.iter (fun (txid, ws) ->
+               add (Txid.origin txid);
+               add (Txid.number txid);
+               List.iter
+                 (fun (asker, p) ->
+                   add asker;
+                   add p)
+                 (List.sort
+                    (fun (a1, p1) (a2, p2) ->
+                      let c = Int.compare a1 a2 in
+                      if c <> 0 then c else Int.compare p1 p2)
+                    ws))
+      end)
     eng.nodes;
   Array.iter add eng.cur_master;
+  (match eng.fault with
+   | None -> ()
+   | Some f ->
+     (* Only an ACTIVE fault layer is protocol-visible state: with every
+        cut healed and no loss in effect the layer cannot influence any
+        future delivery, and the fingerprint stays identical to an
+        engine without one. *)
+     if Dsim.Fault.active f then add (Dsim.Fault.fingerprint f));
   !h
 
 (** Validate every version chain in the cluster (test support). *)

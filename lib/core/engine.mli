@@ -95,15 +95,39 @@ val await_outcome : Types.tx -> Types.outcome
 val abort_tx : t -> Types.tx -> Types.abort_reason -> unit
 (** Force-abort (test support); idempotent, cascades to dependents. *)
 
-(** {1 Fault injection (§5.6)} *)
+(** {1 Fault injection, fail-over and recovery (§5.6)} *)
 
 (** Crash a node: its messages (including in-flight ones) are dropped,
-    its transactions and their remote pre-commits are purged at the
-    survivors (perfect failure detection), survivors' transactions that
+    its transactions abort cluster-wide, survivors' transactions that
     were awaiting its replies abort with [Node_failure] and get retried
     by their clients, and the closest live slave of each partition it
-    mastered is promoted.  Idempotent. *)
+    mastered is promoted.  Without the recovery protocol its remote
+    pre-commits are also purged at the survivors (crash-stop presumed
+    abort); with it they are held in doubt for {!recover}-time
+    resolution against the coordinator's persistent decision log.
+    Idempotent. *)
 val crash : t -> int -> unit
+
+(** Restart a crashed node from its persistent state: committed and
+    pre-committed store state plus the decision log survive, volatile
+    state (active transactions, speculation, cache) is gone.  Reclaims
+    the node's static masterships, copies the committed state it missed
+    from a live peer replica, and re-resolves in-doubt prepares
+    cluster-wide — querying the coordinator's decision log, or running
+    cooperative termination over surviving peers when the coordinator
+    is down (AC1–AC5).  Idempotent. *)
+val recover : t -> int -> unit
+
+(** Attach a declarative fault layer: [Crash]/[Recover] actions drive
+    {!crash}/{!recover} and the layer's link state (cuts, probabilistic
+    loss) composes with the liveness delivery gate.  [recovery] (default
+    [true]) additionally switches on the atomic-commitment recovery
+    protocol — decision logging, in-doubt holds across crashes and
+    decision-carrying commit upserts — independent of the config's
+    detection periods; pass [false] to keep legacy crash-stop semantics
+    while using the layer as a pure transport harness (an installed but
+    never-activated layer then leaves runs bit-identical). *)
+val install_fault : ?recovery:bool -> t -> Dsim.Fault.t -> unit
 
 val is_alive : t -> int -> bool
 

@@ -453,3 +453,57 @@ let abort ?(tombstone = false) t txid =
 
 (** Drop old committed versions (multi-version GC). *)
 let prune t ~horizon = Mvstore.prune t.store ~horizon
+
+(* ------------------------------------------------------------------ *)
+(* Atomic-commitment recovery support                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Prepare timestamp of an in-doubt transaction at this replica (the
+    timestamp its pre-committed versions carry); [None] when nothing is
+    pending for it. *)
+let pending_ts t txid =
+  match Txid.Tbl.find_opt t.pending txid with
+  | None | Some [||] -> None
+  | Some keys ->
+    (match Mvstore.find_version t.store keys.(0) txid with
+     | Some v -> Some v.Version.ts
+     | None -> None)
+
+(** Peer-evidence answer to "what happened to [txid] here?", asked over
+    [keys] by a recovering replica running cooperative termination when
+    the coordinator is unreachable:
+    - [`Committed ct]: a committed version by [txid] exists — the
+      decision was commit at [ct];
+    - [`Pending]: this replica holds [txid] in doubt too — no evidence
+      either way;
+    - [`None]: no trace of [txid] — under the presumed-abort discipline
+      (aborts purge versions, and a crashed coordinator's in-flight
+      transactions are purged at every survivor) the decision cannot
+      have been commit-and-applied here. *)
+let status_of t txid ~keys =
+  if Txid.Tbl.mem t.pending txid then `Pending
+  else begin
+    let committed =
+      List.find_map
+        (fun key ->
+          match Mvstore.find_version t.store key txid with
+          | Some v when v.Version.state = Version.Committed -> Some v.Version.ts
+          | Some _ | None -> None)
+        keys
+    in
+    match committed with Some ct -> `Committed ct | None -> `None
+  end
+
+(** Install already-decided committed versions directly, bypassing the
+    prepare/commit protocol: applied when a commit decision reaches a
+    replica that lost the corresponding prepare across a crash window
+    (the decision message carries the write set).  Write-once per key;
+    the cache partition drops final commits, so it installs nothing. *)
+let install_committed t ~txid ~ct writes =
+  if not t.is_cache then
+    List.iter
+      (fun (key, value) ->
+        if Mvstore.find_version t.store key txid = None then
+          Mvstore.insert_version t.store key
+            (Version.make ~writer:txid ~state:Version.Committed ~ts:ct ~value))
+      writes

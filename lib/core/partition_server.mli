@@ -125,3 +125,26 @@ val abort : ?tombstone:bool -> t -> Txid.t -> unit
 
 (** Multi-version GC (also runs amortized inside [prepare]). *)
 val prune : t -> horizon:int -> int
+
+(** {1 Atomic-commitment recovery support} *)
+
+(** Prepare timestamp of an in-doubt transaction at this replica (the
+    timestamp on its pre-committed versions); [None] when nothing is
+    pending for it. *)
+val pending_ts : t -> Txid.t -> int option
+
+(** Peer evidence about [txid], asked over its [keys] during
+    cooperative termination: [`Committed ct] when a committed version
+    by [txid] exists, [`Pending] when this replica also holds it in
+    doubt, [`None] when no trace remains (which, under presumed abort,
+    rules out an applied commit here). *)
+val status_of :
+  t -> Txid.t -> keys:Keyspace.Key.t list -> [ `Committed of int | `Pending | `None ]
+
+(** Install a decided transaction's committed versions directly,
+    bypassing prepare — how a commit decision is applied at a replica
+    that lost the corresponding prepare across a crash window (the
+    decision message carries the write set).  Skips keys that already
+    hold a version by [txid]; the cache partition installs nothing. *)
+val install_committed :
+  t -> txid:Txid.t -> ct:int -> (Keyspace.Key.t * Keyspace.Value.t) list -> unit

@@ -14,6 +14,7 @@ type t = {
   mutable aborts_dependency : int;
   mutable aborts_stale_snapshot : int;
   mutable aborts_node_failure : int;
+  mutable aborts_prepare_timeout : int;
   mutable spec_reads : int;  (** reads served from local-committed versions *)
   mutable cache_reads : int;  (** speculative reads served by the cache partition *)
   mutable reads : int;
@@ -22,6 +23,8 @@ type t = {
   mutable ext_misspec : int;  (** externalized then finally aborted *)
   mutable olc_blocks : int;  (** reads delayed by the OLC/FFC guard (Fig. 2) *)
   mutable server_blocks : int;  (** reads blocked on an unresolved version *)
+  mutable in_doubt_commits : int;  (** in-doubt prepares resolved to commit *)
+  mutable in_doubt_aborts : int;  (** in-doubt prepares resolved to abort *)
 }
 
 let create () =
@@ -35,6 +38,7 @@ let create () =
     aborts_dependency = 0;
     aborts_stale_snapshot = 0;
     aborts_node_failure = 0;
+    aborts_prepare_timeout = 0;
     spec_reads = 0;
     cache_reads = 0;
     reads = 0;
@@ -43,6 +47,8 @@ let create () =
     ext_misspec = 0;
     olc_blocks = 0;
     server_blocks = 0;
+    in_doubt_commits = 0;
+    in_doubt_aborts = 0;
   }
 
 let record_abort t (reason : Types.abort_reason) =
@@ -53,10 +59,11 @@ let record_abort t (reason : Types.abort_reason) =
   | Dependency_aborted -> t.aborts_dependency <- t.aborts_dependency + 1
   | Snapshot_too_old -> t.aborts_stale_snapshot <- t.aborts_stale_snapshot + 1
   | Node_failure -> t.aborts_node_failure <- t.aborts_node_failure + 1
+  | Prepare_timeout -> t.aborts_prepare_timeout <- t.aborts_prepare_timeout + 1
 
 let aborts t =
   t.aborts_local + t.aborts_remote + t.aborts_evicted + t.aborts_dependency
-  + t.aborts_stale_snapshot + t.aborts_node_failure
+  + t.aborts_stale_snapshot + t.aborts_node_failure + t.aborts_prepare_timeout
 
 (** Aborts attributable to failed (internal) speculation. *)
 let misspeculations t = t.aborts_dependency + t.aborts_stale_snapshot
@@ -84,6 +91,7 @@ let add ~into b =
   into.aborts_dependency <- into.aborts_dependency + b.aborts_dependency;
   into.aborts_stale_snapshot <- into.aborts_stale_snapshot + b.aborts_stale_snapshot;
   into.aborts_node_failure <- into.aborts_node_failure + b.aborts_node_failure;
+  into.aborts_prepare_timeout <- into.aborts_prepare_timeout + b.aborts_prepare_timeout;
   into.spec_reads <- into.spec_reads + b.spec_reads;
   into.cache_reads <- into.cache_reads + b.cache_reads;
   into.reads <- into.reads + b.reads;
@@ -91,7 +99,9 @@ let add ~into b =
   into.spec_commits <- into.spec_commits + b.spec_commits;
   into.ext_misspec <- into.ext_misspec + b.ext_misspec;
   into.olc_blocks <- into.olc_blocks + b.olc_blocks;
-  into.server_blocks <- into.server_blocks + b.server_blocks
+  into.server_blocks <- into.server_blocks + b.server_blocks;
+  into.in_doubt_commits <- into.in_doubt_commits + b.in_doubt_commits;
+  into.in_doubt_aborts <- into.in_doubt_aborts + b.in_doubt_aborts
 
 let sum list =
   let acc = create () in
@@ -106,7 +116,14 @@ let copy t =
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>started=%d commits=%d (ro=%d) aborts=%d (local=%d remote=%d evicted=%d dep=%d stale=%d)@,\
-     reads=%d (spec=%d cache=%d remote=%d) spec_commits=%d ext_misspec=%d blocks(olc=%d srv=%d)@]"
+     reads=%d (spec=%d cache=%d remote=%d) spec_commits=%d ext_misspec=%d blocks(olc=%d srv=%d)"
     t.started t.commits t.read_only_commits (aborts t) t.aborts_local t.aborts_remote
     t.aborts_evicted t.aborts_dependency t.aborts_stale_snapshot t.reads t.spec_reads
-    t.cache_reads t.remote_reads t.spec_commits t.ext_misspec t.olc_blocks t.server_blocks
+    t.cache_reads t.remote_reads t.spec_commits t.ext_misspec t.olc_blocks t.server_blocks;
+  (* Failure/recovery counters print only when they fired, keeping
+     fault-free output byte-identical to the pre-recovery format. *)
+  if t.aborts_node_failure + t.aborts_prepare_timeout + t.in_doubt_commits + t.in_doubt_aborts > 0
+  then
+    Format.fprintf ppf "@,failure(node=%d timeout=%d) in_doubt(commit=%d abort=%d)"
+      t.aborts_node_failure t.aborts_prepare_timeout t.in_doubt_commits t.in_doubt_aborts;
+  Format.fprintf ppf "@]"

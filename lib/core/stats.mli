@@ -12,6 +12,8 @@ type t = {
   mutable aborts_dependency : int;
   mutable aborts_stale_snapshot : int;
   mutable aborts_node_failure : int;
+  mutable aborts_prepare_timeout : int;
+      (** global certification timed out with prepares outstanding *)
   mutable spec_reads : int;  (** reads served from local-committed versions *)
   mutable cache_reads : int;  (** speculative reads served by the cache partition *)
   mutable reads : int;
@@ -20,6 +22,10 @@ type t = {
   mutable ext_misspec : int;  (** externalized then finally aborted *)
   mutable olc_blocks : int;  (** reads delayed by the OLC/FFC guard (Fig. 2) *)
   mutable server_blocks : int;  (** reads blocked on an unresolved version *)
+  mutable in_doubt_commits : int;
+      (** recovery: in-doubt prepared transactions resolved to commit *)
+  mutable in_doubt_aborts : int;
+      (** recovery: in-doubt prepared transactions resolved to abort *)
 }
 
 val create : unit -> t

@@ -15,6 +15,10 @@ type abort_reason =
   | Node_failure
       (** a replica involved in this transaction's certification crashed
           (perfect failure detection, §5.6); the client simply retries *)
+  | Prepare_timeout
+      (** the coordinator's global-certification timer expired with
+          prepares still outstanding (cooperative termination under
+          partitions or message loss); presumed abort *)
 
 let abort_reason_to_string = function
   | Local_conflict -> "local-conflict"
@@ -23,13 +27,14 @@ let abort_reason_to_string = function
   | Dependency_aborted -> "dependency-aborted"
   | Snapshot_too_old -> "snapshot-too-old"
   | Node_failure -> "node-failure"
+  | Prepare_timeout -> "prepare-timeout"
 
 (** Aborts caused by failed speculation (as opposed to plain
     certification conflicts, which occur in non-speculative protocols
     too). *)
 let is_misspeculation = function
   | Dependency_aborted | Snapshot_too_old -> true
-  | Local_conflict | Remote_conflict | Evicted | Node_failure -> false
+  | Local_conflict | Remote_conflict | Evicted | Node_failure | Prepare_timeout -> false
 
 (** Map a protocol abort reason onto the closed observability taxonomy.
     Exhaustive by construction: adding an [abort_reason] constructor
@@ -39,7 +44,13 @@ let taxonomy_of_abort : abort_reason -> Obs.Taxonomy.t = function
   | Snapshot_too_old -> Obs.Taxonomy.Stale_snapshot
   | Evicted -> Obs.Taxonomy.Spec_misprediction
   | Dependency_aborted -> Obs.Taxonomy.Cascade
-  | Node_failure -> Obs.Taxonomy.Timeout
+  | Node_failure -> Obs.Taxonomy.Partition
+  | Prepare_timeout -> Obs.Taxonomy.Timeout
+
+(** Atomic-commitment decision for one global transaction, as logged in
+    a coordinator's persistent decision log (write-once; survives the
+    coordinator's crash and answers in-doubt status queries). *)
+type decision = D_commit of int (* final commit timestamp *) | D_abort
 
 type tx_state =
   | Active  (** executing, before local certification *)
@@ -105,6 +116,9 @@ type tx = {
   mutable ct : int;  (** final commit timestamp *)
   mutable pending_prepares : int;
   mutable prepare_failed : bool;
+  mutable prepare_timed_out : bool;
+      (** the global-certification timer fired with prepares outstanding
+          (only ever set when [Config.prepare_timeout_us > 0]) *)
   mutable max_proposal : int;
   mutable global_started : bool;
   (* lint: allow fingerprint-coverage — output-side misspeculation
@@ -152,6 +166,7 @@ let make_tx ~id ~origin ~rs ~start_time ~sr =
     ct = 0;
     pending_prepares = 0;
     prepare_failed = false;
+    prepare_timed_out = false;
     max_proposal = 0;
     global_started = false;
     spec_exposed = false;

@@ -32,18 +32,26 @@
    protocol engine drops messages to/from crashed nodes at delivery
    time without allocating a guard closure around every send. *)
 
-type tag = Internal | Chan of { src : int; dst : int }
+(* [Fault] is declared after [Internal] so the runtime representation of
+   pre-existing values (Internal = 0, Chan = the only block) is
+   unchanged — fingerprints of fault-free controlled runs hash the same
+   bytes as before the lane existed. *)
+type tag = Internal | Fault | Chan of { src : int; dst : int }
 
 let compare_tag a b =
   match a, b with
   | Internal, Internal -> 0
-  | Internal, Chan _ -> -1
-  | Chan _, Internal -> 1
+  | Internal, _ -> -1
+  | _, Internal -> 1
+  | Fault, Fault -> 0
+  | Fault, _ -> -1
+  | _, Fault -> 1
   | Chan a, Chan b -> (
     match compare (a.src : int) b.src with 0 -> compare (a.dst : int) b.dst | c -> c)
 
 let pp_tag ppf = function
   | Internal -> Format.pp_print_string ppf "internal"
+  | Fault -> Format.pp_print_string ppf "fault"
   | Chan { src; dst } -> Format.fprintf ppf "chan %d->%d" src dst
 
 type candidate = { tag : tag; time : int; seq : int }
@@ -150,6 +158,20 @@ let schedule_at t ~time f =
   | Heap q -> Event_queue.push q ~time f
   | Wheel w -> Wheel.push w ~time f
   | Controlled c -> Event_queue.push (lane_for c Internal).events ~time f
+
+(** Schedule a planned fault action.  Identical to {!schedule_at} in the
+    single-queue modes; in controlled mode the event goes to the
+    dedicated [Fault] lane, so the chooser can place each action at any
+    point relative to deliveries {e and} to internal events (fiber
+    wakeups, timers) — crash points become first-class transitions
+    instead of riding the Internal FIFO.  Within the lane, plan order is
+    preserved. *)
+let schedule_fault t ~time f =
+  let time = if time < t.now then t.now else time in
+  match t.mode with
+  | Heap q -> Event_queue.push q ~time f
+  | Wheel w -> Wheel.push w ~time f
+  | Controlled c -> Event_queue.push (lane_for c Fault).events ~time f
 
 (** Schedule a network delivery on channel [src -> dst].  In single-
     queue modes this is {!schedule_at} plus the endpoint record the

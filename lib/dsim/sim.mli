@@ -37,9 +37,10 @@ val set_delivery_gate : t -> (src:int -> dst:int -> bool) -> unit
 (** {1 Controlled scheduling (model-checker hook)} *)
 
 (** Event-lane identity: [Internal] covers timers, CPU completions and
-    fiber wakeups (always FIFO); [Chan] is one directed network
+    fiber wakeups (always FIFO); [Fault] carries planned fault-injection
+    actions ({!schedule_fault}); [Chan] is one directed network
     channel. *)
-type tag = Internal | Chan of { src : int; dst : int }
+type tag = Internal | Fault | Chan of { src : int; dst : int }
 
 val compare_tag : tag -> tag -> int
 val pp_tag : Format.formatter -> tag -> unit
@@ -73,6 +74,14 @@ val schedule : t -> delay:int -> (unit -> unit) -> unit
 (** [schedule_at t ~time f] runs [f ()] at absolute [time]; a time in the
     past fires at the current instant. *)
 val schedule_at : t -> time:int -> (unit -> unit) -> unit
+
+(** [schedule_fault t ~time f] schedules a planned fault action.
+    Identical to {!schedule_at} in the single-queue modes; in controlled
+    mode the event lands in the dedicated [Fault] lane, making each
+    action a first-class transition the chooser orders freely against
+    deliveries and internal events (plan order within the lane is
+    preserved). *)
+val schedule_fault : t -> time:int -> (unit -> unit) -> unit
 
 (** Run until the queue is empty or [until] (inclusive) is passed.
     Returns the number of events processed. *)

@@ -53,7 +53,17 @@ let per_label_sorted shared =
 let spawn eng workload ~node ~rng ~shared ~stop_at ~start_delay =
   let sim = Core.Engine.sim eng in
   let rec session () =
-    if Dsim.Sim.now sim < stop_at && Core.Engine.is_alive eng node then begin
+    if Dsim.Sim.now sim < stop_at then
+      if not (Core.Engine.is_alive eng node) then begin
+        (* The client's DC is down.  Its users wait it out: poll until
+           the region recovers, then resume issuing transactions — this
+           is what makes post-recovery goodput visible in the
+           region-failure experiments.  Fault-free runs never reach this
+           branch, so their event sequence is unchanged. *)
+        Dsim.Fiber.sleep sim 100_000;
+        session ()
+      end
+      else begin
       let program = workload.Workload.Spec.next_program rng ~node in
       let first_start = Dsim.Sim.now sim in
       let rec attempt () =

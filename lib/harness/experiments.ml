@@ -53,6 +53,7 @@ let run_protocol ?trace ~timing ~workload_of ~clients ~config ~self_tune ~seed (
       seed;
       jitter = 0.02;
       self_tune = (if self_tune then `On timing.tuner_window_us else `Off);
+      fault_plan = [];
     }
   in
   Runner.run ?trace setup
@@ -333,6 +334,7 @@ let storage ?(jobs = 1) ~scale () =
         seed = 5;
         jitter = 0.02;
         self_tune = `Off;
+        fault_plan = [];
       }
     in
     let sim, _net, _pl, eng, rng = Runner.build_cluster setup in
@@ -467,6 +469,7 @@ let ablation_dcs ?(jobs = 1) ~scale () =
                    seed = dcs;
                    jitter = 0.02;
                    self_tune = `Off;
+                   fault_plan = [];
                  }))
     |> Sweep.run ~jobs
   in
@@ -515,6 +518,7 @@ let ablation_rf ?(jobs = 1) ~scale () =
                    seed = rf;
                    jitter = 0.02;
                    self_tune = `Off;
+                   fault_plan = [];
                  }))
     |> Sweep.run ~jobs
   in
@@ -622,6 +626,101 @@ let ablation_serializability ?(jobs = 1) ~scale () =
            ]);
   report
 
+(* ------------------------------------------------------------------ *)
+(* Region failure: goodput timeline through crash and recovery          *)
+(* ------------------------------------------------------------------ *)
+
+(** Goodput and externalized-misspeculation timeline under a region
+    failure (§5.6): one DC crash-stops mid-run, the cluster fails over
+    (promoted masters, read fail-over, recovery protocol holding its
+    prepares in doubt), then the DC restarts from persistent state,
+    catches up and re-resolves.  Every protagonist runs with the
+    recovery protocol on ({!Core.Config.with_recovery}) and self-tuning
+    off, so the timeline shows the protocols — not the controller —
+    reacting to the failure.  Rows are bucket-major so the three
+    protocols line up per time slice; [in-doubt] counts the prepares the
+    recovery path resolved (commit/abort) so far. *)
+let region_failure ?(jobs = 1) ~scale () =
+  let bucket_us = 500_000 in
+  let crash_at = 2_000_000 and recover_at = 4_000_000 in
+  let n_buckets = match scale with Quick -> 12 | Full -> 16 in
+  let victim = 3 in
+  let report =
+    Report.create
+      ~title:
+        (Printf.sprintf
+           "Region failure: DC %d crashes at 2.0s, recovers at 4.0s (Synth-A, 10 \
+            clients/node)"
+           victim)
+      ~headers:
+        [ "t(s)"; "protocol"; "goodput(tx/s)"; "ext-misspec"; "in-doubt(c/a)"; "DC3" ]
+  in
+  let run_cell mk_config () =
+    let setup =
+      {
+        Runner.topology;
+        replication_factor;
+        config = Core.Config.with_recovery (mk_config ());
+        workload =
+          Workload.Synthetic.make ~params:Workload.Synthetic.synth_a (placement ());
+        clients_per_node = 10;
+        warmup_us = 0;
+        measure_us = n_buckets * bucket_us;
+        seed = 11;
+        jitter = 0.02;
+        self_tune = `Off;
+        fault_plan = [ (crash_at, Dsim.Fault.Crash victim); (recover_at, Dsim.Fault.Recover victim) ];
+      }
+    in
+    let sim, _net, _pl, eng, rng = Runner.build_cluster setup in
+    setup.Runner.workload.Workload.Spec.load eng;
+    let stop_at = n_buckets * bucket_us in
+    let shared = Client.make_shared ~measure_from:0 ~measure_to:stop_at in
+    for node = 0 to Core.Engine.n_nodes eng - 1 do
+      for _ = 1 to setup.Runner.clients_per_node do
+        let crng = Dsim.Rng.split rng in
+        Client.spawn eng setup.Runner.workload ~node ~rng:crng ~shared ~stop_at
+          ~start_delay:(Dsim.Rng.int crng 200_000)
+      done
+    done;
+    let fault = Dsim.Fault.create ~n:(Core.Engine.n_nodes eng) () in
+    Core.Engine.install_fault eng fault;
+    Dsim.Fault.install fault ~sim setup.Runner.fault_plan;
+    Array.init n_buckets (fun b ->
+        ignore (Dsim.Sim.run ~until:((b + 1) * bucket_us) sim);
+        let s = Core.Engine.total_stats eng in
+        ( s.Core.Stats.commits,
+          s.Core.Stats.ext_misspec,
+          s.Core.Stats.in_doubt_commits,
+          s.Core.Stats.in_doubt_aborts,
+          Core.Engine.is_alive eng victim ))
+  in
+  let results =
+    protagonists
+    |> List.map (fun (pname, mk_config, _tune) -> Sweep.cell pname (run_cell mk_config))
+    |> Sweep.run ~jobs
+  in
+  for b = 0 to n_buckets - 1 do
+    List.iter
+      (fun (pname, _, _) ->
+        let samples = Sweep.get results pname in
+        let commits, ext, idc, ida, alive = samples.(b) in
+        let prev_commits = if b = 0 then 0 else (fun (c, _, _, _, _) -> c) samples.(b - 1) in
+        Report.add_row report
+          [
+            Report.f1 (float_of_int ((b + 1) * bucket_us) /. 1_000_000.);
+            pname;
+            Report.f1
+              (float_of_int (commits - prev_commits)
+              /. (float_of_int bucket_us /. 1_000_000.));
+            string_of_int ext;
+            Printf.sprintf "%d/%d" idc ida;
+            (if alive then "up" else "DOWN");
+          ])
+      protagonists
+  done;
+  report
+
 let ablations ?(jobs = 1) ~scale () =
   [
     ablation_dcs ~jobs ~scale ();
@@ -641,5 +740,6 @@ let all ?(jobs = 1) ~scale () =
     fig5 ~jobs ~scale `C;
     fig6 ~jobs ~scale ();
     storage ~jobs ~scale ();
+    region_failure ~jobs ~scale ();
   ]
   @ ablations ~jobs ~scale ()

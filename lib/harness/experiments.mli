@@ -39,6 +39,13 @@ val fig6 : ?jobs:int -> ?tracer:Tracing.t -> scale:scale -> unit -> Report.t
 (** §6.1 Precise Clocks storage overhead. *)
 val storage : ?jobs:int -> scale:scale -> unit -> Report.t
 
+(** Region failure (§5.6): goodput and externalized-misspeculation
+    timeline while one DC crash-stops at 2.0s and recovers at 4.0s, for
+    all three protagonists under the atomic-commitment recovery
+    protocol ({!Core.Config.with_recovery}).  Bucket-major rows (500ms
+    buckets), byte-identical whatever [jobs] is. *)
+val region_failure : ?jobs:int -> scale:scale -> unit -> Report.t
+
 (** {1 Ablations and extensions beyond the paper's artifacts} *)
 
 (** Open-loop latency vs offered load (STR vs the baselines): Poisson

@@ -12,6 +12,11 @@ type setup = {
   seed : int;
   jitter : float;
   self_tune : [ `Off | `On of int (* window_us *) ];
+  fault_plan : Dsim.Fault.plan;
+      (** declarative crash/partition/loss schedule, [[]] = fault-free.
+          A non-empty plan installs the fault layer with the recovery
+          protocol enabled; an empty one changes nothing, keeping
+          fault-free runs bit-identical to a runner without the field. *)
 }
 
 let default_setup ~workload ~config =
@@ -26,6 +31,7 @@ let default_setup ~workload ~config =
     seed = 1;
     jitter = 0.02;
     self_tune = `Off;
+    fault_plan = [];
   }
 
 type result = {
@@ -99,6 +105,17 @@ let delta_stats ~at_start ~at_end =
   d.Core.Stats.remote_reads <- d.Core.Stats.remote_reads - at_start.Core.Stats.remote_reads;
   d.Core.Stats.spec_commits <- d.Core.Stats.spec_commits - at_start.Core.Stats.spec_commits;
   d.Core.Stats.ext_misspec <- d.Core.Stats.ext_misspec - at_start.Core.Stats.ext_misspec;
+  d.Core.Stats.aborts_node_failure <-
+    d.Core.Stats.aborts_node_failure - at_start.Core.Stats.aborts_node_failure;
+  d.Core.Stats.aborts_prepare_timeout <-
+    d.Core.Stats.aborts_prepare_timeout - at_start.Core.Stats.aborts_prepare_timeout;
+  d.Core.Stats.olc_blocks <- d.Core.Stats.olc_blocks - at_start.Core.Stats.olc_blocks;
+  d.Core.Stats.server_blocks <-
+    d.Core.Stats.server_blocks - at_start.Core.Stats.server_blocks;
+  d.Core.Stats.in_doubt_commits <-
+    d.Core.Stats.in_doubt_commits - at_start.Core.Stats.in_doubt_commits;
+  d.Core.Stats.in_doubt_aborts <-
+    d.Core.Stats.in_doubt_aborts - at_start.Core.Stats.in_doubt_aborts;
   d
 
 (** Run the experiment.  [observer] optionally receives every engine
@@ -126,6 +143,18 @@ let run ?observer ?trace setup =
     | `Off -> None
     | `On window_us ->
       Some (Core.Self_tuning.install eng ~window_us ~warmup_us:500_000 ())
+  in
+  (* Declarative fault schedule: installed after the clients so the
+     planned actions land behind their start-up events at equal times.
+     An empty plan installs nothing at all. *)
+  let fault =
+    if setup.fault_plan = [] then None
+    else begin
+      let f = Dsim.Fault.create ~n:(Core.Engine.n_nodes eng) () in
+      Core.Engine.install_fault eng f;
+      Dsim.Fault.install f ~sim setup.fault_plan;
+      Some f
+    end
   in
   (* Warmup, snapshot, measure. *)
   ignore (Dsim.Sim.run ~until:measure_from sim);
@@ -155,7 +184,15 @@ let run ?observer ?trace setup =
     Obs.Trace.set_stat tr "eq_max_depth" (Dsim.Sim.queue_max_depth sim);
     Obs.Trace.set_stat tr "net_messages" (Dsim.Network.messages_sent net);
     Obs.Trace.set_stat tr "net_wan_messages" (Dsim.Network.wan_messages net);
-    Obs.Trace.set_stat tr "net_fifo_delays" (Dsim.Network.fifo_delays net)
+    Obs.Trace.set_stat tr "net_fifo_delays" (Dsim.Network.fifo_delays net);
+    (match fault with
+    | Some f ->
+      (* Only faulted runs carry these, keeping fault-free traces
+         byte-identical. *)
+      Obs.Trace.set_stat tr "fault_actions" (Dsim.Fault.actions_applied f);
+      Obs.Trace.set_stat tr "fault_blackholed" (Dsim.Fault.blackholed f);
+      Obs.Trace.set_stat tr "fault_dropped" (Dsim.Fault.dropped f)
+    | None -> ())
   | Some _ | None -> ());
   {
     duration_s;

@@ -12,6 +12,11 @@ type setup = {
   seed : int;
   jitter : float;  (** relative network-latency jitter, e.g. 0.02 *)
   self_tune : [ `Off | `On of int  (** tuner window, µs *) ];
+  fault_plan : Dsim.Fault.plan;
+      (** declarative crash/partition/loss schedule (default [[]]).  A
+          non-empty plan installs the fault layer with the
+          atomic-commitment recovery protocol enabled; faulted traces
+          are additionally sealed with [fault_*] counters. *)
 }
 
 (** Nine EC2 regions, replication factor 6, 10 clients/node, 5 s warmup,

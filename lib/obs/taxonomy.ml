@@ -7,10 +7,15 @@ type t =
   | Spec_misprediction
   | Cascade
   | Timeout
+  | Partition
 
-let all = [ Ww_conflict; Stale_snapshot; Spec_misprediction; Cascade; Timeout ]
+let all = [ Ww_conflict; Stale_snapshot; Spec_misprediction; Cascade; Timeout; Partition ]
 
-let count = 5
+let count = 6
+
+(* Buckets present in the v1 trace schema; later buckets are exported
+   only when nonzero so fault-free trace bytes stay v1-identical. *)
+let v1_count = 5
 
 let index = function
   | Ww_conflict -> 0
@@ -18,6 +23,7 @@ let index = function
   | Spec_misprediction -> 2
   | Cascade -> 3
   | Timeout -> 4
+  | Partition -> 5
 
 let name = function
   | Ww_conflict -> "ww-conflict"
@@ -25,3 +31,4 @@ let name = function
   | Spec_misprediction -> "spec-misprediction"
   | Cascade -> "cascade"
   | Timeout -> "timeout"
+  | Partition -> "partition"

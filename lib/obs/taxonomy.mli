@@ -11,13 +11,19 @@ type t =
   | Stale_snapshot  (** a dependee final-committed past the reader's snapshot *)
   | Spec_misprediction  (** speculative local state evicted by a remote prepare *)
   | Cascade  (** cascading abort through the speculation dependency graph *)
-  | Timeout  (** a replica involved in certification crashed (fail-over) *)
+  | Timeout  (** certification gave up on an unresponsive participant *)
+  | Partition  (** a replica crashed or was partitioned away (fail-over) *)
 
 val all : t list
 (** Every constructor, in {!index} order. *)
 
 val count : int
 (** [List.length all]; sized for counter arrays. *)
+
+val v1_count : int
+(** Buckets present in the v1 trace schema.  Exports keep fault-free
+    trace bytes v1-identical by serializing later buckets only when
+    their count is nonzero. *)
 
 val index : t -> int
 (** Dense index in [0, count): stable across runs, used as the counter

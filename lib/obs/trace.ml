@@ -39,11 +39,28 @@ type msg_kind =
   | M_replicate
   | M_commit
   | M_abort
+  | M_status_req
+  | M_status_reply
 
 let msg_kinds =
-  [ M_read_req; M_read_reply; M_prepare; M_prepare_reply; M_replicate; M_commit; M_abort ]
+  [
+    M_read_req;
+    M_read_reply;
+    M_prepare;
+    M_prepare_reply;
+    M_replicate;
+    M_commit;
+    M_abort;
+    M_status_req;
+    M_status_reply;
+  ]
 
-let n_msg_kinds = 7
+let n_msg_kinds = 9
+
+(* Kinds present in the v1 trace schema; the recovery-protocol kinds
+   below are exported only when nonzero so fault-free trace bytes stay
+   v1-identical. *)
+let v1_msg_kinds = 7
 
 let msg_index = function
   | M_read_req -> 0
@@ -53,6 +70,8 @@ let msg_index = function
   | M_replicate -> 4
   | M_commit -> 5
   | M_abort -> 6
+  | M_status_req -> 7
+  | M_status_reply -> 8
 
 let msg_name = function
   | M_read_req -> "read-req"
@@ -62,6 +81,8 @@ let msg_name = function
   | M_replicate -> "replicate"
   | M_commit -> "commit"
   | M_abort -> "abort"
+  | M_status_req -> "status-req"
+  | M_status_reply -> "status-reply"
 
 type ev = {
   kind : [ `Span of span_kind | `Instant of instant_kind ];
@@ -172,10 +193,24 @@ let iter t f =
 let processes t = List.rev t.procs
 let threads t = List.rev t.thrs
 
+(* Counter serialization keeps the v1 byte layout: buckets the v1
+   schema knew are always present (zeros included); buckets added with
+   the failure/recovery subsystem appear only when they fired, so a
+   fault-free trace exports the exact v1 bytes. *)
 let abort_counts t =
-  List.map (fun r -> (Taxonomy.name r, t.aborts.(Taxonomy.index r))) Taxonomy.all
+  List.filter_map
+    (fun r ->
+      let i = Taxonomy.index r in
+      if i < Taxonomy.v1_count || t.aborts.(i) > 0 then Some (Taxonomy.name r, t.aborts.(i))
+      else None)
+    Taxonomy.all
 
-let msg_counts t = List.map (fun k -> (msg_name k, t.msgs.(msg_index k))) msg_kinds
+let msg_counts t =
+  List.filter_map
+    (fun k ->
+      let i = msg_index k in
+      if i < v1_msg_kinds || t.msgs.(i) > 0 then Some (msg_name k, t.msgs.(i)) else None)
+    msg_kinds
 
 let stats t = List.sort (fun (a, _) (b, _) -> String.compare a b) t.sts
 

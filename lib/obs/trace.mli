@@ -37,7 +37,9 @@ type instant_kind = I_local_commit | I_spec_commit | I_commit | I_abort
 
 val instant_name : instant_kind -> string
 
-(** Protocol message classes, counted per trace. *)
+(** Protocol message classes, counted per trace.  [M_status_req] /
+    [M_status_reply] are the atomic-commitment recovery protocol's
+    in-doubt resolution queries (only ever sent on faulted runs). *)
 type msg_kind =
   | M_read_req
   | M_read_reply
@@ -46,6 +48,8 @@ type msg_kind =
   | M_replicate
   | M_commit
   | M_abort
+  | M_status_req
+  | M_status_reply
 
 val msg_kinds : msg_kind list
 val msg_name : msg_kind -> string
@@ -140,10 +144,13 @@ val threads : t -> (int * int * string) list
 (** [(pid, tid, name)], declaration order. *)
 
 val abort_counts : t -> (string * int) list
-(** Every taxonomy bucket in {!Taxonomy.index} order. *)
+(** Taxonomy buckets in {!Taxonomy.index} order.  v1-schema buckets are
+    always present; buckets added since appear only when nonzero, so
+    fault-free traces keep the exact v1 bytes. *)
 
 val msg_counts : t -> (string * int) list
-(** Every message kind, declaration order. *)
+(** Message kinds in declaration order, with the same v1-compatibility
+    rule as {!abort_counts}. *)
 
 val stats : t -> (string * int) list  (** sorted by name *)
 

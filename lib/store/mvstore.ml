@@ -249,3 +249,28 @@ let fingerprint t =
           mix h v.ts)
         h (chain t key))
     0x811c9dc5 (sorted_keys t)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery state transfer                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Every committed version as [(key, version)] — keys ascending,
+    versions oldest-first within a key.  The deterministic iteration
+    order recovery catch-up relies on (a replica that missed decisions
+    while crashed copies the committed state of a live peer). *)
+let committed_versions t =
+  let keys = sorted_keys t in
+  let acc = ref [] in
+  for i = Array.length keys - 1 downto 0 do
+    let key = keys.(i) in
+    match KeyTbl.find_opt t.chains key with
+    | None -> ()
+    | Some c ->
+      (* [fold_newest] visits newest-first; consing onto the shared
+         accumulator leaves each key's versions oldest-first. *)
+      acc :=
+        Chain.fold_newest
+          (fun l v -> if Version.is_committed v then (key, v) :: l else l)
+          !acc c
+  done;
+  !acc

@@ -61,3 +61,9 @@ val check_invariants : t -> (unit, string) result
 (** Order-independent structural hash of the replica state (chains +
     [LastReader] metadata); model-checker visited-state dedup. *)
 val fingerprint : t -> int
+
+(** Every committed version as [(key, version)], keys ascending and
+    versions oldest-first within a key.  Deterministic; recovery
+    state-transfer support (a recovering replica copies the committed
+    state it missed from a live peer). *)
+val committed_versions : t -> (Key.t * Version.t) list

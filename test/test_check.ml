@@ -423,6 +423,76 @@ let test_mc_replay_deterministic () =
     (Core.Engine.fingerprint w1.Check.Scenario.eng)
     (Core.Engine.fingerprint w2.Check.Scenario.eng)
 
+(* --- crash-schedule model checking ----------------------------------- *)
+
+(* Crash and restart of node [n], both planned at t=0 so the explorer's
+   [Fault] lane is free to interleave them anywhere in the run (in
+   order): every prefix of the protocol can be hit by the crash, and
+   recovery can land at any later point. *)
+let crash_recover n = [ (0, Dsim.Fault.Crash n); (0, Dsim.Fault.Recover n) ]
+
+let test_mc_crash_recover_exhaustive_clean () =
+  (* Two writers contend on one fully replicated key while node 1
+     crashes and restarts at every reachable point of the protocol.
+     The recovery oracles (REC-durable / REC-atomic / REC-in-doubt) and
+     the liveness oracles must stay silent across the whole tree. *)
+  let s =
+    Check.Scenario.make ~dcs:2 ~keys:1 ~txs:2 ~rf:2
+      ~fault_plan:(crash_recover 1) ()
+  in
+  let r = Check.Explorer.explore ~max_runs:50_000 ~oracle:Check.Oracle.check s in
+  Alcotest.(check bool) "no violation" true (r.Check.Explorer.violation = None);
+  Alcotest.(check bool) "tree exhausted" true r.Check.Explorer.exhausted;
+  Alcotest.(check bool) "crash points actually explored" true
+    (Check.Explorer.interleavings r > 2_000)
+
+let test_mc_crash_recover_rf1_exhaustive_clean () =
+  (* rf=1: the crashed node's partition has no surviving replica, so
+     fail-over cannot promote and availability is lost for the down
+     window — the perfect failure detector must turn every touch of the
+     dead partition into a clean Node_failure abort, never a deadlock or
+     a dangling in-doubt prepare. *)
+  let s =
+    Check.Scenario.make ~dcs:2 ~keys:2 ~txs:2 ~rf:1
+      ~fault_plan:(crash_recover 1) ()
+  in
+  let r = Check.Explorer.explore ~max_runs:200_000 ~oracle:Check.Oracle.check s in
+  Alcotest.(check bool) "no violation" true (r.Check.Explorer.violation = None);
+  Alcotest.(check bool) "tree exhausted" true r.Check.Explorer.exhausted
+
+let test_mc_catches_lost_commit () =
+  (* Recovery variant that presumes abort without consulting the
+     persistent decision log: a commit decided just before the crash is
+     silently rolled back at the recovering replica.  The crash-schedule
+     search must produce a concrete schedule violating durability. *)
+  let config = Check.Scenario.config ~broken_lost_commit:true () in
+  let s =
+    Check.Scenario.make ~config ~dcs:2 ~keys:1 ~txs:2 ~rf:2
+      ~fault_plan:(crash_recover 1) ()
+  in
+  let r = Check.Explorer.explore ~max_runs:10_000 ~oracle:Check.Oracle.check s in
+  match r.Check.Explorer.violation with
+  | None -> Alcotest.fail "expected a durability violation"
+  | Some (schedule, vs) ->
+    Alcotest.(check bool) "REC-durable reported" true (has_rule "REC-durable" vs);
+    Alcotest.(check bool) "schedule reported" true (schedule <> [])
+
+let test_mc_catches_double_resolution () =
+  (* Recovery variant that presumes commit for in-doubt prepares: an
+     aborted transaction's write resurfaces as a committed version at
+     the recovering replica — atomicity across replicas is broken. *)
+  let config = Check.Scenario.config ~broken_double_resolution:true () in
+  let s =
+    Check.Scenario.make ~config ~dcs:2 ~keys:1 ~txs:2 ~rf:2
+      ~fault_plan:(crash_recover 1) ()
+  in
+  let r = Check.Explorer.explore ~max_runs:10_000 ~oracle:Check.Oracle.check s in
+  match r.Check.Explorer.violation with
+  | None -> Alcotest.fail "expected an atomicity violation"
+  | Some (schedule, vs) ->
+    Alcotest.(check bool) "REC-atomic reported" true (has_rule "REC-atomic" vs);
+    Alcotest.(check bool) "schedule reported" true (schedule <> [])
+
 (* Golden values recorded from the seed (list-backed chain, recomputing
    storage accounting) implementation.  The array-chain / incremental
    accounting rewrite must reproduce them bit for bit: the model
@@ -488,5 +558,16 @@ let () =
           Alcotest.test_case "catches unrestricted speculation" `Slow
             test_mc_catches_unrestricted_speculation;
           Alcotest.test_case "replay deterministic" `Quick test_mc_replay_deterministic;
+        ] );
+      ( "crash-schedules",
+        [
+          Alcotest.test_case "crash-recover exhaustive clean" `Quick
+            test_mc_crash_recover_exhaustive_clean;
+          Alcotest.test_case "crash-recover rf=1 exhaustive clean" `Slow
+            test_mc_crash_recover_rf1_exhaustive_clean;
+          Alcotest.test_case "catches lost commit decision" `Quick
+            test_mc_catches_lost_commit;
+          Alcotest.test_case "catches double resolution" `Quick
+            test_mc_catches_double_resolution;
         ] );
     ]

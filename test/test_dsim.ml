@@ -371,6 +371,85 @@ let test_sim_delivery_gate () =
   Alcotest.(check int) "all events consumed" 3 processed;
   Alcotest.(check (list string)) "gate drops src=7" [ "internal"; "kept" ] !fired
 
+(* --- fault layer --- *)
+
+let test_fault_cut_and_heal () =
+  let f = Dsim.Fault.create ~n:3 () in
+  Alcotest.(check bool) "inert at creation" false (Dsim.Fault.active f);
+  Dsim.Fault.apply f (Dsim.Fault.Link_down (0, 1));
+  Alcotest.(check bool) "0->1 cut" false (Dsim.Fault.deliverable f ~src:0 ~dst:1);
+  Alcotest.(check bool) "reverse direction open" true
+    (Dsim.Fault.deliverable f ~src:1 ~dst:0);
+  Alcotest.(check int) "one directed cut" 1 (Dsim.Fault.cut_links f);
+  Dsim.Fault.apply f (Dsim.Fault.Isolate 2);
+  Alcotest.(check int) "isolation cuts both ways to each peer" 5
+    (Dsim.Fault.cut_links f);
+  Dsim.Fault.apply f (Dsim.Fault.Link_up (0, 1));
+  Alcotest.(check bool) "0->1 restored" true (Dsim.Fault.deliverable f ~src:0 ~dst:1);
+  Dsim.Fault.apply f Dsim.Fault.Heal;
+  Alcotest.(check int) "heal clears everything" 0 (Dsim.Fault.cut_links f);
+  Alcotest.(check bool) "inert again" false (Dsim.Fault.active f)
+
+let test_fault_partition_groups () =
+  let f = Dsim.Fault.create ~n:4 () in
+  Dsim.Fault.apply f (Dsim.Fault.Partition ([ 0; 1 ], [ 2; 3 ]));
+  (* 2 x 2 cross-group pairs, both directions. *)
+  Alcotest.(check int) "cross-group links cut" 8 (Dsim.Fault.cut_links f);
+  Alcotest.(check bool) "intra-group open" true
+    (Dsim.Fault.deliverable f ~src:0 ~dst:1);
+  Alcotest.(check bool) "cross-group cut" false
+    (Dsim.Fault.deliverable f ~src:1 ~dst:2);
+  Alcotest.(check int) "blackhole counter" 1 (Dsim.Fault.blackholed f)
+
+let test_fault_drop_deterministic () =
+  (* The loss draw comes from the layer's private seeded RNG: two layers
+     with the same seed agree on every draw, and a lossless link draws
+     nothing (so fault-free links never consume randomness). *)
+  let draw seed =
+    let f = Dsim.Fault.create ~seed ~n:2 () in
+    Dsim.Fault.apply f (Dsim.Fault.Drop (0, 1, 0.5));
+    List.init 64 (fun _ -> Dsim.Fault.deliverable f ~src:0 ~dst:1)
+  in
+  Alcotest.(check (list bool)) "same seed, same losses" (draw 11) (draw 11);
+  let f = Dsim.Fault.create ~n:2 () in
+  Dsim.Fault.apply f (Dsim.Fault.Drop (0, 1, 0.5));
+  for _ = 1 to 32 do
+    ignore (Dsim.Fault.deliverable f ~src:1 ~dst:0)
+  done;
+  Alcotest.(check int) "lossless link loses nothing" 0 (Dsim.Fault.dropped f);
+  Alcotest.(check bool) "lossy link loses something in 64 draws" true
+    (let lost = ref 0 in
+     for _ = 1 to 64 do
+       if not (Dsim.Fault.deliverable f ~src:0 ~dst:1) then incr lost
+     done;
+     !lost > 0 && !lost < 64)
+
+let test_fault_plan_installs_in_order () =
+  (* A plan drives handler callbacks at its scheduled times, and the
+     applied-action counter tracks it. *)
+  let sim = Sim.create () in
+  let f = Dsim.Fault.create ~n:2 () in
+  let log = ref [] in
+  Dsim.Fault.set_handlers f
+    ~crash:(fun n -> log := ("crash", n, Sim.now sim) :: !log)
+    ~recover:(fun n -> log := ("recover", n, Sim.now sim) :: !log);
+  Dsim.Fault.install f ~sim
+    [ (200, Dsim.Fault.Recover 1); (100, Dsim.Fault.Crash 1) ];
+  ignore (Sim.run sim);
+  Alcotest.(check (list (triple string int int))) "plan fired in time order"
+    [ ("crash", 1, 100); ("recover", 1, 200) ]
+    (List.rev !log);
+  Alcotest.(check int) "both actions applied" 2 (Dsim.Fault.actions_applied f)
+
+let test_fault_fingerprint_tracks_link_state () =
+  let f = Dsim.Fault.create ~n:3 () in
+  let fp0 = Dsim.Fault.fingerprint f in
+  Dsim.Fault.apply f (Dsim.Fault.Link_down (0, 1));
+  let fp1 = Dsim.Fault.fingerprint f in
+  Alcotest.(check bool) "cut changes the fingerprint" true (fp0 <> fp1);
+  Dsim.Fault.apply f Dsim.Fault.Heal;
+  Alcotest.(check int) "heal restores it" fp0 (Dsim.Fault.fingerprint f)
+
 (* --- properties --- *)
 
 let prop_event_queue_sorted =
@@ -456,6 +535,15 @@ let () =
         [
           Alcotest.test_case "fifo queueing" `Quick test_cpu_fifo;
           Alcotest.test_case "backlog accounting" `Quick test_cpu_backlog;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "cut and heal" `Quick test_fault_cut_and_heal;
+          Alcotest.test_case "partition groups" `Quick test_fault_partition_groups;
+          Alcotest.test_case "deterministic loss" `Quick test_fault_drop_deterministic;
+          Alcotest.test_case "plan installation" `Quick test_fault_plan_installs_in_order;
+          Alcotest.test_case "fingerprint tracks links" `Quick
+            test_fault_fingerprint_tracks_link_state;
         ] );
       ( "rng",
         [

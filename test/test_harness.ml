@@ -107,6 +107,7 @@ let small_setup config =
     seed = 3;
     jitter = 0.;
     self_tune = `Off;
+    fault_plan = [];
   }
 
 let test_runner_end_to_end () =

@@ -52,14 +52,18 @@ let test_histogram_summary () =
 (* --- taxonomy -------------------------------------------------------- *)
 
 let test_taxonomy_closed () =
-  Alcotest.(check int) "count" 5 Obs.Taxonomy.count;
+  Alcotest.(check int) "count" 6 Obs.Taxonomy.count;
   Alcotest.(check int) "|all|" Obs.Taxonomy.count (List.length Obs.Taxonomy.all);
+  (* The v1 prefix is frozen: post-v1 buckets only ever append, so
+     exports that serialize nonzero post-v1 entries stay byte-compatible
+     with pre-recovery goldens. *)
+  Alcotest.(check int) "v1 prefix" 5 Obs.Taxonomy.v1_count;
   List.iteri
     (fun i t -> Alcotest.(check int) "index follows all-order" i (Obs.Taxonomy.index t))
     Obs.Taxonomy.all;
   Alcotest.(check (list string))
     "names"
-    [ "ww-conflict"; "stale-snapshot"; "spec-misprediction"; "cascade"; "timeout" ]
+    [ "ww-conflict"; "stale-snapshot"; "spec-misprediction"; "cascade"; "timeout"; "partition" ]
     (List.map Obs.Taxonomy.name Obs.Taxonomy.all)
 
 let test_taxonomy_of_abort () =
@@ -76,7 +80,8 @@ let test_taxonomy_of_abort () =
       (Core.Types.Snapshot_too_old, "stale-snapshot");
       (Core.Types.Evicted, "spec-misprediction");
       (Core.Types.Dependency_aborted, "cascade");
-      (Core.Types.Node_failure, "timeout");
+      (Core.Types.Node_failure, "partition");
+      (Core.Types.Prepare_timeout, "timeout");
     ]
 
 (* --- trace recording ------------------------------------------------- *)
@@ -125,6 +130,7 @@ let test_abort_taxonomy_buckets () =
           Core.Types.Evicted;
           Core.Types.Dependency_aborted;
           Core.Types.Node_failure;
+          Core.Types.Prepare_timeout;
         ]);
   ignore (Dsim.Sim.run sim);
   List.iter
@@ -136,6 +142,7 @@ let test_abort_taxonomy_buckets () =
       ("spec-misprediction", 1);
       ("cascade", 1);
       ("timeout", 1);
+      ("partition", 1);
     ]
 
 (* --- end-to-end traced run ------------------------------------------- *)

@@ -125,6 +125,7 @@ let small_setup config =
     seed = 3;
     jitter = 0.;
     self_tune = `Off;
+    fault_plan = [];
   }
 
 (* A trimmed protocol sweep with the same shape as the Fig. 3 grid:
