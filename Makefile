@@ -1,4 +1,4 @@
-.PHONY: all build test check mc mc-crash lint trace-smoke bench bench-quick bench-scale tables tables-quick
+.PHONY: all build test check mc mc-crash mc-batch lint trace-smoke bench bench-quick bench-scale tables tables-quick
 
 all: build
 
@@ -31,7 +31,14 @@ mc:
 mc-crash:
 	dune build @mc-crash
 
-check: test mc mc-crash lint
+# Batched-pipeline model checking: message coalescing on (flushes are
+# ordinary explored transitions), heap + wheel, plus a crash schedule
+# where in-doubt batched prepares must resolve via AC1-AC5 and a broken
+# recovery variant that must still be caught through the batched path.
+mc-batch:
+	dune build @mc-batch
+
+check: test mc mc-crash mc-batch lint
 
 # Worker domains for the sweep grid (empty = STR_JOBS or the
 # recommended domain count).  Table output is byte-identical whatever

@@ -188,6 +188,27 @@ let micro_tests =
     in
     Sys.opaque_identity r.Harness.Runner.committed
   in
+  (* Coalescing machinery probe: the same mini experiment with the
+     per-wire-message dispatch cost on ([cost_msg = 20]) for BOTH rows,
+     unbatched vs a 300 µs window.  The off row prices the dispatch-cost
+     model itself; the on row prices the link queues + flush timers on
+     top (at mini-cell load the occupancy is near 1, so this is the
+     overhead floor, not the amortization win — that is measured by the
+     open-loop experiment cells in BENCH.json). *)
+  let batch_bench ~on () =
+    let config =
+      Core.Config.with_batching
+        ~batch_window_us:(if on then 300 else 0)
+        ~batch_max:16 ~cost_msg:20 (Core.Config.str ())
+    in
+    let r =
+      mini_experiment_result
+        ~workload_of:(fun pl ->
+          Workload.Synthetic.make ~params:Workload.Synthetic.synth_a pl)
+        ~config ()
+    in
+    Sys.opaque_identity r.Harness.Runner.committed
+  in
   Test.make_grouped ~name:"micro"
     [
       Test.make ~name:"event-queue-1k" (Staged.stage eq_bench);
@@ -197,6 +218,8 @@ let micro_tests =
       Test.make ~name:"trace-off-mini" (Staged.stage (fun () -> trace_bench ~on:false ()));
       Test.make ~name:"trace-on-mini" (Staged.stage (fun () -> trace_bench ~on:true ()));
       Test.make ~name:"fault-off-mini" (Staged.stage fault_off_bench);
+      Test.make ~name:"batch-off-mini" (Staged.stage (fun () -> batch_bench ~on:false ()));
+      Test.make ~name:"batch-on-mini" (Staged.stage (fun () -> batch_bench ~on:true ()));
     ]
 
 (* Run a bechamel suite and return [(name, ns_per_run option)] rows
@@ -244,6 +267,63 @@ let json_experiment_cells =
     ("ext-spec", fun () -> Core.Config.ext_spec ());
   ]
 
+(* Batching A/B cell: contended open-loop Synth-A at high offered load
+   (2000 clients/DC injected at 1600 tx/s/DC — far past saturation, so
+   committed tx/s is CPU-bound), with the per-wire-message dispatch
+   cost on ([cost_msg = 60 µs]) for BOTH sides.  The on side coalesces
+   with a 2 ms window; the committed-tx/s delta is the amortization win
+   of batching the certification/replication pipeline.  Deterministic
+   in the seed, so the ratio is exactly reproducible. *)
+let batch_ab_result ~window () =
+  let placement = Store.Placement.ring ~n_nodes:9 ~replication_factor:6 () in
+  let config =
+    Core.Config.with_batching ~batch_window_us:window ~batch_max:32 ~cost_msg:60
+      (Core.Config.str ())
+  in
+  let setup =
+    {
+      (Harness.Openloop.default_setup
+         ~workload:
+           (Workload.Synthetic.make ~params:Workload.Synthetic.synth_a placement)
+         ~config)
+      with
+      Harness.Openloop.clients_per_dc = 2_000;
+      arrival = Workload.Arrival.poisson ~rate_per_dc:1_600.;
+      warmup_us = 300_000;
+      measure_us = 700_000;
+      seed = 61;
+      jitter = 0.02;
+    }
+  in
+  Harness.Openloop.run setup
+
+let batch_ab_cells () =
+  let off = batch_ab_result ~window:0 () in
+  let on = batch_ab_result ~window:2_000 () in
+  let gain =
+    100. *. (on.Harness.Openloop.throughput /. off.Harness.Openloop.throughput -. 1.)
+  in
+  Printf.printf
+    "batching A/B (open-loop synth-a, 1600 tx/s/DC, cost_msg=60us): off %.1f tx/s, \
+     on %.1f tx/s (%+.1f%%, %.2f payloads/flush)\n"
+    off.Harness.Openloop.throughput on.Harness.Openloop.throughput gain
+    (float_of_int on.Harness.Openloop.batch_payloads
+    /. float_of_int (max 1 on.Harness.Openloop.batch_flushes));
+  [
+    {
+      BJ.protocol = "str-batch-off";
+      workload = "synth-a-open";
+      throughput = off.Harness.Openloop.throughput;
+      abort_rate = off.Harness.Openloop.abort_rate;
+    };
+    {
+      BJ.protocol = "str-batch-on";
+      workload = "synth-a-open";
+      throughput = on.Harness.Openloop.throughput;
+      abort_rate = on.Harness.Openloop.abort_rate;
+    };
+  ]
+
 let baseline_paths = [ "bench/BENCH.baseline.json"; "BENCH.baseline.json" ]
 
 let strip_group name =
@@ -278,6 +358,7 @@ let run_json ?(extra_micro = []) ?(out = "BENCH.json") () =
           abort_rate = r.Harness.Runner.abort_rate;
         })
       json_experiment_cells
+    @ batch_ab_cells ()
   in
   let report =
     BJ.make ~micro ~experiments ~wall_clock_s:(Unix.gettimeofday () -. t0)
@@ -348,12 +429,18 @@ let scale_params =
 
 let scale_clients_per_dc = 111_112 (* 9 DCs -> 1,000,008 clients *)
 
-let scale_setup ~queue =
+let scale_setup ?(batch = false) ~queue () =
   let placement = Store.Placement.ring ~n_nodes:9 ~replication_factor:6 () in
+  let config =
+    if batch then
+      Core.Config.with_batching ~batch_window_us:300 ~batch_max:16
+        (Core.Config.str ())
+    else Core.Config.str ()
+  in
   {
     (Harness.Openloop.default_setup
        ~workload:(Workload.Synthetic.make ~params:scale_params placement)
-       ~config:(Core.Config.str ()))
+       ~config)
     with
     clients_per_dc = scale_clients_per_dc;
     arrival = Workload.Arrival.poisson ~rate_per_dc:5_000.;
@@ -363,20 +450,22 @@ let scale_setup ~queue =
     queue;
   }
 
-let scale_probe ~queue =
+let scale_probe ?batch ~queue () =
   Gc.compact ();
   let alloc0 = Gc.allocated_bytes () in
   let t0 = Unix.gettimeofday () in
-  let r = Harness.Openloop.run (scale_setup ~queue) in
+  let r = Harness.Openloop.run (scale_setup ?batch ~queue ()) in
   let wall = Unix.gettimeofday () -. t0 in
   let bytes = Gc.allocated_bytes () -. alloc0 in
   (r, wall, bytes)
 
 let run_scale ?(out = "BENCH.json") () =
   Printf.eprintf "scale: open-loop, %d clients, heap...\n%!" (9 * scale_clients_per_dc);
-  let rh, wall_h, bytes_h = scale_probe ~queue:`Heap in
+  let rh, wall_h, bytes_h = scale_probe ~queue:`Heap () in
   Printf.eprintf "scale: same run on the timer wheel...\n%!";
-  let rw, wall_w, bytes_w = scale_probe ~queue:`Wheel in
+  let rw, wall_w, bytes_w = scale_probe ~queue:`Wheel () in
+  Printf.eprintf "scale: same run with message coalescing on...\n%!";
+  let rb, wall_b, _ = scale_probe ~batch:true ~queue:`Heap () in
   let eps_h = float_of_int rh.Harness.Openloop.events /. wall_h in
   let eps_w = float_of_int rw.Harness.Openloop.events /. wall_w in
   let identical =
@@ -400,6 +489,19 @@ let run_scale ?(out = "BENCH.json") () =
     eps_w wall_w
     (bytes_w /. float_of_int rw.Harness.Openloop.events)
     identical (peak_rss_kb ());
+  (* Batched row: the coalescing machinery at 1M-client scale.  This
+     workload is arrival-heavy and contention-light, so per-link
+     occupancy sits near 1 and the row prices the overhead floor
+     (flush-timer events, window-held completions) rather than the
+     amortization win — that is what the contended A/B cells measure. *)
+  Printf.printf
+    "  batched (300us window): completed %d, %d events (%.2fx), %.2f \
+     payloads/flush, %.1fs wall\n"
+    rb.Harness.Openloop.completed rb.Harness.Openloop.events
+    (float_of_int rb.Harness.Openloop.events /. float_of_int rh.Harness.Openloop.events)
+    (float_of_int rb.Harness.Openloop.batch_payloads
+    /. float_of_int (max 1 rb.Harness.Openloop.batch_flushes))
+    wall_b;
   if not identical then begin
     prerr_endline "scale: wheel and heap runs diverged (determinism bug)";
     exit 1
@@ -420,6 +522,13 @@ let run_scale ?(out = "BENCH.json") () =
       row "openloop-1m-wheel-bytes-per-event"
         (bytes_w /. float_of_int rw.Harness.Openloop.events);
       row "openloop-1m-peak-rss-kb" (float_of_int (peak_rss_kb ()));
+      row "openloop-1m-batch-completed" (float_of_int rb.Harness.Openloop.completed);
+      row "openloop-1m-batch-events" (float_of_int rb.Harness.Openloop.events);
+      row "openloop-1m-batch-events-per-s"
+        (float_of_int rb.Harness.Openloop.events /. wall_b);
+      row "openloop-1m-batch-payloads-per-flush"
+        (float_of_int rb.Harness.Openloop.batch_payloads
+        /. float_of_int (max 1 rb.Harness.Openloop.batch_flushes));
     ]
   in
   run_json ~extra_micro:rows ~out ()

@@ -16,14 +16,16 @@
 
 open Cmdliner
 
-let run dcs keys txs rf broken crash_recover wheel max_runs max_depth expect quiet =
+let run dcs keys txs rf broken crash_recover batching wheel max_runs max_depth
+    expect quiet =
   let config =
     match broken with
-    | None -> Check.Scenario.config ()
-    | Some `Ww -> Check.Scenario.config ~skip_ww_check:true ()
-    | Some `Spec -> Check.Scenario.config ~unsafe_speculation:true ()
-    | Some `LostCommit -> Check.Scenario.config ~broken_lost_commit:true ()
-    | Some `DoubleRes -> Check.Scenario.config ~broken_double_resolution:true ()
+    | None -> Check.Scenario.config ~batching ()
+    | Some `Ww -> Check.Scenario.config ~skip_ww_check:true ~batching ()
+    | Some `Spec -> Check.Scenario.config ~unsafe_speculation:true ~batching ()
+    | Some `LostCommit -> Check.Scenario.config ~broken_lost_commit:true ~batching ()
+    | Some `DoubleRes ->
+      Check.Scenario.config ~broken_double_resolution:true ~batching ()
   in
   let fault_plan =
     match crash_recover with
@@ -97,6 +99,16 @@ let crash_recover =
            explorer enumerates every placement of both actions relative to \
            every message delivery.")
 
+let batching =
+  Arg.(
+    value & flag
+    & info [ "batch" ]
+        ~doc:
+          "Coalesce the commit pipeline (queue-oriented speculative batching, \
+           tiny window and size cap): flush timers become ordinary explored \
+           transitions, and in-doubt batched prepares must still resolve \
+           through the recovery protocol.")
+
 let wheel =
   Arg.(
     value & flag
@@ -137,7 +149,7 @@ let cmd =
   Cmd.v
     (Cmd.info "mc" ~doc)
     Term.(
-      const run $ dcs $ keys $ txs $ rf $ broken $ crash_recover $ wheel $ max_runs
-      $ max_depth $ expect $ quiet)
+      const run $ dcs $ keys $ txs $ rf $ broken $ crash_recover $ batching $ wheel
+      $ max_runs $ max_depth $ expect $ quiet)
 
 let () = exit (Cmd.eval' cmd)

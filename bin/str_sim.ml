@@ -10,6 +10,7 @@
      str_sim storage            Precise Clocks storage overhead
      str_sim failover           region failure: goodput through DC crash + recovery
      str_sim openloop [--full]  open-loop latency vs offered load
+     str_sim batchfig [--full]  batching: throughput vs window x offered load
      str_sim all   [--full]     everything
      str_sim run ...            one custom simulation
                                 (--arrival-rate switches it to open loop;
@@ -144,7 +145,7 @@ let run_openloop ~protocol ~wname ~config ~workload ~clients ~seconds ~warmup ~s
   Format.printf "  stats          : %a@." Core.Stats.pp r.Harness.Openloop.stats
 
 let run_custom protocol workload clients seconds warmup seed arrival_rate wheel
-    crash crash_at_ms recover_at_ms trace_file trace_jsonl =
+    crash crash_at_ms recover_at_ms batch_window batch_max trace_file trace_jsonl =
   let config =
     match protocol with
     | "str" -> Core.Config.str ()
@@ -154,6 +155,11 @@ let run_custom protocol workload clients seconds warmup seed arrival_rate wheel
     | "physical-sr" -> Core.Config.physical_sr ()
     | "precise-sr" -> Core.Config.precise_sr ()
     | other -> failwith ("unknown protocol: " ^ other)
+  in
+  let config =
+    if batch_window > 0 then
+      Core.Config.with_batching ~batch_window_us:batch_window ~batch_max config
+    else config
   in
   let placement =
     Store.Placement.ring ~n_nodes:(Dsim.Topology.size Dsim.Topology.ec2_nine)
@@ -306,12 +312,30 @@ let run_cmd =
              $(b,--crash)); a value at or below $(b,--crash-at-ms) means the \
              DC stays down (crash-stop).")
   in
+  let batch_window =
+    Arg.(
+      value & opt int 0
+      & info [ "batch-window" ] ~docv:"US"
+          ~doc:
+            "Coalesce commit-pipeline messages per (src,dst) link for up to \
+             $(docv) microseconds (queue-oriented speculative batching).  0 \
+             (the default) disables coalescing and is bit-identical to the \
+             historical engine.")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 16
+      & info [ "batch-max" ] ~docv:"N"
+          ~doc:
+            "Size cap: a link queue flushes early once it holds $(docv) \
+             payloads (with $(b,--batch-window)).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a single simulation and print its metrics")
     Term.(
       const run_custom $ protocol $ workload $ clients $ seconds $ warmup $ seed
-      $ arrival_rate $ wheel $ crash $ crash_at_ms $ recover_at_ms $ trace_arg
-      $ trace_jsonl_arg)
+      $ arrival_rate $ wheel $ crash $ crash_at_ms $ recover_at_ms $ batch_window
+      $ batch_max $ trace_arg $ trace_jsonl_arg)
 
 let () =
   let open Harness.Experiments in
@@ -341,6 +365,9 @@ let () =
         (fun ~jobs s -> [ region_failure ~jobs ~scale:s () ]);
       experiment_cmd "openloop" "Open-loop latency vs offered load (STR vs baselines)"
         (fun ~jobs s -> [ openloop_load ~jobs ~scale:s () ]);
+      experiment_cmd "batchfig"
+        "Queue-oriented batching: throughput vs batch window x offered load"
+        (fun ~jobs s -> [ batch_load ~jobs ~scale:s () ]);
       experiment_cmd "ablations" "Extra ablations (DC count, replication factor, remote reads)"
         (fun ~jobs s -> ablations ~jobs ~scale:s ());
       experiment_cmd "all" "All tables and figures" (fun ~jobs s -> all ~jobs ~scale:s ());

@@ -161,6 +161,45 @@ let report file =
   in
   print_counts "-- aborts by taxonomy --" (sum_counts t.cells (fun c -> c.aborts));
   print_counts "-- messages by kind --" (sum_counts t.cells (fun c -> c.msgs));
+  let stat_sum name =
+    List.fold_left
+      (fun acc c -> acc + Option.value ~default:0 (List.assoc_opt name c.stats))
+      0 t.cells
+  in
+  (* Pipeline efficiency: how many messages one committed transaction
+     costs — the headline number message coalescing moves. *)
+  let commits = stat_sum "commits" in
+  Printf.printf "-- messages per commit --\n";
+  if commits = 0 then Printf.printf "  (no commits)\n"
+  else begin
+    let per n = float_of_int n /. float_of_int commits in
+    Printf.printf "  logical: %.1f  wan-wire: %.1f\n"
+      (per (stat_sum "net_messages"))
+      (per (stat_sum "net_wan_messages"));
+    let batches = stat_sum "net_batches" in
+    if batches > 0 then Printf.printf "  coalesced flushes: %.1f\n" (per batches)
+  end;
+  (* Batch occupancy: how full the coalescing windows ran (only batched
+     traces carry these stats). *)
+  let flushes = stat_sum "batch_flushes" in
+  if flushes > 0 then begin
+    let payloads = stat_sum "batch_payloads" in
+    Printf.printf "-- batch occupancy --\n";
+    Printf.printf "  flushes: %d  payloads: %d  mean payload/flush: %.1f\n" flushes
+      payloads
+      (float_of_int payloads /. float_of_int flushes);
+    for i = 1 to 16 do
+      let c = stat_sum (Printf.sprintf "batch_occ_%02d" i) in
+      if c > 0 then
+        Printf.printf "  %s%2d payloads: %d flush(es)\n"
+          (if i = 16 then ">=" else "  ")
+          i c
+    done;
+    let sweeps = stat_sum "cert_sweeps" in
+    if sweeps > 0 then
+      Printf.printf "  certification sweeps: %d covering %d prepare(s)\n" sweeps
+        (stat_sum "cert_swept")
+  end;
   (* Convoy effect: certified writers hold their locks across the
      synchronous replication round, so under contention the lock
      hold-time tail should reach (and exceed) the inter-DC RTT. *)

@@ -424,8 +424,11 @@ let extract ~config ~file src =
   done;
   (* --- message send sites --- *)
   let sends = ref [] in
+  (* [send_work] queues a payload for coalescing (or falls through to a
+     plain send); [send_batch] puts a coalesced flush on the wire.  Both
+     are message sends for flow purposes. *)
   let send_site i =
-    is_id i "send"
+    (is_id i "send" || is_id i "send_work" || is_id i "send_batch")
     && not (is_id (i - 1) "let" || is_id (i - 1) "and" || is_id (i - 1) "val" || is_sym (i - 1) ".")
   in
   for i = 0 to n - 1 do
@@ -452,7 +455,9 @@ let extract ~config ~file src =
         let wstop = ref (min (end_of_item_at i) (i + 90)) in
         (let rec nxt k = if k < !wstop then if send_site k then wstop := k else nxt (k + 1) in
          nxt (i + 1));
-        let has_cost = ref false in
+        (* A coalesced flush charges one amortized ~cost inside its
+           delivery closure, not at the send site. *)
+        let has_cost = ref (is_id i "send_batch") in
         let wid = ref [] in
         for k = i to !wstop - 1 do
           if is_label k "cost" then has_cost := true;

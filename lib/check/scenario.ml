@@ -46,10 +46,20 @@ let zero_costs = (0, 0, 0, 0, 0)
     periods stay zero so in-doubt resolution is purely recover-driven
     and the state space stays finite. *)
 let config ?(skip_ww_check = false) ?(unsafe_speculation = false)
-    ?(broken_lost_commit = false) ?(broken_double_resolution = false) () =
-  Core.Config.make ~clocks:Core.Config.Precise ~speculative_reads:true
-    ~unsafe_speculation ~skip_ww_check ~max_clock_skew_us:0 ~costs:zero_costs
-    ~prune_every_inserts:0 ~broken_lost_commit ~broken_double_resolution ()
+    ?(broken_lost_commit = false) ?(broken_double_resolution = false)
+    ?(batching = false) () =
+  let cfg =
+    Core.Config.make ~clocks:Core.Config.Precise ~speculative_reads:true
+      ~unsafe_speculation ~skip_ww_check ~max_clock_skew_us:0 ~costs:zero_costs
+      ~prune_every_inserts:0 ~broken_lost_commit ~broken_double_resolution ()
+  in
+  if batching then
+    (* Coalesce the commit pipeline under exploration.  The window value
+       is immaterial — controlled mode orders the flush timer like any
+       other transition — and the tiny size cap makes the explorer reach
+       both flush rules (window expiry and cap overflow). *)
+    Core.Config.with_batching ~batch_window_us:50 ~batch_max:4 cfg
+  else cfg
 
 let make ?(rf = 1) ?config:(cfg = config ()) ?(queue = `Heap) ?(fault_plan = [])
     ?(recovery = true) ~dcs ~keys ~txs () =

@@ -35,8 +35,12 @@ val config :
   ?unsafe_speculation:bool ->
   ?broken_lost_commit:bool ->
   ?broken_double_resolution:bool ->
+  ?batching:bool ->
   unit ->
   Core.Config.t
+(** [batching] turns on message coalescing (tiny window and size cap, so
+    the explorer reaches both flush rules); the batched flush is an
+    ordinary transition the explorer orders against every delivery. *)
 
 val make :
   ?rf:int ->

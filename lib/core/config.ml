@@ -77,6 +77,16 @@ type t = {
   cost_apply_key : int;  (** committing/aborting one written key *)
   cost_coord_op : int;  (** coordinator bookkeeping per protocol step *)
   cost_tx_logic : int;  (** client-side transaction logic per operation *)
+  cost_msg : int;
+      (** per-wire-message receive/dispatch overhead at the destination
+          node (header parse, demux, scheduling).  0 = the historical
+          cost model where delivery is free; coalescing amortizes this
+          term (one header per flush instead of one per payload). *)
+  (* --- message coalescing (0 = off = bit-identical to unbatched) --- *)
+  mutable batch_window_us : int;
+      (** per-(src,dst) coalescing window for commit-pipeline messages;
+          runtime-toggleable: the self-tuner can adjust it live *)
+  batch_max : int;  (** size cap: a link queue flushes early at this many payloads *)
   (* --- clock model --- *)
   max_clock_skew_us : int;  (** per-node skew drawn uniformly in [-max, max] *)
   (* --- version GC --- *)
@@ -97,7 +107,8 @@ let make ?(clocks = Precise) ?(isolation = Snapshot_isolation)
     ?(unsafe_speculation = false) ?(skip_ww_check = false)
     ?(prepare_timeout_us = 0) ?(status_retry_us = 0) ?(termination_timeout_us = 0)
     ?(broken_lost_commit = false) ?(broken_double_resolution = false)
-    ?(max_clock_skew_us = 500) ?(costs = default_costs)
+    ?(max_clock_skew_us = 500) ?(costs = default_costs) ?(cost_msg = 0)
+    ?(batch_window_us = 0) ?(batch_max = 16)
     ?(prune_every_inserts = 4096) ?(prune_horizon_us = 2_000_000) () =
   let cost_read, cost_prepare_key, cost_apply_key, cost_coord_op, cost_tx_logic =
     costs
@@ -119,6 +130,9 @@ let make ?(clocks = Precise) ?(isolation = Snapshot_isolation)
     cost_apply_key;
     cost_coord_op;
     cost_tx_logic;
+    cost_msg;
+    batch_window_us;
+    batch_max;
     max_clock_skew_us;
     prune_every_inserts;
     prune_horizon_us;
@@ -129,6 +143,14 @@ let make ?(clocks = Precise) ?(isolation = Snapshot_isolation)
 let with_recovery ?(prepare_timeout_us = 600_000) ?(status_retry_us = 300_000)
     ?(termination_timeout_us = 600_000) t =
   { t with prepare_timeout_us; status_retry_us; termination_timeout_us }
+
+(** [with_batching] layers message coalescing + batched certification
+    onto an existing configuration.  [cost_msg] defaults to the
+    configuration's current value so a batching-on/off comparison can
+    hold the dispatch-cost model fixed on both sides. *)
+let with_batching ?(batch_window_us = 1_000) ?(batch_max = 16) ?cost_msg t =
+  let cost_msg = match cost_msg with Some c -> c | None -> t.cost_msg in
+  { t with batch_window_us; batch_max; cost_msg }
 
 (** The paper's protagonists. *)
 let str ?(speculative_reads = true) () = make ~clocks:Precise ~speculative_reads ()

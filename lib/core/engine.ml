@@ -58,6 +58,50 @@ type node = {
           recovery protocol is on and drops stale deliveries. *)
 }
 
+(** How a commit-pipeline message is processed at its destination.
+    [Dispatch_cpu (cost, k)] charges [cost] on the destination CPU before
+    running [k]; [Dispatch_inline k] runs [k] directly in the delivery
+    event (reply bookkeeping, free in the historical cost model);
+    [Dispatch_prepare] is a remote certification request with enough
+    structure that a coalesced flush can route it through
+    {!Partition_server.certify_batch} (ordered sweep + occupancy stats).
+    The work thunk is evaluated at delivery time — exactly when the
+    unbatched payload used to compute its cost — so delivery-time
+    branches (recovery upserts, pending-key counts) keep their timing. *)
+type dispatch =
+  | Dispatch_cpu of int * (unit -> unit)
+  | Dispatch_inline of (unit -> unit)
+  | Dispatch_prepare of {
+      dcost : int;  (** certification CPU cost, charged with the flush *)
+      dsrv : Partition_server.t;
+      dreq : Partition_server.batch_req;
+      dpre : unit -> bool;
+          (** incarnation guards + speculative evictions; false = stale *)
+      dpost : Partition_server.prepare_outcome -> unit;
+    }
+
+(** One coalesced logical message parked on a (src,dst) link queue.
+    [bepoch] pins the sender incarnation at enqueue time: the flush
+    drops items from a since-restarted incarnation, mirroring the
+    delivery-time epoch guard of the unbatched path. *)
+type batch_item = {
+  bkind : Obs.Trace.msg_kind;
+  bepoch : int;
+  bwork : unit -> dispatch;
+}
+
+(** Per-(src,dst) coalescing queue.  [bq] holds items in reverse enqueue
+    order; [bq_gen] is bumped by every flush so the armed window timer
+    (which captures the generation it was armed under) turns into a
+    no-op when a size-cap flush already emptied the queue. *)
+type batch = {
+  mutable bq : batch_item list;
+  mutable bq_n : int;
+  mutable bq_gen : int;
+  mutable bq_span : int;
+  mutable bq_first_at : int;
+}
+
 type t = {
   sim : Sim.t;
   net : Network.t;
@@ -69,6 +113,16 @@ type t = {
       (** current master per partition; differs from the static placement
           after a fail-over promoted a slave (§5.6) *)
   trace : Obs.Trace.t;  (** span/counter recorder; a disabled one by default *)
+  batches : batch array array;
+      (** (src,dst) coalescing queues; all permanently empty when
+          [batch_window_us = 0], restoring the unbatched engine
+          bit-for-bit.  Mixed into {!fingerprint} only when nonempty. *)
+  (* lint: allow fingerprint-coverage — monotone stat counter (flush
+     count doubles as the sweep-token generator), not protocol state *)
+  mutable batch_flushes : int;
+  (* lint: allow fingerprint-coverage — monotone stat counter *)
+  mutable batch_payloads : int;
+  batch_occ : int array;  (** flush-size histogram; index [min n 16] *)
   (* lint: allow fingerprint-coverage — test/trace hook installed by
      harnesses; not simulation state *)
   mutable observer : (event -> unit) option;
@@ -262,6 +316,13 @@ let create ~sim ~net ~placement ~config ?(seed = 42) ?trace () =
     nearest;
     cur_master = Array.init (Placement.n_partitions placement) (Placement.master placement);
     trace;
+    batches =
+      Array.init n (fun _ ->
+          Array.init n (fun _ ->
+              { bq = []; bq_n = 0; bq_gen = 0; bq_span = -1; bq_first_at = 0 }));
+    batch_flushes = 0;
+    batch_payloads = 0;
+    batch_occ = Array.make 17 0;
     observer = None;
     fault = None;
     recovery_on =
@@ -305,6 +366,143 @@ let rec wait_until tx cond =
     Fiber.await iv;
     wait_until tx cond
   end
+
+(* ------------------------------------------------------------------ *)
+(* Message coalescing (queue-oriented speculative batching)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Only the commit pipeline coalesces: prepares, replicates, their
+   replies and the decision broadcasts.  The read path stays unbatched
+   (it is the latency-critical interactive path) and so does the
+   recovery protocol's status traffic (AC5 termination must not wait on
+   a throughput window). *)
+let batchable = function
+  | Obs.Trace.M_prepare | Obs.Trace.M_prepare_reply | Obs.Trace.M_replicate
+  | Obs.Trace.M_commit | Obs.Trace.M_abort -> true
+  | Obs.Trace.M_read_req | Obs.Trace.M_read_reply | Obs.Trace.M_status_req
+  | Obs.Trace.M_status_reply | Obs.Trace.M_prepare_batch
+  | Obs.Trace.M_replicate_batch -> false
+
+(* Unbatched execution of one dispatch at [dst]: exactly the event
+   structure the pre-batching payloads had — a [Dispatch_cpu] or
+   [Dispatch_prepare] is one [Cpu.exec] at delivery time, a
+   [Dispatch_inline] runs directly in the delivery event — plus the
+   per-message [cost_msg] dispatch overhead when that model is on.
+   With [cost_msg = 0] (the default) this is bit-identical to the
+   historical engine. *)
+let run_dispatch_solo eng ~dst work =
+  let cm = eng.config.Config.cost_msg in
+  match work () with
+  | Dispatch_cpu (c, k) -> Cpu.exec eng.nodes.(dst).cpu ~cost:(cm + c) k
+  | Dispatch_inline k ->
+    if cm = 0 then k () else Cpu.exec eng.nodes.(dst).cpu ~cost:cm k
+  | Dispatch_prepare { dcost; dsrv; dreq; dpre; dpost } ->
+    Cpu.exec eng.nodes.(dst).cpu ~cost:(cm + dcost) (fun () ->
+        if dpre () then dpost (Partition_server.prepare_req dsrv dreq))
+
+(** Wire transport of one coalesced flush: ONE network message (one
+    latency draw, one FIFO slot) carrying [n] logical payloads; the
+    delivery body charges the amortized batch ~cost in a single CPU
+    event. *)
+let send_batch eng ~kind ~src ~dst ~n f =
+  Obs.Trace.count_msg eng.trace kind;
+  Network.send_coalesced eng.net ~src ~dst ~n f
+
+(** Flush a link queue: emit the parked payloads as one wire message.
+    Flush rules: (1) the window timer armed by the first enqueue, or
+    (2) the [batch_max] size cap, whichever fires first; a generation
+    counter voids the timer of a queue the size cap already emptied.
+    A flush from a node that crashed after enqueueing is dropped whole
+    (the unbatched sends would have been dropped at the source), and
+    payloads enqueued by a previous incarnation of the sender are
+    filtered at delivery — the same guard the unbatched path applies
+    per message. *)
+let flush_batch eng ~src ~dst b =
+  if b.bq_n > 0 then begin
+    let items = List.rev b.bq in
+    let n = b.bq_n in
+    b.bq <- [];
+    b.bq_n <- 0;
+    b.bq_gen <- b.bq_gen + 1;
+    Obs.Trace.span_end eng.trace b.bq_span ~t1:(Sim.now eng.sim);
+    b.bq_span <- -1;
+    if eng.nodes.(src).alive then begin
+      eng.batch_flushes <- eng.batch_flushes + 1;
+      eng.batch_payloads <- eng.batch_payloads + n;
+      let occ = if n > 16 then 16 else n in
+      eng.batch_occ.(occ) <- eng.batch_occ.(occ) + 1;
+      let sweep = eng.batch_flushes in
+      let deliver () =
+        let live = List.filter (fun it -> eng.nodes.(src).epoch = it.bepoch) items in
+        if live <> [] then begin
+          (* Evaluate every payload's delivery-time branch (recovery
+             upserts, pending-key counts) first, then charge one CPU
+             event for the whole batch: one header ([cost_msg]) plus the
+             per-item marginals.  Bodies run in enqueue order;
+             certification requests go through the partition server's
+             batched sweep, which also lets a later prepare of the batch
+             stack over versions an earlier one just installed. *)
+          let works = List.map (fun it -> it.bwork ()) live in
+          let total =
+            List.fold_left
+              (fun acc w ->
+                match w with
+                | Dispatch_cpu (c, _) -> acc + c
+                | Dispatch_inline _ -> acc
+                | Dispatch_prepare { dcost; _ } -> acc + dcost)
+              eng.config.Config.cost_msg works
+          in
+          Cpu.exec eng.nodes.(dst).cpu ~cost:total (fun () ->
+              List.iter
+                (function
+                  | Dispatch_cpu (_, k) | Dispatch_inline k -> k ()
+                  | Dispatch_prepare { dsrv; dreq; dpre; dpost; _ } ->
+                    if dpre () then
+                      dpost (Partition_server.certify_batch dsrv ~sweep dreq))
+                works)
+        end
+      in
+      if List.exists (fun it -> it.bkind = Obs.Trace.M_prepare) items then
+        send_batch eng ~kind:Obs.Trace.M_prepare_batch ~src ~dst ~n deliver
+      else send_batch eng ~kind:Obs.Trace.M_replicate_batch ~src ~dst ~n deliver
+    end
+  end
+
+(** Park one payload on the (src,dst) link queue.  The first enqueue of
+    a window opens the batch-flush span and arms the window timer as an
+    Internal-lane event — under the model checker's controlled mode the
+    flush is an ordinary transition, ordered against the protocol. *)
+let enqueue_batch eng ~kind ~src ~dst work =
+  let nd = eng.nodes.(src) in
+  if nd.alive then begin
+    let b = eng.batches.(src).(dst) in
+    if b.bq_n = 0 then begin
+      b.bq_first_at <- Sim.now eng.sim;
+      if Obs.Trace.enabled eng.trace then
+        b.bq_span <-
+          Obs.Trace.span_begin eng.trace ~kind:Obs.Trace.S_batch_flush
+            ~pid:(pid_of eng src) ~tid:(Obs.Trace.coord_tid src)
+            ~t0:b.bq_first_at ~a:src ~b:dst ();
+      let gen = b.bq_gen in
+      Sim.schedule eng.sim ~delay:eng.config.Config.batch_window_us (fun () ->
+          if b.bq_gen = gen then flush_batch eng ~src ~dst b)
+    end;
+    b.bq <- { bkind = kind; bepoch = nd.epoch; bwork = work } :: b.bq;
+    b.bq_n <- b.bq_n + 1;
+    if b.bq_n >= eng.config.Config.batch_max then flush_batch eng ~src ~dst b
+  end
+
+(** Commit-pipeline send: the payload is a {!dispatch} evaluated at the
+    destination.  With coalescing off this is exactly {!send} — same
+    epoch stamping, same delivery event structure; with coalescing on,
+    batchable kinds park on the link queue until the window closes or
+    the size cap fires. *)
+let send_work eng ~kind ~src ~dst work =
+  if eng.config.Config.batch_window_us > 0 && batchable kind then begin
+    Obs.Trace.count_msg eng.trace kind;
+    enqueue_batch eng ~kind ~src ~dst work
+  end
+  else send eng ~kind ~src ~dst (fun () -> run_dispatch_solo eng ~dst work)
 
 (* ------------------------------------------------------------------ *)
 (* Atomic-commitment decision log and in-doubt resolution              *)
@@ -540,11 +738,12 @@ let rec abort_tx eng tx reason =
     Partition_server.abort nd.cache tx.id;
     if tx.global_started then
       for_each_remote_replica eng tx (fun r p ->
-          send eng ~kind:Obs.Trace.M_abort ~src:tx.origin ~dst:r (fun () ->
+          send_work eng ~kind:Obs.Trace.M_abort ~src:tx.origin ~dst:r (fun () ->
               let srv = server eng ~node:r ~partition:p in
-              Cpu.exec eng.nodes.(r).cpu
-                ~cost:(eng.config.Config.cost_apply_key * Partition_server.pending_key_count srv tx.id)
-                (fun () -> Partition_server.abort ~tombstone:true srv tx.id)));
+              Dispatch_cpu
+                ( eng.config.Config.cost_apply_key
+                  * Partition_server.pending_key_count srv tx.id,
+                  fun () -> Partition_server.abort ~tombstone:true srv tx.id )));
     Txid.Tbl.remove nd.active tx.id;
     Obs.Trace.count_abort eng.trace (taxonomy_of_abort reason);
     if Obs.Trace.enabled eng.trace then begin
@@ -594,22 +793,22 @@ let commit_apply eng tx ct =
       Array.iter
         (fun r ->
           if r <> tx.origin then
-            send eng ~kind:Obs.Trace.M_commit ~src:tx.origin ~dst:r (fun () ->
+            send_work eng ~kind:Obs.Trace.M_commit ~src:tx.origin ~dst:r (fun () ->
                 let srv = server eng ~node:r ~partition:p in
                 if eng.recovery_on && not (Partition_server.has_tx srv tx.id) then
                   (* The replica lost the prepare across a crash window;
                      the decision message carries the write set, so the
                      recovered replica installs the committed versions
                      directly instead of dropping the decision. *)
-                  Cpu.exec eng.nodes.(r).cpu
-                    ~cost:(eng.config.Config.cost_apply_key * List.length writes)
-                    (fun () -> Partition_server.install_committed srv ~txid:tx.id ~ct writes)
+                  Dispatch_cpu
+                    ( eng.config.Config.cost_apply_key * List.length writes,
+                      fun () ->
+                        Partition_server.install_committed srv ~txid:tx.id ~ct writes )
                 else
-                  Cpu.exec eng.nodes.(r).cpu
-                    ~cost:
-                      (eng.config.Config.cost_apply_key
-                      * Partition_server.pending_key_count srv tx.id)
-                    (fun () -> Partition_server.commit srv tx.id ~ct)))
+                  Dispatch_cpu
+                    ( eng.config.Config.cost_apply_key
+                      * Partition_server.pending_key_count srv tx.id,
+                      fun () -> Partition_server.commit srv tx.id ~ct )))
         (Placement.replicas eng.placement p))
     tx.groups;
   nd.stats.Stats.commits <- nd.stats.Stats.commits + 1;
@@ -1098,40 +1297,54 @@ let commit eng tx =
       end
     in
     let send_replicate ~from ~nw slave p writes =
-      send eng ~kind:Obs.Trace.M_replicate ~src:from ~dst:slave (fun () ->
+      send_work eng ~kind:Obs.Trace.M_replicate ~src:from ~dst:slave (fun () ->
           let snd = eng.nodes.(slave) in
           let snd_epoch = snd.epoch in
-          Cpu.exec snd.cpu
-            ~cost:(eng.config.Config.cost_prepare_key * nw)
-            (fun () ->
-              if eng.nodes.(tx.origin).epoch = origin_epoch && snd.epoch = snd_epoch
-              then begin
-                let srv = server eng ~node:slave ~partition:p in
-                (* Remote prepares evict conflicting local speculation and
-                   its dependents (Alg. 2, replicate handler). *)
-                List.iter
-                  (fun victim ->
-                    match Txid.Tbl.find_opt snd.active victim with
-                    | Some vtx -> abort_tx eng vtx Evicted
-                    | None -> ())
-                  (Partition_server.evict_candidates srv ~writes ~except:tx.id);
-                let outcome =
-                  match
-                    Partition_server.prepare ~stack_over:declared_deps srv ~txid:tx.id
-                      ~origin:tx.origin ~rs:tx.rs ~writes
-                  with
-                  | Partition_server.Prepared { ts; _ } -> `Prepared ts
-                  | Partition_server.Conflict _ -> `Aborted
-                in
-                (* Participant-side AC5: a prepare held past the window
-                   without a decision starts cooperative termination. *)
-                (match outcome with
-                 | `Prepared _ when eng.config.Config.termination_timeout_us > 0 ->
-                   arm_termination eng ~node:slave ~partition:p tx.id
-                 | `Prepared _ | `Aborted -> ());
-                send eng ~kind:Obs.Trace.M_prepare_reply ~src:slave ~dst:tx.origin
-                  (fun () -> reply_handler outcome)
-              end))
+          let srv = server eng ~node:slave ~partition:p in
+          Dispatch_prepare
+            {
+              dcost = eng.config.Config.cost_prepare_key * nw;
+              dsrv = srv;
+              dreq =
+                {
+                  Partition_server.btxid = tx.id;
+                  borigin = tx.origin;
+                  brs = tx.rs;
+                  bwrites = writes;
+                  bstack_over = declared_deps;
+                };
+              dpre =
+                (fun () ->
+                  eng.nodes.(tx.origin).epoch = origin_epoch && snd.epoch = snd_epoch
+                  && begin
+                       (* Remote prepares evict conflicting local
+                          speculation and its dependents (Alg. 2,
+                          replicate handler). *)
+                       List.iter
+                         (fun victim ->
+                           match Txid.Tbl.find_opt snd.active victim with
+                           | Some vtx -> abort_tx eng vtx Evicted
+                           | None -> ())
+                         (Partition_server.evict_candidates srv ~writes ~except:tx.id);
+                       true
+                     end);
+              dpost =
+                (fun result ->
+                  let outcome =
+                    match result with
+                    | Partition_server.Prepared { ts; _ } -> `Prepared ts
+                    | Partition_server.Conflict _ -> `Aborted
+                  in
+                  (* Participant-side AC5: a prepare held past the window
+                     without a decision starts cooperative termination. *)
+                  (match outcome with
+                   | `Prepared _ when eng.config.Config.termination_timeout_us > 0 ->
+                     arm_termination eng ~node:slave ~partition:p tx.id
+                   | `Prepared _ | `Aborted -> ());
+                  send_work eng ~kind:Obs.Trace.M_prepare_reply ~src:slave
+                    ~dst:tx.origin (fun () ->
+                      Dispatch_inline (fun () -> reply_handler outcome)));
+            })
     in
     List.iter
       (fun (p, writes) ->
@@ -1149,32 +1362,41 @@ let commit eng tx =
         else begin
           incr expected (* the master's own reply *);
           List.iter (fun s -> if s <> tx.origin then incr expected) slaves;
-          send eng ~kind:Obs.Trace.M_prepare ~src:tx.origin ~dst:m (fun () ->
+          send_work eng ~kind:Obs.Trace.M_prepare ~src:tx.origin ~dst:m (fun () ->
               let mnd = eng.nodes.(m) in
               let m_epoch = mnd.epoch in
-              Cpu.exec mnd.cpu
-                ~cost:(eng.config.Config.cost_prepare_key * nw)
-                (fun () ->
-                  if eng.nodes.(tx.origin).epoch = origin_epoch && mnd.epoch = m_epoch
-                  then begin
-                    let srv = server eng ~node:m ~partition:p in
-                    match
-                      Partition_server.prepare ~stack_over:declared_deps srv ~txid:tx.id
-                        ~origin:tx.origin ~rs:tx.rs ~writes
-                    with
-                    | Partition_server.Conflict _ ->
-                      send eng ~kind:Obs.Trace.M_prepare_reply ~src:m ~dst:tx.origin
-                        (fun () -> reply_handler `Aborted)
-                    | Partition_server.Prepared { ts; _ } ->
-                      if eng.config.Config.termination_timeout_us > 0 then
-                        arm_termination eng ~node:m ~partition:p tx.id;
-                      List.iter
-                        (fun s ->
-                          if s <> tx.origin then send_replicate ~from:m ~nw s p writes)
-                        slaves;
-                      send eng ~kind:Obs.Trace.M_prepare_reply ~src:m ~dst:tx.origin
-                        (fun () -> reply_handler (`Prepared ts))
-                  end))
+              Dispatch_prepare
+                {
+                  dcost = eng.config.Config.cost_prepare_key * nw;
+                  dsrv = server eng ~node:m ~partition:p;
+                  dreq =
+                    {
+                      Partition_server.btxid = tx.id;
+                      borigin = tx.origin;
+                      brs = tx.rs;
+                      bwrites = writes;
+                      bstack_over = declared_deps;
+                    };
+                  dpre =
+                    (fun () ->
+                      eng.nodes.(tx.origin).epoch = origin_epoch && mnd.epoch = m_epoch);
+                  dpost =
+                    (function
+                      | Partition_server.Conflict _ ->
+                        send_work eng ~kind:Obs.Trace.M_prepare_reply ~src:m
+                          ~dst:tx.origin (fun () ->
+                            Dispatch_inline (fun () -> reply_handler `Aborted))
+                      | Partition_server.Prepared { ts; _ } ->
+                        if eng.config.Config.termination_timeout_us > 0 then
+                          arm_termination eng ~node:m ~partition:p tx.id;
+                        List.iter
+                          (fun s ->
+                            if s <> tx.origin then send_replicate ~from:m ~nw s p writes)
+                          slaves;
+                        send_work eng ~kind:Obs.Trace.M_prepare_reply ~src:m
+                          ~dst:tx.origin (fun () ->
+                            Dispatch_inline (fun () -> reply_handler (`Prepared ts))));
+                })
         end)
       groups;
     tx.pending_prepares <- !expected;
@@ -1236,6 +1458,41 @@ let total_stats eng = Stats.sum (Array.to_list (Array.map (fun n -> n.stats) eng
 
 let total_commits eng =
   Array.fold_left (fun acc n -> acc + n.stats.Stats.commits) 0 eng.nodes
+
+(** Coalescing-layer counters: flushes emitted, logical payloads they
+    carried, and the flush-size histogram (index [min size 16]). *)
+let batch_flushes eng = eng.batch_flushes
+let batch_payloads eng = eng.batch_payloads
+let batch_occupancy eng = Array.copy eng.batch_occ
+
+(** Force-flush every open link queue.  Callers that change
+    [Config.batch_window_us] live (the self-tuner's ladder exploration)
+    drain first so no payload enqueued under the old window can be
+    overtaken by a post-change unbatched send on the same link. *)
+let flush_open_batches eng =
+  Array.iteri
+    (fun src row ->
+      Array.iteri (fun dst b -> if b.bq_n > 0 then flush_batch eng ~src ~dst b) row)
+    eng.batches
+
+(** Aggregated batched-certification stats over every partition server:
+    [(sweeps, swept prepares, occupancy histogram)] — see
+    {!Partition_server.certify_batch}. *)
+let cert_sweep_stats eng =
+  let sweeps = ref 0 and items = ref 0 in
+  let occ = Array.make 17 0 in
+  Array.iter
+    (fun nd ->
+      (* lint: allow hashtbl-order — summing counters is order-insensitive *)
+      Hashtbl.iter
+        (fun _ s ->
+          let sw, it, o = Partition_server.sweep_stats s in
+          sweeps := !sweeps + sw;
+          items := !items + it;
+          Array.iteri (fun i v -> occ.(i) <- occ.(i) + v) o)
+        nd.servers)
+    eng.nodes;
+  (!sweeps, !items, occ)
 
 (** Approximate storage split: (data bytes, LastReader metadata bytes)
     summed over every replica — the §6.1 overhead measurement. *)
@@ -1564,6 +1821,23 @@ let fingerprint eng =
       end)
     eng.nodes;
   Array.iter add eng.cur_master;
+  (* Coalescing queues are protocol state while nonempty (parked
+     prepares/decisions the destination has not seen).  Mixed only when
+     nonempty, so with batching off — or every queue flushed — the
+     fingerprint is identical to the unbatched engine. *)
+  Array.iteri
+    (fun src row ->
+      Array.iteri
+        (fun dst b ->
+          if b.bq_n > 0 then begin
+            add 0xba7c;
+            add src;
+            add dst;
+            add b.bq_n;
+            List.iter (fun it -> add (Obs.Trace.msg_index it.bkind)) (List.rev b.bq)
+          end)
+        row)
+    eng.batches;
   (match eng.fault with
    | None -> ()
    | Some f ->

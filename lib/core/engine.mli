@@ -136,6 +136,27 @@ val is_alive : t -> int -> bool
 val total_stats : t -> Stats.t
 val total_commits : t -> int
 
+(** {2 Batching counters} (all zero when [Config.batch_window_us = 0]) *)
+
+val batch_flushes : t -> int
+(** Coalesced flushes sent (also the sweep-token generator). *)
+
+val batch_payloads : t -> int
+(** Logical payloads those flushes carried. *)
+
+val batch_occupancy : t -> int array
+(** Flush-size histogram; index [min n 16], index 0 always empty. *)
+
+val cert_sweep_stats : t -> int * int * int array
+(** Batched-certification sweeps summed over every partition server:
+    [(sweeps, swept prepares, occupancy histogram)] — see
+    {!Partition_server.sweep_stats}. *)
+
+val flush_open_batches : t -> unit
+(** Force-flush every open coalescing queue; call before changing
+    [Config.batch_window_us] on a live engine so no parked payload is
+    overtaken by a post-change unbatched send on the same link. *)
+
 val storage_breakdown : t -> int * int
 (** [(data_bytes, last_reader_metadata_bytes)] summed over all replicas
     — the Precise Clocks storage-overhead measurement of §6.1. *)

@@ -48,6 +48,16 @@ type t = {
   (* lint: allow fingerprint-coverage — GC pacing counter; affects only
      when pruning work happens, not any protocol outcome *)
   mutable inserts_since_prune : int;
+  (* lint: allow fingerprint-coverage — batched-certification stat
+     bookkeeping (sweep token), not protocol state *)
+  mutable cert_sweep : int;  (** token of the sweep in progress; -1 = none *)
+  (* lint: allow fingerprint-coverage — sweep-size accumulator (stats) *)
+  mutable cert_sweep_n : int;  (** prepares certified in that sweep so far *)
+  (* lint: allow fingerprint-coverage — monotone stat counter *)
+  mutable cert_sweeps : int;
+  (* lint: allow fingerprint-coverage — monotone stat counter *)
+  mutable cert_swept : int;
+  cert_occ : int array;  (** sweep-occupancy histogram; index [min n 16] *)
 }
 
 let max_tombstones = 8192
@@ -75,6 +85,11 @@ let create ~sim ~clock ~cpu ~config ~node_id ~partition ?(is_cache = false) ?sta
     tombstone_queue = [];
     blocked_reads = 0;
     inserts_since_prune = 0;
+    cert_sweep = -1;
+    cert_sweep_n = 0;
+    cert_sweeps = 0;
+    cert_swept = 0;
+    cert_occ = Array.make 17 0;
   }
 
 let store t = t.store
@@ -324,6 +339,52 @@ let evict_candidates t ~writes ~except =
         (Mvstore.uncommitted t.store key))
     writes;
   Txid.Set.elements !victims
+
+(** A prepare carried inside a coalesced flush: the exact argument
+    bundle of {!prepare}, reified so the engine can queue it and the
+    server can certify it later without re-marshalling. *)
+type batch_req = {
+  btxid : Txid.t;
+  borigin : int;
+  brs : int;
+  bwrites : (Key.t * Value.t) list;
+  bstack_over : Txid.Set.t;
+}
+
+let prepare_req t r =
+  prepare ~stack_over:r.bstack_over t ~txid:r.btxid ~origin:r.borigin ~rs:r.brs
+    ~writes:r.bwrites
+
+(** Certify one entry of an ordered batch sweep.  [sweep] identifies the
+    coalesced flush this prepare arrived in; consecutive calls sharing a
+    token are accounted as one lock-table sweep (occupancy histogram
+    maintained incrementally).  Certification semantics are exactly
+    {!prepare} — in particular a later prepare of the batch may stack
+    over versions an earlier one just installed, because the sweep runs
+    in enqueue order within a single CPU event. *)
+let certify_batch t ~sweep r =
+  if t.cert_sweep = sweep then begin
+    (* The sweep grew by one: move its histogram entry up a bucket. *)
+    let old_b = if t.cert_sweep_n > 16 then 16 else t.cert_sweep_n in
+    t.cert_sweep_n <- t.cert_sweep_n + 1;
+    let new_b = if t.cert_sweep_n > 16 then 16 else t.cert_sweep_n in
+    if new_b <> old_b then begin
+      t.cert_occ.(old_b) <- t.cert_occ.(old_b) - 1;
+      t.cert_occ.(new_b) <- t.cert_occ.(new_b) + 1
+    end
+  end
+  else begin
+    t.cert_sweep <- sweep;
+    t.cert_sweep_n <- 1;
+    t.cert_sweeps <- t.cert_sweeps + 1;
+    t.cert_occ.(1) <- t.cert_occ.(1) + 1
+  end;
+  t.cert_swept <- t.cert_swept + 1;
+  prepare_req t r
+
+(** [(sweeps, swept prepares, occupancy histogram)] — histogram index is
+    [min sweep_size 16]; index 0 is always empty. *)
+let sweep_stats t = (t.cert_sweeps, t.cert_swept, Array.copy t.cert_occ)
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle transitions                                               *)

@@ -106,6 +106,40 @@ val prepare :
 val evict_candidates :
   t -> writes:(Keyspace.Key.t * Keyspace.Value.t) list -> except:Txid.t -> Txid.t list
 
+(** {1 Batched certification}
+
+    When the engine coalesces the commit pipeline
+    ([Config.batch_window_us > 0]), the prepares of one flush are
+    certified back-to-back in a single CPU event — an ordered sweep over
+    the lock table. *)
+
+(** A prepare carried inside a coalesced flush: the argument bundle of
+    {!prepare}, reified so the engine can queue it at the sender and the
+    server can certify it at delivery without re-marshalling. *)
+type batch_req = {
+  btxid : Txid.t;
+  borigin : int;
+  brs : int;
+  bwrites : (Keyspace.Key.t * Keyspace.Value.t) list;
+  bstack_over : Txid.Set.t;
+}
+
+(** Exactly [prepare ~stack_over:r.bstack_over t ~txid:r.btxid ...] —
+    the solo (unbatched) delivery path, with no sweep accounting, so a
+    run with batching off is bit-identical to the historical model. *)
+val prepare_req : t -> batch_req -> prepare_outcome
+
+(** Certify one entry of an ordered batch sweep.  [sweep] identifies the
+    flush; consecutive calls sharing a token are accounted as one
+    lock-table sweep.  Semantics are exactly {!prepare_req}: a later
+    prepare of the batch may stack over versions an earlier one just
+    installed, because the sweep runs in enqueue order. *)
+val certify_batch : t -> sweep:int -> batch_req -> prepare_outcome
+
+(** [(sweeps, swept prepares, occupancy histogram)] — histogram index is
+    [min sweep_size 16]; index 0 is always empty. *)
+val sweep_stats : t -> int * int * int array
+
 (** {1 Lifecycle transitions} *)
 
 (** Pre-committed -> local-committed at timestamp [lc]; wakes blocked

@@ -18,19 +18,35 @@ type criterion = Throughput | Throughput_bounded_misspec of float
     each measurement lasts [window_us] (the paper samples every 10 s).
     With [reexplore_every > 0], the A/B comparison re-runs after that
     many exploit windows (e.g. when triggered by load-change detection;
-    see {!Cusum}). *)
+    see {!Cusum}).  A non-empty [batch_windows] ladder (candidate
+    [Config.batch_window_us] values, e.g. [[|0; 100; 300; 1000|]])
+    additionally co-tunes message coalescing: after the speculation A/B
+    decides, each candidate gets one measurement window and the best
+    throughput locks in, with ties to the smaller window; under
+    [Throughput_bounded_misspec] a candidate whose abort share exceeds
+    the bound is ineligible. *)
 val install :
   Engine.t ->
   window_us:int ->
   ?warmup_us:int ->
   ?reexplore_every:int ->
   ?criterion:criterion ->
+  ?batch_windows:int array ->
   unit ->
   t
 
 (** The current decision: [Some true] = speculation enabled, [None] =
     still exploring. *)
 val decision : t -> bool option
+
+(** The chosen batch window from the last ladder exploration; [None]
+    while undecided or when no ladder was given. *)
+val batch_decision : t -> int option
+
+(** [(window_us, committed tx/s)] per ladder candidate from the last
+    exploration; a [-1.] throughput marks a candidate ruled ineligible
+    by the misspeculation bound. *)
+val batch_throughputs : t -> (int * float) array
 
 val rounds : t -> int
 

@@ -6,6 +6,8 @@ type t = {
   rng : Rng.t;
   mutable messages_sent : int;
   mutable wan_messages : int;
+  mutable batches_sent : int;
+  mutable batched_payloads : int;
   mutable fifo_delays : int;
       (** sends whose delivery was pushed back to preserve per-channel
           FIFO order — a cheap congestion signal for trace summaries *)
@@ -31,6 +33,8 @@ let create ~sim ~topology ~node_dc ~jitter ~rng =
     rng;
     messages_sent = 0;
     wan_messages = 0;
+    batches_sent = 0;
+    batched_payloads = 0;
     fifo_delays = 0;
     last_delivery = Array.make_matrix n n 0;
   }
@@ -69,11 +73,26 @@ let send t ~src ~dst f =
   t.last_delivery.(src).(dst) <- at;
   Sim.schedule_msg t.sim ~time:at ~src ~dst f
 
+(* A coalesced flush is one wire message (one latency draw, one FIFO
+   slot) carrying [n] logical payloads; only the counters differ from
+   {!send}. *)
+let send_coalesced t ~src ~dst ~n f =
+  t.batches_sent <- t.batches_sent + 1;
+  t.batched_payloads <- t.batched_payloads + n;
+  send t ~src ~dst f;
+  (* [send] counted the flush as one message; payloads beyond the first
+     ride for free on the wire but keep the logical total meaningful. *)
+  t.messages_sent <- t.messages_sent + n - 1
+
 let messages_sent t = t.messages_sent
 let wan_messages t = t.wan_messages
+let batches_sent t = t.batches_sent
+let batched_payloads t = t.batched_payloads
 let fifo_delays t = t.fifo_delays
 
 let reset_counters t =
   t.messages_sent <- 0;
   t.wan_messages <- 0;
+  t.batches_sent <- 0;
+  t.batched_payloads <- 0;
   t.fifo_delays <- 0

@@ -32,11 +32,27 @@ val latency_us : t -> src:int -> dst:int -> int
     [f] runs as a fresh event (never inline). *)
 val send : t -> src:int -> dst:int -> (unit -> unit) -> unit
 
-(** Total messages sent so far (includes loopback sends). *)
+(** Deliver [f] as ONE wire message carrying [n] coalesced logical
+    payloads: one latency draw, one FIFO slot, one delivery event.
+    {!messages_sent} still grows by [n] (logical count, comparable
+    across batched and unbatched runs) while {!wan_messages} and the
+    FIFO channel see a single message — which is the point of
+    coalescing. *)
+val send_coalesced : t -> src:int -> dst:int -> n:int -> (unit -> unit) -> unit
+
+(** Total logical messages sent so far (includes loopback sends; every
+    payload inside a coalesced flush counts). *)
 val messages_sent : t -> int
 
-(** Messages whose source and destination DCs differ. *)
+(** Wire messages whose source and destination DCs differ (a coalesced
+    flush counts once). *)
 val wan_messages : t -> int
+
+(** Coalesced flushes sent via {!send_coalesced}. *)
+val batches_sent : t -> int
+
+(** Logical payloads carried inside those flushes. *)
+val batched_payloads : t -> int
 
 (** Sends whose delivery time was pushed back to preserve per-channel
     FIFO order (a proxy for channel congestion). *)

@@ -435,6 +435,73 @@ let openloop_load ?(jobs = 1) ?(clients_per_dc = 2_000) ~scale () =
   report
 
 (* ------------------------------------------------------------------ *)
+(* Batching: batch window x offered load                                *)
+(* ------------------------------------------------------------------ *)
+
+let batch_windows = function Quick -> [ 0; 300 ] | Full -> [ 0; 100; 300; 1_000 ]
+let batch_rates = function Quick -> [ 400.; 1_600. ] | Full -> [ 200.; 800.; 1_600.; 3_200. ]
+
+(** Queue-oriented speculative batching: committed throughput and
+    latency as the coalescing window sweeps against offered load, under
+    open-loop injection on STR/Synth-A.  All cells (including window 0,
+    the unbatched baseline) charge the same per-wire-message dispatch
+    overhead [cost_msg], so the comparison isolates what coalescing
+    amortizes: at high offered load a window trades a bounded latency
+    hold for one dispatch header per flush instead of one per payload. *)
+let batch_load ?(jobs = 1) ?(clients_per_dc = 2_000) ~scale () =
+  let report =
+    Report.create
+      ~title:
+        "Batching: throughput vs batch window x offered load (STR, Synth-A, \
+         open loop, cost_msg=20us)"
+      ~headers:
+        [
+          "offered(tx/s/DC)"; "window(us)"; "thr(tx/s)"; "abort";
+          "lat-p50(ms)"; "lat-p99(ms)"; "batches"; "payload/flush";
+        ]
+  in
+  let timing = synth_timing scale in
+  Sweep.product (batch_rates scale) (batch_windows scale)
+  |> List.map (fun (rate, window) ->
+         Sweep.cell (int_of_float rate, window) (fun () ->
+             Openloop.run
+               {
+                 Openloop.topology;
+                 replication_factor;
+                 config =
+                   Core.Config.with_batching ~batch_window_us:window
+                     ~batch_max:16 ~cost_msg:20 (Core.Config.str ());
+                 workload =
+                   Workload.Synthetic.make ~params:Workload.Synthetic.synth_a
+                     (placement ());
+                 clients_per_dc;
+                 arrival = Workload.Arrival.poisson ~rate_per_dc:rate;
+                 warmup_us = timing.warmup_us;
+                 measure_us = timing.measure_us;
+                 seed = int_of_float rate + 61;
+                 jitter = 0.02;
+                 queue = `Heap;
+               }))
+  |> Sweep.run_processes ~jobs
+  |> List.iter (fun ((rate, window), r) ->
+         Report.add_row report
+           [
+             string_of_int rate;
+             string_of_int window;
+             Report.f1 r.Openloop.throughput;
+             Report.pct r.Openloop.abort_rate;
+             Report.ms_of_us r.Openloop.final_latency.Metrics.p50_us;
+             Report.ms_of_us r.Openloop.final_latency.Metrics.p99_us;
+             string_of_int r.Openloop.batch_flushes;
+             (if r.Openloop.batch_flushes = 0 then "-"
+              else
+                Report.f1
+                  (float_of_int r.Openloop.batch_payloads
+                  /. float_of_int r.Openloop.batch_flushes));
+           ]);
+  report
+
+(* ------------------------------------------------------------------ *)
 (* Ablations (beyond the paper's artifacts)                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -741,5 +808,9 @@ let all ?(jobs = 1) ~scale () =
     fig6 ~jobs ~scale ();
     storage ~jobs ~scale ();
     region_failure ~jobs ~scale ();
+    (* {!openloop_load} and {!batch_load} are standalone subcommands
+       (str_sim openloop / batchfig), not part of [all]: their cells
+       run on process workers ({!Sweep.run_processes}), and [Unix.fork]
+       is unavailable once the domain pools above have run. *)
   ]
   @ ablations ~jobs ~scale ()

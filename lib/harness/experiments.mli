@@ -56,6 +56,14 @@ val region_failure : ?jobs:int -> scale:scale -> unit -> Report.t
 val openloop_load :
   ?jobs:int -> ?clients_per_dc:int -> scale:scale -> unit -> Report.t
 
+(** Queue-oriented speculative batching: committed throughput and
+    latency as the coalescing window ([Config.batch_window_us]) sweeps
+    against offered load, open-loop STR/Synth-A.  Every cell — window 0
+    included — charges the same per-wire-message dispatch overhead, so
+    the columns isolate what coalescing amortizes. *)
+val batch_load :
+  ?jobs:int -> ?clients_per_dc:int -> scale:scale -> unit -> Report.t
+
 val ablation_dcs : ?jobs:int -> scale:scale -> unit -> Report.t
 val ablation_rf : ?jobs:int -> scale:scale -> unit -> Report.t
 val ablation_remote_reads : ?jobs:int -> scale:scale -> unit -> Report.t

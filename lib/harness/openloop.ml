@@ -72,6 +72,8 @@ type result = {
   events : int;  (** simulator events processed (warmup + window) *)
   stats : Core.Stats.t;
   wan_messages : int;
+  batch_flushes : int;  (** coalesced flushes emitted (whole run) *)
+  batch_payloads : int;  (** logical payloads those flushes carried *)
 }
 
 (* Client state tags.  A client is only ever Idle (on its DC's
@@ -233,4 +235,6 @@ let run setup =
     events = ev_warm + ev_meas;
     stats = d;
     wan_messages = Dsim.Network.wan_messages net;
+    batch_flushes = Core.Engine.batch_flushes eng;
+    batch_payloads = Core.Engine.batch_payloads eng;
   }

@@ -48,6 +48,8 @@ type result = {
   events : int;  (** simulator events processed (warmup + window) *)
   stats : Core.Stats.t;  (** counter deltas over the window *)
   wan_messages : int;
+  batch_flushes : int;  (** coalesced flushes emitted (whole run) *)
+  batch_payloads : int;  (** logical payloads those flushes carried *)
 }
 
 (** Build the cluster, inject arrivals through warmup + measurement,

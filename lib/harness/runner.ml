@@ -185,6 +185,21 @@ let run ?observer ?trace setup =
     Obs.Trace.set_stat tr "net_messages" (Dsim.Network.messages_sent net);
     Obs.Trace.set_stat tr "net_wan_messages" (Dsim.Network.wan_messages net);
     Obs.Trace.set_stat tr "net_fifo_delays" (Dsim.Network.fifo_delays net);
+    (* Batching-layer counters only when coalescing actually ran,
+       keeping unbatched traces byte-identical to the historical ones. *)
+    if Core.Engine.batch_flushes eng > 0 then begin
+      Obs.Trace.set_stat tr "batch_flushes" (Core.Engine.batch_flushes eng);
+      Obs.Trace.set_stat tr "batch_payloads" (Core.Engine.batch_payloads eng);
+      Obs.Trace.set_stat tr "net_batches" (Dsim.Network.batches_sent net);
+      let sweeps, swept, _ = Core.Engine.cert_sweep_stats eng in
+      Obs.Trace.set_stat tr "cert_sweeps" sweeps;
+      Obs.Trace.set_stat tr "cert_swept" swept;
+      Array.iteri
+        (fun i c ->
+          if c > 0 then
+            Obs.Trace.set_stat tr (Printf.sprintf "batch_occ_%02d" i) c)
+        (Core.Engine.batch_occupancy eng)
+    end;
     (match fault with
     | Some f ->
       (* Only faulted runs carry these, keeping fault-free traces

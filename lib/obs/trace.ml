@@ -12,6 +12,7 @@ type span_kind =
   | S_local_cert
   | S_repl_wait
   | S_dep_wait
+  | S_batch_flush
 
 let span_name = function
   | S_tx -> "tx"
@@ -22,6 +23,7 @@ let span_name = function
   | S_local_cert -> "local-cert"
   | S_repl_wait -> "repl-wait"
   | S_dep_wait -> "dep-wait"
+  | S_batch_flush -> "batch-flush"
 
 type instant_kind = I_local_commit | I_spec_commit | I_commit | I_abort
 
@@ -41,6 +43,8 @@ type msg_kind =
   | M_abort
   | M_status_req
   | M_status_reply
+  | M_prepare_batch
+  | M_replicate_batch
 
 let msg_kinds =
   [
@@ -53,9 +57,11 @@ let msg_kinds =
     M_abort;
     M_status_req;
     M_status_reply;
+    M_prepare_batch;
+    M_replicate_batch;
   ]
 
-let n_msg_kinds = 9
+let n_msg_kinds = 11
 
 (* Kinds present in the v1 trace schema; the recovery-protocol kinds
    below are exported only when nonzero so fault-free trace bytes stay
@@ -72,6 +78,8 @@ let msg_index = function
   | M_abort -> 6
   | M_status_req -> 7
   | M_status_reply -> 8
+  | M_prepare_batch -> 9
+  | M_replicate_batch -> 10
 
 let msg_name = function
   | M_read_req -> "read-req"
@@ -83,6 +91,8 @@ let msg_name = function
   | M_abort -> "abort"
   | M_status_req -> "status-req"
   | M_status_reply -> "status-reply"
+  | M_prepare_batch -> "prepare-batch"
+  | M_replicate_batch -> "replicate-batch"
 
 type ev = {
   kind : [ `Span of span_kind | `Instant of instant_kind ];

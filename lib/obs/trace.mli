@@ -29,6 +29,7 @@ type span_kind =
   | S_local_cert  (** local certification + local commit *)
   | S_repl_wait  (** global certification: prepares in flight *)
   | S_dep_wait  (** SPSI-4: waiting on speculative dependees *)
+  | S_batch_flush  (** coalescing queue open on a link: first enqueue to flush *)
 
 val span_name : span_kind -> string
 
@@ -39,7 +40,11 @@ val instant_name : instant_kind -> string
 
 (** Protocol message classes, counted per trace.  [M_status_req] /
     [M_status_reply] are the atomic-commitment recovery protocol's
-    in-doubt resolution queries (only ever sent on faulted runs). *)
+    in-doubt resolution queries (only ever sent on faulted runs).
+    [M_prepare_batch] / [M_replicate_batch] are coalesced wire messages
+    carrying several logical payloads (only ever sent when
+    [Config.batch_window_us > 0]); the logical payloads inside are still
+    counted under their own kinds. *)
 type msg_kind =
   | M_read_req
   | M_read_reply
@@ -50,9 +55,15 @@ type msg_kind =
   | M_abort
   | M_status_req
   | M_status_reply
+  | M_prepare_batch
+  | M_replicate_batch
 
 val msg_kinds : msg_kind list
 val msg_name : msg_kind -> string
+
+val msg_index : msg_kind -> int
+(** Dense index in {!msg_kinds} declaration order (stable across
+    schema-compatible additions, which only ever append). *)
 
 (** One recorded event.  [t1 = -1] marks a still-open span; instants
     have [t1 = t0].  [a]/[b] carry the transaction identity (origin,

@@ -216,6 +216,66 @@ let msg_name = function M_a -> 1 | M_a_reply -> 2
   in
   check_fired "reply sends are exempt" (run [ trace_reply; engine_reply ]) []
 
+(* Batched-pipeline send sites: [send_work] (queue for coalescing) and
+   [send_batch] (emit a coalesced flush) are message sends for flow
+   purposes — kinds sent only through them are not dead, and an
+   unregistered batch kind at a [send_batch] site must still fire. *)
+
+let trace_batched =
+  src "lib/obs/trace.ml"
+    {fix|type msg_kind = M_a | M_b | M_ab
+let msg_kinds = [ M_a; M_b; M_ab ]
+let msg_name = function M_a -> 1 | M_b -> 2 | M_ab -> 3
+|fix}
+
+let test_message_flow_batched_sites () =
+  let engine_batched =
+    src "lib/core/engine.ml"
+      {fix|let run eng =
+  send_work eng ~kind:M_a ~cost:1 ();
+  send eng ~kind:M_b ~cost:2 ();
+  send_batch eng ~kind:M_ab ~n:3 ()
+|fix}
+  in
+  check_fired "batched flow is clean" (run [ trace_batched; engine_batched ]) [];
+  let engine_unregistered =
+    src "lib/core/engine.ml"
+      {fix|let run eng =
+  send_work eng ~kind:M_a ~cost:1 ();
+  send eng ~kind:M_b ~cost:2 ();
+  send_batch eng ~kind:M_ab ~n:3 ();
+  send_batch eng ~kind:M_zz_batch ~n:2 ()
+|fix}
+  in
+  let report = run [ trace_batched; engine_unregistered ] in
+  check_fired "unregistered batch kind fires" report [ "message-flow" ];
+  match find_rule report "message-flow" with
+  | [ f ] ->
+    Alcotest.(check int) "at the flush send site" 5 f.A.line;
+    let prefix = "sent message kind M_zz_batch is not declared" in
+    Alcotest.(check bool) "reported as undeclared" true
+      (String.length f.A.message >= String.length prefix
+      && String.sub f.A.message 0 (String.length prefix) = prefix)
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+
+let test_cost_coverage_batched_sites () =
+  (* A [send_work] payload still needs its cost; a [send_batch] flush
+     does not (the amortized ~cost is charged in the delivery body). *)
+  let engine_nocost =
+    src "lib/core/engine.ml"
+      {fix|let run eng =
+  send_work eng ~kind:M_a ();
+  send eng ~kind:M_b ~cost:2 ();
+  send_batch eng ~kind:M_ab ~n:3 ()
+|fix}
+  in
+  let report = run [ trace_batched; engine_nocost ] in
+  check_fired "send_work without cost fires; send_batch exempt" report
+    [ "cost-coverage" ];
+  match find_rule report "cost-coverage" with
+  | [ f ] -> Alcotest.(check int) "at the send_work site" 2 f.A.line
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+
 let test_fingerprint_coverage () =
   let types_two =
     src "lib/core/types.ml" "type tx = {\n  mutable aa : int;\n  mutable bb : int;\n}\n"
@@ -422,11 +482,14 @@ let () =
           Alcotest.test_case "missing arm" `Quick test_message_flow_missing_arm;
           Alcotest.test_case "dead kind" `Quick test_message_flow_dead_kind;
           Alcotest.test_case "unknown kind" `Quick test_message_flow_unknown_kind;
+          Alcotest.test_case "batched send sites" `Quick
+            test_message_flow_batched_sites;
         ] );
       ( "cost-coverage",
         [
           Alcotest.test_case "fires and repaired twin clean" `Quick test_cost_coverage;
           Alcotest.test_case "replies exempt" `Quick test_cost_coverage_reply_exempt;
+          Alcotest.test_case "batched sites" `Quick test_cost_coverage_batched_sites;
         ] );
       ( "fingerprint-coverage",
         [
