@@ -1,4 +1,4 @@
-.PHONY: all build test check mc mc-crash mc-batch lint trace-smoke bench bench-quick bench-scale tables tables-quick
+.PHONY: all build test check mc mc-crash mc-batch lint trace-smoke trace-cp bench bench-quick bench-scale tables tables-quick
 
 all: build
 
@@ -19,6 +19,12 @@ lint:
 # fingerprint golden (test/goldens/trace_smoke.expected).
 trace-smoke:
 	dune build @trace-smoke
+
+# Critical-path smoke: decompose the smoke/batched traces into latency
+# components and replay a recorded snapshot series
+# (test/goldens/trace_critpath.expected).
+trace-cp:
+	dune build @trace-cp
 
 # Deep model-checking configuration (exhausts the dcs=2/keys=2/txs=3
 # schedule tree; takes on the order of a minute).

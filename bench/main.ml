@@ -171,6 +171,22 @@ let micro_tests =
     in
     Sys.opaque_identity r.Harness.Runner.committed
   in
+  (* Causal-edge overhead probe: the same traced mini experiment with
+     the causal-edge store disabled vs live.  The off row is full span
+     tracing minus edge recording (each [Trace.edge] is one branch); the
+     delta against the on row prices exactly what the critical-path
+     decomposition costs — one appended edge record per delivered wire
+     message. *)
+  let causal_bench ~on () =
+    let trace = Obs.Trace.create ~causal:on () in
+    let r =
+      mini_experiment_result ~trace
+        ~workload_of:(fun pl ->
+          Workload.Synthetic.make ~params:Workload.Synthetic.synth_a pl)
+        ~config:(Core.Config.str ()) ()
+    in
+    Sys.opaque_identity r.Harness.Runner.committed
+  in
   (* Fault-machinery overhead probe: the same mini experiment with the
      fault layer installed but no fault ever firing (the plan is one
      immediate [Heal] of an already-clean link state).  This prices
@@ -220,6 +236,8 @@ let micro_tests =
       Test.make ~name:"fault-off-mini" (Staged.stage fault_off_bench);
       Test.make ~name:"batch-off-mini" (Staged.stage (fun () -> batch_bench ~on:false ()));
       Test.make ~name:"batch-on-mini" (Staged.stage (fun () -> batch_bench ~on:true ()));
+      Test.make ~name:"causal-off-mini" (Staged.stage (fun () -> causal_bench ~on:false ()));
+      Test.make ~name:"causal-on-mini" (Staged.stage (fun () -> causal_bench ~on:true ()));
     ]
 
 (* Run a bechamel suite and return [(name, ns_per_run option)] rows

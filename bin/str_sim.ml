@@ -112,7 +112,7 @@ let traced_experiment_cmd name doc f =
 (* Open-loop variant of `run`: fixed-rate Poisson injection through
    Harness.Openloop; --clients is the population per DC. *)
 let run_openloop ~protocol ~wname ~config ~workload ~clients ~seconds ~warmup ~seed
-    ~rate ~wheel =
+    ~rate ~wheel ?timeseries_us ~timeseries_csv () =
   let setup =
     {
       (Harness.Openloop.default_setup ~workload ~config) with
@@ -124,7 +124,10 @@ let run_openloop ~protocol ~wname ~config ~workload ~clients ~seconds ~warmup ~s
       queue = (if wheel then `Wheel else `Heap);
     }
   in
-  let r = Harness.Openloop.run setup in
+  let r = Harness.Openloop.run ?timeseries_us setup in
+  (match (timeseries_csv, r.Harness.Openloop.timeseries) with
+  | Some f, Some ts -> write_file f (Obs.Timeseries.to_csv ts)
+  | Some _, None | None, _ -> ());
   Printf.printf "open-loop protocol=%s workload=%s clients/DC=%d rate=%.1f tx/s/DC (%s)\n"
     protocol wname clients rate
     (if wheel then "wheel" else "heap");
@@ -145,7 +148,15 @@ let run_openloop ~protocol ~wname ~config ~workload ~clients ~seconds ~warmup ~s
   Format.printf "  stats          : %a@." Core.Stats.pp r.Harness.Openloop.stats
 
 let run_custom protocol workload clients seconds warmup seed arrival_rate wheel
-    crash crash_at_ms recover_at_ms batch_window batch_max trace_file trace_jsonl =
+    crash crash_at_ms recover_at_ms batch_window batch_max timeseries_us_arg
+    timeseries_csv trace_file trace_jsonl =
+  (* Asking for the CSV without an interval means "record at the default
+     interval". *)
+  let timeseries_us =
+    if timeseries_us_arg > 0 then Some timeseries_us_arg
+    else if timeseries_csv <> None then Some 500_000
+    else None
+  in
   let config =
     match protocol with
     | "str" -> Core.Config.str ()
@@ -199,7 +210,7 @@ let run_custom protocol workload clients seconds warmup seed arrival_rate wheel
     if fault_plan <> [] then
       prerr_endline "note: --crash is not supported in open-loop mode; ignoring";
     run_openloop ~protocol ~wname:workload ~config ~workload:wl ~clients ~seconds
-      ~warmup ~seed ~rate ~wheel
+      ~warmup ~seed ~rate ~wheel ?timeseries_us ~timeseries_csv ()
   | None ->
   if wheel then
     prerr_endline "note: --wheel only applies with --arrival-rate; ignoring";
@@ -217,7 +228,10 @@ let run_custom protocol workload clients seconds warmup seed arrival_rate wheel
   let trace =
     if trace_file = None && trace_jsonl = None then None else Some (Obs.Trace.create ())
   in
-  let r = Harness.Runner.run ?trace setup in
+  let r = Harness.Runner.run ?trace ?timeseries_us setup in
+  (match (timeseries_csv, r.Harness.Runner.timeseries) with
+  | Some f, Some ts -> write_file f (Obs.Timeseries.to_csv ts)
+  | Some _, None | None, _ -> ());
   Printf.printf "protocol=%s workload=%s clients/node=%d\n" protocol workload clients;
   Printf.printf "  throughput     : %.1f tx/s\n" r.Harness.Runner.throughput;
   Printf.printf "  abort rate     : %.1f%%\n" (100. *. r.Harness.Runner.abort_rate);
@@ -330,12 +344,31 @@ let run_cmd =
             "Size cap: a link queue flushes early once it holds $(docv) \
              payloads (with $(b,--batch-window)).")
   in
+  let timeseries_us =
+    Arg.(
+      value & opt int 0
+      & info [ "timeseries-us" ] ~docv:"US"
+          ~doc:
+            "Record the deterministic snapshot series (goodput, abort \
+             taxonomy, queue depth, speculation depth ...) every $(docv) \
+             simulated microseconds.  Sealed into $(b,--trace) output (read \
+             it back with $(b,trace_stats --timeseries)).")
+  in
+  let timeseries_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeseries-csv" ] ~docv:"FILE"
+          ~doc:
+            "Write the snapshot series to $(docv) as CSV (implies \
+             $(b,--timeseries-us) at 500ms when no interval was given).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a single simulation and print its metrics")
     Term.(
       const run_custom $ protocol $ workload $ clients $ seconds $ warmup $ seed
       $ arrival_rate $ wheel $ crash $ crash_at_ms $ recover_at_ms $ batch_window
-      $ batch_max $ trace_arg $ trace_jsonl_arg)
+      $ batch_max $ timeseries_us $ timeseries_csv $ trace_arg $ trace_jsonl_arg)
 
 let () =
   let open Harness.Experiments in

@@ -78,6 +78,15 @@ let rule_infos =
       default_severity = Error;
     };
     {
+      name = "causal-coverage";
+      about =
+        "every message send must carry the emitting transaction's causal \
+         context (~ctx), or the delivery cannot be linked into the causal \
+         DAG (send_batch flushes are exempt: item contexts are stamped at \
+         enqueue)";
+      default_severity = Error;
+    };
+    {
       name = "fingerprint-coverage";
       about =
         "every mutable field of a fingerprinted state record must reach the \
@@ -227,8 +236,9 @@ type facts = {
   f_ctors : (string * int) list;  (** [M_*] constructors declared in type items *)
   f_ctor_items : (string * int * string list) list;
       (** let items mentioning message constructors: name, line, ctors *)
-  f_sends : (string * int * int * bool * string list) list;
-      (** kind, line, col, body has a cost marker, body idents *)
+  f_sends : (string * int * int * bool * bool * string list) list;
+      (** kind, line, col, body has a cost marker, site has a [~ctx]
+          argument, body idents *)
   f_cost_defs : string list;  (** let items whose body takes/charges ~cost *)
   f_spans : (int * int * span_status) list;  (** line, col, classification *)
   f_span_ctx : string list;  (** idents around span_end call sites *)
@@ -457,16 +467,23 @@ let extract ~config ~file src =
          nxt (i + 1));
         (* A coalesced flush charges one amortized ~cost inside its
            delivery closure, not at the send site. *)
+        (* A coalesced flush charges one amortized ~cost and carries the
+           per-item contexts stamped at enqueue time, so a [send_batch]
+           site satisfies both coverages by construction. *)
         let has_cost = ref (is_id i "send_batch") in
+        let has_ctx = ref (is_id i "send_batch") in
         let wid = ref [] in
         for k = i to !wstop - 1 do
           if is_label k "cost" then has_cost := true;
+          if is_label k "ctx" then has_ctx := true;
           if is_ident k then begin
             if String.starts_with ~prefix:"cost_" (text k) then has_cost := true;
             wid := text k :: !wid
           end
         done;
-        sends := (!ctor, line i, col1 i, !has_cost, List.sort_uniq String.compare !wid) :: !sends
+        sends :=
+          (!ctor, line i, col1 i, !has_cost, !has_ctx, List.sort_uniq String.compare !wid)
+          :: !sends
       end
     end
   done;
@@ -598,7 +615,7 @@ let semantic_findings ~config pf =
       let sent =
         List.sort_uniq String.compare
           (List.concat_map
-             (fun (_, f) -> List.map (fun (c, _, _, _, _) -> c) f.f_sends)
+             (fun (_, f) -> List.map (fun (c, _, _, _, _, _) -> c) f.f_sends)
              pf)
       in
       let dead =
@@ -612,7 +629,7 @@ let semantic_findings ~config pf =
         List.concat_map
           (fun (p, f) ->
             f.f_sends
-            |> List.filter_map (fun (c, l, col, _, _) ->
+            |> List.filter_map (fun (c, l, col, _, _, _) ->
                    if List.mem c declared then None
                    else
                      Some
@@ -628,7 +645,7 @@ let semantic_findings ~config pf =
     List.concat_map
       (fun (p, f) ->
         f.f_sends
-        |> List.filter_map (fun (c, l, col, has_cost, wid) ->
+        |> List.filter_map (fun (c, l, col, has_cost, _, wid) ->
                if String.ends_with ~suffix:"_reply" c then None
                else if has_cost || List.exists (fun w -> List.mem w all_cost_defs) wid
                then None
@@ -639,6 +656,22 @@ let semantic_findings ~config pf =
                          "send of %s has no CPU cost in its body (~cost, a cost_* \
                           parameter, or a charging call); the latency model \
                           undercounts this hop"
+                         c))))
+      pf
+  in
+  let causal =
+    List.concat_map
+      (fun (p, f) ->
+        f.f_sends
+        |> List.filter_map (fun (c, l, col, _, has_ctx, _) ->
+               if has_ctx then None
+               else
+                 Some
+                   (mk p l col "causal-coverage"
+                      (Printf.sprintf
+                         "send of %s carries no causal context (~ctx); its delivery \
+                          cannot be linked into the emitting transaction's causal \
+                          DAG and the critical-path decomposition loses this hop"
                          c))))
       pf
   in
@@ -702,7 +735,7 @@ let semantic_findings ~config pf =
                        be closed")))
       pf
   in
-  message_flow @ cost @ fp @ span
+  message_flow @ cost @ causal @ fp @ span
 
 (* Was [rule] actually evaluated against [path]?  Unused-marker
    reporting is restricted to evaluated rules so that partial scans (a
@@ -715,7 +748,7 @@ let rule_evaluated ~config ~trace_present pf_assoc path facts rule =
   | "no-direct-print" -> lib_scope path
   | "message-flow" ->
     trace_present && (path_matches ~suffix:config.trace_file path || facts.f_sends <> [])
-  | "cost-coverage" -> facts.f_sends <> []
+  | "cost-coverage" | "causal-coverage" -> facts.f_sends <> []
   | "span-pairing" -> facts.f_spans <> []
   | "fingerprint-coverage" ->
     List.exists
@@ -800,7 +833,7 @@ let apply_markers ~config ~semantic pf raw =
 (* Content-hash cache                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let cache_schema = 1
+let cache_schema = 2
 
 let content_hash s =
   let h = ref 0xcbf29ce484222325L in
@@ -834,7 +867,8 @@ let json_of_facts f =
       ( "sends",
         J.Arr
           (List.map
-             (fun (c, l, col, hc, wid) -> J.Arr [ J.Str c; jnum l; jnum col; J.Bool hc; jstrs wid ])
+             (fun (c, l, col, hc, hx, wid) ->
+               J.Arr [ J.Str c; jnum l; jnum col; J.Bool hc; J.Bool hx; jstrs wid ])
              f.f_sends) );
       ("cost_defs", jstrs f.f_cost_defs);
       ( "spans",
@@ -899,7 +933,8 @@ let facts_of_json j =
           List.map
             (fun v ->
               match arr v with
-              | [ c; l; col; hc; wid ] -> (str c, int l, int col, boolean hc, strs wid)
+              | [ c; l; col; hc; hx; wid ] ->
+                (str c, int l, int col, boolean hc, boolean hx, strs wid)
               | _ -> raise Bad_cache)
             (arr (field o "sends"));
         f_cost_defs = strs (field o "cost_defs");

@@ -28,6 +28,14 @@
       argument, a [cost_*] identifier, or a call to a definition that
       itself charges cost.  [*_reply] kinds are exempt: replies
       deliver to an already-charged coordinator fiber.
+    - {b causal-coverage} — every message-send site ([send] /
+      [send_work]) must carry the emitting transaction's causal
+      context (a [~ctx] argument), or the delivery cannot be linked
+      into the per-transaction causal DAG and the critical-path
+      decomposition loses the hop.  [send_batch] flush sites are
+      exempt: each queued item's context was stamped at its
+      [send_work ~ctx] enqueue, so the flush carries no single
+      context of its own.
     - {b fingerprint-coverage} — every [mutable] field of the
       configured state records must appear in the corresponding
       [fingerprint] function, or the model checker's visited-state

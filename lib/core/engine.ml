@@ -87,6 +87,11 @@ type dispatch =
 type batch_item = {
   bkind : Obs.Trace.msg_kind;
   bepoch : int;
+  bctx_a : int;
+  bctx_b : int;
+      (** emitting transaction identity ([min_int] when none): the
+          flush stamps each payload's causal edge with it *)
+  bt_enq : int;  (** enqueue time — start of the batch-park interval *)
   bwork : unit -> dispatch;
 }
 
@@ -122,6 +127,10 @@ type t = {
   mutable batch_flushes : int;
   (* lint: allow fingerprint-coverage — monotone stat counter *)
   mutable batch_payloads : int;
+  (* lint: allow fingerprint-coverage — derived observability gauge
+     (count of transactions sitting in Local_committed), recomputable
+     from the transaction records that ARE fingerprinted *)
+  mutable spec_live : int;
   batch_occ : int array;  (** flush-size histogram; index [min n 16] *)
   (* lint: allow fingerprint-coverage — test/trace hook installed by
      harnesses; not simulation state *)
@@ -177,7 +186,7 @@ let read_failed_reply : Partition_server.read_reply =
     every payload: the hot path now forwards [f] to the network
     unmodified, and the queue entry's unboxed endpoint word is what the
     run loop checks — one allocation per message eliminated. *)
-let send eng ~kind ~src ~dst f =
+let send_raw eng ~kind ~src ~dst f =
   Obs.Trace.count_msg eng.trace kind;
   let nd = eng.nodes.(src) in
   if nd.alive then
@@ -189,6 +198,39 @@ let send eng ~kind ~src ~dst f =
       Network.send eng.net ~src ~dst (fun () -> if nd.epoch = epoch then f ())
     end
     else Network.send eng.net ~src ~dst f
+
+(* Causal context of a protocol send: the emitting transaction's
+   identity [(origin, number)], threaded to every [send] / [send_work]
+   site so deliveries link into the per-transaction causal DAG
+   (Obs.Causal).  The analyzer's [causal-coverage] rule enforces that
+   every site carries one. *)
+let ctx_of_txid id = (Txid.origin id, Txid.number id)
+
+(** Record one causal message edge at delivery time, when the
+    destination's queue backlog is observable.  Pure append into the
+    trace's edge store — never schedules, never perturbs the run. *)
+let record_edge eng ~kind ~a ~b ~src ~dst ~t_enq ~t_wire ~cost =
+  Obs.Trace.edge eng.trace ~kind ~a ~b ~src ~dst ~t_enq ~t_wire
+    ~t_deliver:(Sim.now eng.sim)
+    ~queue:(Cpu.backlog_us eng.nodes.(dst).cpu)
+    ~cost ()
+
+(** Traced protocol send.  [ctx] is the emitting transaction; [dcost]
+    is the destination-side handler cost when the site knows it (read
+    service, coordinator-op bookkeeping) so the edge's dispatch-cpu
+    segment matches the [Cpu.exec] the handler will issue.  With
+    tracing off this forwards to {!send_raw} untouched — one branch,
+    zero allocation. *)
+let send eng ~kind ~ctx ?(dcost = 0) ~src ~dst f =
+  if Obs.Trace.enabled eng.trace then begin
+    let t_send = Sim.now eng.sim in
+    let a, b = ctx in
+    send_raw eng ~kind ~src ~dst (fun () ->
+        record_edge eng ~kind ~a ~b ~src ~dst ~t_enq:t_send ~t_wire:t_send
+          ~cost:dcost;
+        f ())
+  end
+  else send_raw eng ~kind ~src ~dst f
 
 (** Trace process id of the data center hosting [n] ([+1] keeps pid 0
     free — some trace viewers reserve it). *)
@@ -322,6 +364,7 @@ let create ~sim ~net ~placement ~config ?(seed = 42) ?trace () =
               { bq = []; bq_n = 0; bq_gen = 0; bq_span = -1; bq_first_at = 0 }));
     batch_flushes = 0;
     batch_payloads = 0;
+    spec_live = 0;
     batch_occ = Array.make 17 0;
     observer = None;
     fault = None;
@@ -400,6 +443,28 @@ let run_dispatch_solo eng ~dst work =
     Cpu.exec eng.nodes.(dst).cpu ~cost:(cm + dcost) (fun () ->
         if dpre () then dpost (Partition_server.prepare_req dsrv dreq))
 
+(* Traced twin of {!run_dispatch_solo}: additionally records the
+   payload's causal edge, here at delivery time because that is when
+   both the destination backlog and the dispatch cost are known.  Kept
+   separate so the untraced hot path stays allocation-free. *)
+let run_dispatch_traced eng ~kind ~a ~b ~src ~dst ~t_send work =
+  let cm = eng.config.Config.cost_msg in
+  let w = work () in
+  let cost =
+    match w with
+    | Dispatch_cpu (c, _) -> cm + c
+    | Dispatch_inline _ -> cm
+    | Dispatch_prepare { dcost; _ } -> cm + dcost
+  in
+  record_edge eng ~kind ~a ~b ~src ~dst ~t_enq:t_send ~t_wire:t_send ~cost;
+  match w with
+  | Dispatch_cpu (c, k) -> Cpu.exec eng.nodes.(dst).cpu ~cost:(cm + c) k
+  | Dispatch_inline k ->
+    if cm = 0 then k () else Cpu.exec eng.nodes.(dst).cpu ~cost:cm k
+  | Dispatch_prepare { dcost; dsrv; dreq; dpre; dpost } ->
+    Cpu.exec eng.nodes.(dst).cpu ~cost:(cm + dcost) (fun () ->
+        if dpre () then dpost (Partition_server.prepare_req dsrv dreq))
+
 (** Wire transport of one coalesced flush: ONE network message (one
     latency draw, one FIFO slot) carrying [n] logical payloads; the
     delivery body charges the amortized batch ~cost in a single CPU
@@ -421,10 +486,11 @@ let flush_batch eng ~src ~dst b =
   if b.bq_n > 0 then begin
     let items = List.rev b.bq in
     let n = b.bq_n in
+    let t_wire = Sim.now eng.sim in
     b.bq <- [];
     b.bq_n <- 0;
     b.bq_gen <- b.bq_gen + 1;
-    Obs.Trace.span_end eng.trace b.bq_span ~t1:(Sim.now eng.sim);
+    Obs.Trace.span_end eng.trace b.bq_span ~t1:t_wire;
     b.bq_span <- -1;
     if eng.nodes.(src).alive then begin
       eng.batch_flushes <- eng.batch_flushes + 1;
@@ -452,6 +518,16 @@ let flush_batch eng ~src ~dst b =
                 | Dispatch_prepare { dcost; _ } -> acc + dcost)
               eng.config.Config.cost_msg works
           in
+          if Obs.Trace.enabled eng.trace then
+            (* One causal edge per live payload: park interval
+               [bt_enq, t_wire), one shared wire flight, and the whole
+               batch's CPU event as each payload's service window (the
+               bodies all run when the single charge completes). *)
+            List.iter
+              (fun it ->
+                record_edge eng ~kind:it.bkind ~a:it.bctx_a ~b:it.bctx_b ~src
+                  ~dst ~t_enq:it.bt_enq ~t_wire ~cost:total)
+              live;
           Cpu.exec eng.nodes.(dst).cpu ~cost:total (fun () ->
               List.iter
                 (function
@@ -472,7 +548,7 @@ let flush_batch eng ~src ~dst b =
     a window opens the batch-flush span and arms the window timer as an
     Internal-lane event — under the model checker's controlled mode the
     flush is an ordinary transition, ordered against the protocol. *)
-let enqueue_batch eng ~kind ~src ~dst work =
+let enqueue_batch eng ~kind ~ctx ~src ~dst work =
   let nd = eng.nodes.(src) in
   if nd.alive then begin
     let b = eng.batches.(src).(dst) in
@@ -487,7 +563,11 @@ let enqueue_batch eng ~kind ~src ~dst work =
       Sim.schedule eng.sim ~delay:eng.config.Config.batch_window_us (fun () ->
           if b.bq_gen = gen then flush_batch eng ~src ~dst b)
     end;
-    b.bq <- { bkind = kind; bepoch = nd.epoch; bwork = work } :: b.bq;
+    let bctx_a, bctx_b = ctx in
+    b.bq <-
+      { bkind = kind; bepoch = nd.epoch; bctx_a; bctx_b;
+        bt_enq = Sim.now eng.sim; bwork = work }
+      :: b.bq;
     b.bq_n <- b.bq_n + 1;
     if b.bq_n >= eng.config.Config.batch_max then flush_batch eng ~src ~dst b
   end
@@ -497,12 +577,18 @@ let enqueue_batch eng ~kind ~src ~dst work =
     epoch stamping, same delivery event structure; with coalescing on,
     batchable kinds park on the link queue until the window closes or
     the size cap fires. *)
-let send_work eng ~kind ~src ~dst work =
+let send_work eng ~kind ~ctx ~src ~dst work =
   if eng.config.Config.batch_window_us > 0 && batchable kind then begin
     Obs.Trace.count_msg eng.trace kind;
-    enqueue_batch eng ~kind ~src ~dst work
+    enqueue_batch eng ~kind ~ctx ~src ~dst work
   end
-  else send eng ~kind ~src ~dst (fun () -> run_dispatch_solo eng ~dst work)
+  else if Obs.Trace.enabled eng.trace then begin
+    let t_send = Sim.now eng.sim in
+    let a, b = ctx in
+    send_raw eng ~kind ~src ~dst (fun () ->
+        run_dispatch_traced eng ~kind ~a ~b ~src ~dst ~t_send work)
+  end
+  else send_raw eng ~kind ~src ~dst (fun () -> run_dispatch_solo eng ~dst work)
 
 (* ------------------------------------------------------------------ *)
 (* Atomic-commitment decision log and in-doubt resolution              *)
@@ -555,7 +641,8 @@ let log_decision eng (tx : tx) d =
         Txid.Tbl.remove nd.status_waiters tx.id;
         List.iter
           (fun (asker, p) ->
-            send eng ~kind:Obs.Trace.M_status_reply ~src:tx.origin ~dst:asker
+            send eng ~kind:Obs.Trace.M_status_reply ~ctx:(ctx_of_txid tx.id)
+              ~src:tx.origin ~dst:asker
               (fun () -> apply_resolution eng ~node:asker ~partition:p tx.id d))
           (List.rev waiters)
     end
@@ -594,12 +681,14 @@ let rec resolve_in_doubt ?(tries = 0) eng ~node:n ~partition:p txid =
               resolve_in_doubt ~tries:(tries + 1) eng ~node:n ~partition:p txid)
       in
       if eng.nodes.(origin).alive then begin
-        send eng ~kind:Obs.Trace.M_status_req ~src:n ~dst:origin (fun () ->
+        send eng ~kind:Obs.Trace.M_status_req ~ctx:(ctx_of_txid txid)
+          ~dcost:eng.config.Config.cost_coord_op ~src:n ~dst:origin (fun () ->
             let ond = eng.nodes.(origin) in
             Cpu.exec ond.cpu ~cost:eng.config.Config.cost_coord_op (fun () ->
                 match Txid.Tbl.find_opt ond.decisions txid with
                 | Some d ->
-                  send eng ~kind:Obs.Trace.M_status_reply ~src:origin ~dst:n (fun () ->
+                  send eng ~kind:Obs.Trace.M_status_reply ~ctx:(ctx_of_txid txid)
+                    ~src:origin ~dst:n (fun () ->
                       apply_resolution eng ~node:n ~partition:p txid d)
                 | None ->
                   if Txid.Tbl.mem ond.active txid then begin
@@ -616,7 +705,8 @@ let rec resolve_in_doubt ?(tries = 0) eng ~node:n ~partition:p txid =
                     (* No log entry and no live transaction: under the
                        write-once log-then-broadcast discipline, no commit
                        decision can exist — presumed abort. *)
-                    send eng ~kind:Obs.Trace.M_status_reply ~src:origin ~dst:n
+                    send eng ~kind:Obs.Trace.M_status_reply
+                      ~ctx:(ctx_of_txid txid) ~src:origin ~dst:n
                       (fun () -> apply_resolution eng ~node:n ~partition:p txid D_abort)));
         retry_later ()
       end
@@ -640,7 +730,8 @@ let rec resolve_in_doubt ?(tries = 0) eng ~node:n ~partition:p txid =
            let absent = ref 0 and settled = ref false in
            List.iter
              (fun r ->
-               send eng ~kind:Obs.Trace.M_status_req ~src:n ~dst:r (fun () ->
+               send eng ~kind:Obs.Trace.M_status_req ~ctx:(ctx_of_txid txid)
+                 ~dcost:eng.config.Config.cost_coord_op ~src:n ~dst:r (fun () ->
                    let rnd = eng.nodes.(r) in
                    Cpu.exec rnd.cpu ~cost:eng.config.Config.cost_coord_op (fun () ->
                        let st =
@@ -648,7 +739,8 @@ let rec resolve_in_doubt ?(tries = 0) eng ~node:n ~partition:p txid =
                            (server eng ~node:r ~partition:p)
                            txid ~keys
                        in
-                       send eng ~kind:Obs.Trace.M_status_reply ~src:r ~dst:n (fun () ->
+                       send eng ~kind:Obs.Trace.M_status_reply
+                         ~ctx:(ctx_of_txid txid) ~src:r ~dst:n (fun () ->
                            if not !settled then
                              match st with
                              | `Committed ct ->
@@ -719,6 +811,7 @@ let rec abort_tx eng tx reason =
   | Aborted _ | Committed -> ()
   | Active | Local_committed ->
     let nd = eng.nodes.(tx.origin) in
+    if tx.state = Local_committed then eng.spec_live <- eng.spec_live - 1;
     tx.state <- Aborted reason;
     (* Log the abort decision before any removal is broadcast, so a
        status query can never observe a decided-but-unlogged abort. *)
@@ -738,7 +831,8 @@ let rec abort_tx eng tx reason =
     Partition_server.abort nd.cache tx.id;
     if tx.global_started then
       for_each_remote_replica eng tx (fun r p ->
-          send_work eng ~kind:Obs.Trace.M_abort ~src:tx.origin ~dst:r (fun () ->
+          send_work eng ~kind:Obs.Trace.M_abort ~ctx:(ctx_of_txid tx.id)
+            ~src:tx.origin ~dst:r (fun () ->
               let srv = server eng ~node:r ~partition:p in
               Dispatch_cpu
                 ( eng.config.Config.cost_apply_key
@@ -764,6 +858,7 @@ let rec abort_tx eng tx reason =
 let commit_apply eng tx ct =
   let nd = eng.nodes.(tx.origin) in
   tx.ct <- ct;
+  if tx.state = Local_committed then eng.spec_live <- eng.spec_live - 1;
   tx.state <- Committed;
   (* Log-then-broadcast: the commit decision hits the persistent log
      before any decision message leaves the coordinator (AC3). *)
@@ -793,7 +888,8 @@ let commit_apply eng tx ct =
       Array.iter
         (fun r ->
           if r <> tx.origin then
-            send_work eng ~kind:Obs.Trace.M_commit ~src:tx.origin ~dst:r (fun () ->
+            send_work eng ~kind:Obs.Trace.M_commit ~ctx:(ctx_of_txid tx.id)
+              ~src:tx.origin ~dst:r (fun () ->
                 let srv = server eng ~node:r ~partition:p in
                 if eng.recovery_on && not (Partition_server.has_tx srv tx.id) then
                   (* The replica lost the prepare across a crash window;
@@ -891,12 +987,12 @@ let rec read eng tx key =
     in
     (match via with
      | `Local ->
-       Partition_server.read ~allow_spec:tx.sr
+       Partition_server.read ~allow_spec:tx.sr ~reader:(ctx_of_txid tx.id)
          (server eng ~node:tx.origin ~partition:p)
          ~rs:tx.rs ~reader_origin:tx.origin key (Ivar.fill iv)
      | `Cache ->
-       Partition_server.read ~allow_spec:tx.sr nd.cache ~rs:tx.rs
-         ~reader_origin:tx.origin key (Ivar.fill iv)
+       Partition_server.read ~allow_spec:tx.sr ~reader:(ctx_of_txid tx.id)
+         nd.cache ~rs:tx.rs ~reader_origin:tx.origin key (Ivar.fill iv)
      | `Remote ->
        nd.stats.Stats.remote_reads <- nd.stats.Stats.remote_reads + 1;
        let target =
@@ -919,12 +1015,15 @@ let rec read eng tx key =
          end
        in
        let send_req () =
-         send eng ~kind:Obs.Trace.M_read_req ~src:tx.origin ~dst:target (fun () ->
+         send eng ~kind:Obs.Trace.M_read_req ~ctx:(ctx_of_txid tx.id)
+           ~dcost:eng.config.Config.cost_read ~src:tx.origin ~dst:target (fun () ->
              Partition_server.read
                (server eng ~node:target ~partition:p)
-               ~rs:tx.rs ~reader_origin:tx.origin key
+               ~rs:tx.rs ~reader_origin:tx.origin
+               ~reader:(ctx_of_txid tx.id) key
                (fun r ->
-                 send eng ~kind:Obs.Trace.M_read_reply ~src:target ~dst:tx.origin
+                 send eng ~kind:Obs.Trace.M_read_reply ~ctx:(ctx_of_txid tx.id)
+                   ~src:target ~dst:tx.origin
                    (fun () -> ignore (Ivar.fill_if_empty iv r))))
        in
        if not eng.nodes.(target).alive then
@@ -1240,6 +1339,7 @@ let commit eng tx =
       olc_put tx tx.id tx.rs (* Alg. 1, line 24 *)
     end;
     tx.lc <- !lc;
+    eng.spec_live <- eng.spec_live + 1;
     tx.state <- Local_committed;
     List.iter
       (fun (p, _) ->
@@ -1297,7 +1397,8 @@ let commit eng tx =
       end
     in
     let send_replicate ~from ~nw slave p writes =
-      send_work eng ~kind:Obs.Trace.M_replicate ~src:from ~dst:slave (fun () ->
+      send_work eng ~kind:Obs.Trace.M_replicate ~ctx:(ctx_of_txid tx.id)
+        ~src:from ~dst:slave (fun () ->
           let snd = eng.nodes.(slave) in
           let snd_epoch = snd.epoch in
           let srv = server eng ~node:slave ~partition:p in
@@ -1341,7 +1442,8 @@ let commit eng tx =
                    | `Prepared _ when eng.config.Config.termination_timeout_us > 0 ->
                      arm_termination eng ~node:slave ~partition:p tx.id
                    | `Prepared _ | `Aborted -> ());
-                  send_work eng ~kind:Obs.Trace.M_prepare_reply ~src:slave
+                  send_work eng ~kind:Obs.Trace.M_prepare_reply
+                    ~ctx:(ctx_of_txid tx.id) ~src:slave
                     ~dst:tx.origin (fun () ->
                       Dispatch_inline (fun () -> reply_handler outcome)));
             })
@@ -1362,7 +1464,8 @@ let commit eng tx =
         else begin
           incr expected (* the master's own reply *);
           List.iter (fun s -> if s <> tx.origin then incr expected) slaves;
-          send_work eng ~kind:Obs.Trace.M_prepare ~src:tx.origin ~dst:m (fun () ->
+          send_work eng ~kind:Obs.Trace.M_prepare ~ctx:(ctx_of_txid tx.id)
+            ~src:tx.origin ~dst:m (fun () ->
               let mnd = eng.nodes.(m) in
               let m_epoch = mnd.epoch in
               Dispatch_prepare
@@ -1383,7 +1486,8 @@ let commit eng tx =
                   dpost =
                     (function
                       | Partition_server.Conflict _ ->
-                        send_work eng ~kind:Obs.Trace.M_prepare_reply ~src:m
+                        send_work eng ~kind:Obs.Trace.M_prepare_reply
+                          ~ctx:(ctx_of_txid tx.id) ~src:m
                           ~dst:tx.origin (fun () ->
                             Dispatch_inline (fun () -> reply_handler `Aborted))
                       | Partition_server.Prepared { ts; _ } ->
@@ -1393,7 +1497,8 @@ let commit eng tx =
                           (fun s ->
                             if s <> tx.origin then send_replicate ~from:m ~nw s p writes)
                           slaves;
-                        send_work eng ~kind:Obs.Trace.M_prepare_reply ~src:m
+                        send_work eng ~kind:Obs.Trace.M_prepare_reply
+                          ~ctx:(ctx_of_txid tx.id) ~src:m
                           ~dst:tx.origin (fun () ->
                             Dispatch_inline (fun () -> reply_handler (`Prepared ts))));
                 })
@@ -1464,6 +1569,10 @@ let total_commits eng =
 let batch_flushes eng = eng.batch_flushes
 let batch_payloads eng = eng.batch_payloads
 let batch_occupancy eng = Array.copy eng.batch_occ
+
+(** Live speculation depth: transactions currently in [Local_committed]
+    — locally committed, globally undecided.  A time-series gauge. *)
+let live_spec_depth eng = eng.spec_live
 
 (** Force-flush every open link queue.  Callers that change
     [Config.batch_window_us] live (the self-tuner's ladder exploration)

@@ -147,6 +147,10 @@ val batch_payloads : t -> int
 val batch_occupancy : t -> int array
 (** Flush-size histogram; index [min n 16], index 0 always empty. *)
 
+val live_spec_depth : t -> int
+(** Transactions currently in [Local_committed] — locally committed,
+    globally undecided.  The time-series "speculation depth" gauge. *)
+
 val cert_sweep_stats : t -> int * int * int array
 (** Batched-certification sweeps summed over every partition server:
     [(sweeps, swept prepares, occupancy histogram)] — see

@@ -134,8 +134,12 @@ type read_reply = {
     result.  Implements Alg. 2 readFrom: bumps [LastReader], blocks on
     pre-committed versions and on local-committed versions that the
     reader is not allowed to observe speculatively, and applies the
-    Clock-SI rule of delaying reads from the future. *)
-let read ?(allow_spec = true) t ~rs ~reader_origin key reply =
+    Clock-SI rule of delaying reads from the future.  [reader] is the
+    reading transaction's identity [(origin, number)]: lock-wait spans
+    are recorded against it so the blocked transaction's critical path
+    owns the convoy time (the holder moves to the span note). *)
+let read ?(allow_spec = true) ?(reader = (min_int, min_int)) t ~rs ~reader_origin
+    key reply =
   let rec attempt () = Dsim.Cpu.exec t.cpu ~cost:t.config.cost_read serve
   and serve () =
     let d = Dsim.Clock.delay_until t.clock rs in
@@ -164,12 +168,17 @@ let read ?(allow_spec = true) t ~rs ~reader_origin key reply =
             | Some s -> s.Stats.server_blocks <- s.Stats.server_blocks + 1
             | None -> ());
            if Obs.Trace.enabled t.trace then begin
-             (* [a.b] identifies the lock holder (the uncommitted
-                writer), not the blocked reader. *)
+             (* [a.b] identifies the blocked reader (critical-path
+                attribution); the uncommitted writer holding the lock
+                goes in the note. *)
+             let ra, rb = reader in
              let s =
                Obs.Trace.span_begin t.trace ~kind:Obs.Trace.S_lock_wait ~pid:t.pid
-                 ~tid:t.tid ~t0:(Dsim.Sim.now t.sim) ~a:(Txid.origin v.writer)
-                 ~b:(Txid.number v.writer) ()
+                 ~tid:t.tid ~t0:(Dsim.Sim.now t.sim) ~a:ra ~b:rb
+                 ~note:
+                   (Printf.sprintf "holder %d.%d" (Txid.origin v.writer)
+                      (Txid.number v.writer))
+                 ()
              in
              Version.add_waiter v (fun () ->
                  Obs.Trace.span_end t.trace s ~t1:(Dsim.Sim.now t.sim);

@@ -62,9 +62,12 @@ type read_reply = {
     result.  Implements Alg. 2 [readFrom]: bumps [LastReader], blocks on
     pre-committed versions and on local-committed versions the reader
     may not observe speculatively, and delays reads from the future
-    (Clock-SI). *)
+    (Clock-SI).  [reader] (the reading transaction's [(origin, number)]
+    identity, default anonymous) stamps lock-wait spans so the blocked
+    transaction's critical path owns the convoy time. *)
 val read :
   ?allow_spec:bool ->
+  ?reader:int * int ->
   t ->
   rs:int ->
   reader_origin:int ->

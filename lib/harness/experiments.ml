@@ -753,36 +753,52 @@ let region_failure ?(jobs = 1) ~scale () =
     let fault = Dsim.Fault.create ~n:(Core.Engine.n_nodes eng) () in
     Core.Engine.install_fault eng fault;
     Dsim.Fault.install fault ~sim setup.Runner.fault_plan;
-    Array.init n_buckets (fun b ->
-        ignore (Dsim.Sim.run ~until:((b + 1) * bucket_us) sim);
-        let s = Core.Engine.total_stats eng in
-        ( s.Core.Stats.commits,
-          s.Core.Stats.ext_misspec,
-          s.Core.Stats.in_doubt_commits,
-          s.Core.Stats.in_doubt_aborts,
-          Core.Engine.is_alive eng victim ))
+    (* The timeline is an ordinary {!Obs.Timeseries} sampled in-run —
+       the commits column is cumulative ([delta] recovers per-bucket
+       goodput), the [alive] column is a 0/1 gauge on the victim. *)
+    let ts =
+      Runner.install_sampler ~sim ~interval_us:bucket_us ~until:stop_at
+        ~cols:[ "commits"; "ext_misspec"; "in_doubt_commits"; "in_doubt_aborts"; "alive" ]
+        (fun () ->
+          let s = Core.Engine.total_stats eng in
+          [|
+            s.Core.Stats.commits;
+            s.Core.Stats.ext_misspec;
+            s.Core.Stats.in_doubt_commits;
+            s.Core.Stats.in_doubt_aborts;
+            (if Core.Engine.is_alive eng victim then 1 else 0);
+          |])
+    in
+    ignore (Dsim.Sim.run ~until:stop_at sim);
+    ts
   in
   let results =
     protagonists
     |> List.map (fun (pname, mk_config, _tune) -> Sweep.cell pname (run_cell mk_config))
     |> Sweep.run ~jobs
   in
+  let goodputs =
+    List.map
+      (fun (pname, _, _) ->
+        (pname, Obs.Timeseries.delta (Sweep.get results pname) ~col:0))
+      protagonists
+  in
   for b = 0 to n_buckets - 1 do
     List.iter
       (fun (pname, _, _) ->
-        let samples = Sweep.get results pname in
-        let commits, ext, idc, ida, alive = samples.(b) in
-        let prev_commits = if b = 0 then 0 else (fun (c, _, _, _, _) -> c) samples.(b - 1) in
+        let ts = Sweep.get results pname in
         Report.add_row report
           [
-            Report.f1 (float_of_int ((b + 1) * bucket_us) /. 1_000_000.);
+            Report.f1 (float_of_int (Obs.Timeseries.time ts b) /. 1_000_000.);
             pname;
             Report.f1
-              (float_of_int (commits - prev_commits)
+              (float_of_int (List.assoc pname goodputs).(b)
               /. (float_of_int bucket_us /. 1_000_000.));
-            string_of_int ext;
-            Printf.sprintf "%d/%d" idc ida;
-            (if alive then "up" else "DOWN");
+            string_of_int (Obs.Timeseries.value ts ~row:b ~col:1);
+            Printf.sprintf "%d/%d"
+              (Obs.Timeseries.value ts ~row:b ~col:2)
+              (Obs.Timeseries.value ts ~row:b ~col:3);
+            (if Obs.Timeseries.value ts ~row:b ~col:4 = 1 then "up" else "DOWN");
           ])
       protagonists
   done;

@@ -72,6 +72,9 @@ type result = {
   events : int;  (** simulator events processed (warmup + window) *)
   stats : Core.Stats.t;
   wan_messages : int;
+  timeseries : Obs.Timeseries.t option;
+      (** standard snapshot series when [run ~timeseries_us] asked for
+          one *)
   batch_flushes : int;  (** coalesced flushes emitted (whole run) *)
   batch_payloads : int;  (** logical payloads those flushes carried *)
 }
@@ -82,7 +85,7 @@ type result = {
 let st_idle = 0
 let st_running = 1
 
-let run setup =
+let run ?timeseries_us setup =
   if setup.clients_per_dc < 1 then invalid_arg "Openloop.run: clients_per_dc < 1";
   let sim = Dsim.Sim.create ~queue:setup.queue () in
   let dcs = Dsim.Topology.size setup.topology in
@@ -208,6 +211,14 @@ let run setup =
       !arrive
   done;
   (* --- warmup, measure, drain -------------------------------------- *)
+  let tseries =
+    match timeseries_us with
+    | Some interval_us when interval_us > 0 ->
+      Some
+        (Runner.install_standard_sampler ~sim ~net ~eng ~interval_us
+           ~until:measure_to)
+    | Some _ | None -> None
+  in
   let ev_warm = Dsim.Sim.run ~until:measure_from sim in
   let stats0 = Runner.snapshot_stats eng in
   Dsim.Network.reset_counters net;
@@ -237,4 +248,5 @@ let run setup =
     wan_messages = Dsim.Network.wan_messages net;
     batch_flushes = Core.Engine.batch_flushes eng;
     batch_payloads = Core.Engine.batch_payloads eng;
+    timeseries = tseries;
   }

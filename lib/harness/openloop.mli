@@ -48,10 +48,15 @@ type result = {
   events : int;  (** simulator events processed (warmup + window) *)
   stats : Core.Stats.t;  (** counter deltas over the window *)
   wan_messages : int;
+  timeseries : Obs.Timeseries.t option;
+      (** standard snapshot series when [run ~timeseries_us] asked for
+          one *)
   batch_flushes : int;  (** coalesced flushes emitted (whole run) *)
   batch_payloads : int;  (** logical payloads those flushes carried *)
 }
 
 (** Build the cluster, inject arrivals through warmup + measurement,
-    and report.  @raise Invalid_argument if [clients_per_dc < 1]. *)
-val run : setup -> result
+    and report.  [timeseries_us] records the standard snapshot series
+    ({!Runner.sample_columns}) at that interval through the end of
+    measurement.  @raise Invalid_argument if [clients_per_dc < 1]. *)
+val run : ?timeseries_us:int -> setup -> result

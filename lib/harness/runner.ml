@@ -46,7 +46,82 @@ type result = {
   stats : Core.Stats.t;  (** deltas over the measurement window *)
   tuner_decision : bool option;
   wan_messages : int;
+  timeseries : Obs.Timeseries.t option;
+      (** fixed-interval snapshot series when [run ~timeseries_us] asked
+          for one *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic time-series sampling                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Install a fixed-interval sampler: [sample_fn ()] is evaluated at
+    sim times [interval_us, 2*interval_us, ... <= until] and its rows
+    are appended to the returned series.  Sampling is an ordinary
+    simulator event keyed on sim time, so the series — like the trace —
+    is a pure function of (configuration, seed) and byte-identical
+    across [-j] workers; unlike tracing it does schedule events, so
+    enabling it changes the [eq_*] queue accounting of a sealed trace
+    (never the protocol outcome: samplers only read engine state). *)
+let install_sampler ~sim ~interval_us ~until ~cols sample_fn =
+  let ts = Obs.Timeseries.create ~interval_us ~cols in
+  let rec tick t =
+    Dsim.Sim.schedule_at sim ~time:t (fun () ->
+        Obs.Timeseries.sample ts ~time:t (sample_fn ());
+        if t + interval_us <= until then tick (t + interval_us))
+  in
+  if interval_us <= until then tick interval_us;
+  ts
+
+(** The standard column set: cumulative protocol counters (recover
+    per-interval rates with {!Obs.Timeseries.delta}) plus the
+    [spec_depth] / [eq_depth] gauges. *)
+let sample_columns =
+  [
+    "commits";
+    "ro_commits";
+    "started";
+    "aborts_local";
+    "aborts_remote";
+    "aborts_evicted";
+    "aborts_dependency";
+    "aborts_stale_snapshot";
+    "aborts_node_failure";
+    "aborts_prepare_timeout";
+    "spec_commits";
+    "ext_misspec";
+    "spec_depth";
+    "eq_depth";
+    "batch_flushes";
+    "batch_payloads";
+    "net_messages";
+  ]
+
+let standard_sample ~sim ~net ~eng () =
+  let s = Core.Engine.total_stats eng in
+  [|
+    s.Core.Stats.commits;
+    s.Core.Stats.read_only_commits;
+    s.Core.Stats.started;
+    s.Core.Stats.aborts_local;
+    s.Core.Stats.aborts_remote;
+    s.Core.Stats.aborts_evicted;
+    s.Core.Stats.aborts_dependency;
+    s.Core.Stats.aborts_stale_snapshot;
+    s.Core.Stats.aborts_node_failure;
+    s.Core.Stats.aborts_prepare_timeout;
+    s.Core.Stats.spec_commits;
+    s.Core.Stats.ext_misspec;
+    Core.Engine.live_spec_depth eng;
+    Dsim.Sim.pending sim;
+    Core.Engine.batch_flushes eng;
+    Core.Engine.batch_payloads eng;
+    Dsim.Network.messages_sent net;
+  |]
+
+let install_standard_sampler ~sim ~net ~eng ~interval_us ~until =
+  install_sampler ~sim ~interval_us ~until ~cols:sample_columns
+    (standard_sample ~sim ~net ~eng)
 
 let build_cluster ?trace setup =
   let sim = Dsim.Sim.create () in
@@ -121,12 +196,18 @@ let delta_stats ~at_start ~at_end =
 (** Run the experiment.  [observer] optionally receives every engine
     event (e.g. to feed the SPSI checker in tests); [trace] attaches a
     span recorder to the whole cluster. *)
-let run ?observer ?trace setup =
+let run ?observer ?trace ?timeseries_us setup =
   let sim, net, _placement, eng, rng = build_cluster ?trace setup in
   (match observer with Some f -> Core.Engine.set_observer eng f | None -> ());
   setup.workload.Workload.Spec.load eng;
   let measure_from = setup.warmup_us in
   let measure_to = setup.warmup_us + setup.measure_us in
+  let tseries =
+    match timeseries_us with
+    | Some interval_us when interval_us > 0 ->
+      Some (install_standard_sampler ~sim ~net ~eng ~interval_us ~until:measure_to)
+    | Some _ | None -> None
+  in
   let shared = Client.make_shared ~measure_from ~measure_to in
   let n = Core.Engine.n_nodes eng in
   for node = 0 to n - 1 do
@@ -207,7 +288,14 @@ let run ?observer ?trace setup =
       Obs.Trace.set_stat tr "fault_actions" (Dsim.Fault.actions_applied f);
       Obs.Trace.set_stat tr "fault_blackholed" (Dsim.Fault.blackholed f);
       Obs.Trace.set_stat tr "fault_dropped" (Dsim.Fault.dropped f)
-    | None -> ())
+    | None -> ());
+    (* Causal-edge volume, only when edges were recorded (v1 traces keep
+       their bytes). *)
+    let edges = Obs.Causal.n_edges (Obs.Trace.causal tr) in
+    if edges > 0 then Obs.Trace.set_stat tr "causal_edges" edges;
+    (* Seal the snapshot series so exports carry it next to the
+       aggregate counters. *)
+    (match tseries with Some ts -> Obs.Trace.set_timeseries tr ts | None -> ())
   | Some _ | None -> ());
   {
     duration_s;
@@ -222,4 +310,5 @@ let run ?observer ?trace setup =
     tuner_decision =
       (match tuner with Some t -> Core.Self_tuning.decision t | None -> None);
     wan_messages = Dsim.Network.wan_messages net;
+    timeseries = tseries;
   }

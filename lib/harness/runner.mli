@@ -35,6 +35,9 @@ type result = {
   stats : Core.Stats.t;  (** counter deltas over the measurement window *)
   tuner_decision : bool option;
   wan_messages : int;  (** inter-DC messages during measurement *)
+  timeseries : Obs.Timeseries.t option;
+      (** fixed-interval snapshot series when [run ~timeseries_us] asked
+          for one; also sealed into the trace when tracing is on *)
 }
 
 (** Construct the cluster without running (advanced drivers that need
@@ -51,9 +54,47 @@ val delta_stats : at_start:Core.Stats.t -> at_end:Core.Stats.t -> Core.Stats.t
     a single data center. *)
 val interdc_rtt_range : Dsim.Topology.t -> int * int
 
+(** {1 Deterministic time-series sampling} *)
+
+(** Install a fixed-interval sampler on a cluster built with
+    {!build_cluster}: [sample_fn] is evaluated at sim times
+    [interval_us, 2*interval_us, ... <= until] and its rows append to
+    the returned series.  An ordinary simulator event keyed on sim
+    time, so the series is a pure function of (configuration, seed)
+    and byte-identical across [-j] workers; it reads engine state but
+    never mutates it, so the protocol outcome is unchanged. *)
+val install_sampler :
+  sim:Dsim.Sim.t ->
+  interval_us:int ->
+  until:int ->
+  cols:string list ->
+  (unit -> int array) ->
+  Obs.Timeseries.t
+
+val sample_columns : string list
+(** The standard column set of {!install_standard_sampler}: cumulative
+    commit/abort/speculation counters plus the [spec_depth] and
+    [eq_depth] gauges. *)
+
+val install_standard_sampler :
+  sim:Dsim.Sim.t ->
+  net:Dsim.Network.t ->
+  eng:Core.Engine.t ->
+  interval_us:int ->
+  until:int ->
+  Obs.Timeseries.t
+
 (** Run the whole experiment.  [observer] receives every engine event
     (e.g. {!Spsi.History.record}); [trace] attaches a span recorder to
     the whole cluster and, at the end of the run, is sealed with the
     run-summary stats ([eq_*] queue accounting, [net_*] message
-    counters, inter-DC RTT range, commit count). *)
-val run : ?observer:(Core.Types.event -> unit) -> ?trace:Obs.Trace.t -> setup -> result
+    counters, inter-DC RTT range, commit count, causal-edge volume);
+    [timeseries_us] additionally records the standard snapshot series
+    at that interval through the end of measurement (returned in
+    [result.timeseries] and sealed into the trace). *)
+val run :
+  ?observer:(Core.Types.event -> unit) ->
+  ?trace:Obs.Trace.t ->
+  ?timeseries_us:int ->
+  setup ->
+  result

@@ -1,0 +1,193 @@
+(* Critical-path latency decomposition.
+
+   Each transaction's observed span [t0, t1] is painted with component
+   intervals drawn from its own trace events: the phase spans recorded
+   against its identity (olc-wait, lock-wait, local-cert, repl-wait,
+   dep-wait) and the causal message edges it emitted (batch-window
+   parking, network flight, destination queueing, dispatch service).
+   Components form fixed paint layers; where intervals overlap the
+   higher layer wins (a prepare in network flight during repl-wait is
+   network, not repl-wait), and whatever no interval covers is
+   coordinator compute — the base layer.  Because painting clips to
+   [t0, t1] and the base fills every hole, the component sums are an
+   exact, gap-free partition of t1 - t0 by construction; the qcheck
+   property in test_obs.ml pins the plumbing that feeds it. *)
+
+(* Declaration order IS paint priority: later constructors overpaint
+   earlier ones.  [C_coord_cpu] is the implicit base layer. *)
+type component =
+  | C_coord_cpu
+  | C_repl_wait
+  | C_dep_wait
+  | C_olc_wait
+  | C_local_cert
+  | C_lock_wait
+  | C_batch_park
+  | C_queue_wait
+  | C_dispatch_cpu
+  | C_network
+
+let all =
+  [
+    C_coord_cpu;
+    C_repl_wait;
+    C_dep_wait;
+    C_olc_wait;
+    C_local_cert;
+    C_lock_wait;
+    C_batch_park;
+    C_queue_wait;
+    C_dispatch_cpu;
+    C_network;
+  ]
+
+let n_components = 10
+
+let index = function
+  | C_coord_cpu -> 0
+  | C_repl_wait -> 1
+  | C_dep_wait -> 2
+  | C_olc_wait -> 3
+  | C_local_cert -> 4
+  | C_lock_wait -> 5
+  | C_batch_park -> 6
+  | C_queue_wait -> 7
+  | C_dispatch_cpu -> 8
+  | C_network -> 9
+
+let name = function
+  | C_coord_cpu -> "coord-cpu"
+  | C_repl_wait -> "repl-wait"
+  | C_dep_wait -> "dep-wait"
+  | C_olc_wait -> "olc-wait"
+  | C_local_cert -> "local-cert"
+  | C_lock_wait -> "lock-wait"
+  | C_batch_park -> "batch-park"
+  | C_queue_wait -> "queue-wait"
+  | C_dispatch_cpu -> "dispatch-cpu"
+  | C_network -> "network"
+
+type ival = { comp : component; lo : int; hi : int }
+
+type txn = {
+  ta : int;
+  tb : int;
+  tx_t0 : int;
+  tx_t1 : int;
+  mutable outcome : [ `Commit | `Abort | `Open ];
+  mutable t_local_commit : int;  (** -1 when absent *)
+  mutable t_spec_commit : int;  (** -1 when absent *)
+  mutable ivals : ival list;
+}
+
+let make_txn ~a ~b ~t0 ~t1 =
+  {
+    ta = a;
+    tb = b;
+    tx_t0 = t0;
+    tx_t1 = t1;
+    outcome = `Open;
+    t_local_commit = -1;
+    t_spec_commit = -1;
+    ivals = [];
+  }
+
+let add_ival txn comp ~lo ~hi = if hi > lo then txn.ivals <- { comp; lo; hi } :: txn.ivals
+
+let span_component = function
+  | Trace.S_olc_wait -> Some C_olc_wait
+  | Trace.S_lock_wait -> Some C_lock_wait
+  | Trace.S_local_cert -> Some C_local_cert
+  | Trace.S_repl_wait -> Some C_repl_wait
+  | Trace.S_dep_wait -> Some C_dep_wait
+  | Trace.S_tx | Trace.S_read | Trace.S_lock_hold | Trace.S_batch_flush -> None
+
+(* Feed one causal edge into the emitting transaction: up to four
+   component intervals, consecutive by construction. *)
+let add_edge txn (e : Causal.edge) =
+  add_ival txn C_batch_park ~lo:e.Causal.et_enq ~hi:e.Causal.et_wire;
+  add_ival txn C_network ~lo:e.Causal.et_wire ~hi:e.Causal.et_deliver;
+  let served = e.Causal.et_deliver + e.Causal.equeue in
+  add_ival txn C_queue_wait ~lo:e.Causal.et_deliver ~hi:served;
+  add_ival txn C_dispatch_cpu ~lo:served ~hi:(served + e.Causal.ecost)
+
+let total_us txn = txn.tx_t1 - txn.tx_t0
+
+(* Boundary sweep.  Interval endpoints (clipped to the span) partition
+   it into elementary segments; each segment belongs to the
+   highest-priority interval covering it, or to the base.  Exact by
+   construction: the segment lengths tile [t0, t1]. *)
+let decompose txn =
+  let sums = Array.make n_components 0 in
+  let t0 = txn.tx_t0 and t1 = txn.tx_t1 in
+  if t1 > t0 then begin
+    let ivals =
+      List.filter_map
+        (fun iv ->
+          let lo = max iv.lo t0 and hi = min iv.hi t1 in
+          if hi > lo then Some { iv with lo; hi } else None)
+        txn.ivals
+    in
+    let pts =
+      List.sort_uniq Int.compare
+        (t0 :: t1 :: List.concat_map (fun iv -> [ iv.lo; iv.hi ]) ivals)
+    in
+    let arr = Array.of_list pts in
+    for i = 0 to Array.length arr - 2 do
+      let lo = arr.(i) and hi = arr.(i + 1) in
+      let comp =
+        List.fold_left
+          (fun best iv ->
+            if iv.lo <= lo && iv.hi >= hi && index iv.comp > index best then iv.comp
+            else best)
+          C_coord_cpu ivals
+      in
+      sums.(index comp) <- sums.(index comp) + (hi - lo)
+    done
+  end;
+  sums
+
+(* Latency the client observed: begin to speculative commit when the
+   transaction externalized early, else the whole span.  The rest is
+   what speculation hid behind the early reply. *)
+let externalized_us txn =
+  if txn.t_spec_commit >= 0 then
+    min (max 0 (txn.t_spec_commit - txn.tx_t0)) (total_us txn)
+  else total_us txn
+
+let hidden_us txn = total_us txn - externalized_us txn
+
+(* Build the per-transaction DAGs of one in-memory trace: S_tx spans
+   declare the transactions; phase spans, lifecycle instants and causal
+   edges attach by identity. *)
+let of_trace tr =
+  let tbl = Hashtbl.create 256 in
+  let order = ref [] in
+  Trace.iter tr (fun ev ->
+      match ev.Trace.kind with
+      | `Span Trace.S_tx when ev.Trace.a <> min_int ->
+        let t1 = if ev.Trace.t1 < ev.Trace.t0 then ev.Trace.t0 else ev.Trace.t1 in
+        let txn = make_txn ~a:ev.Trace.a ~b:ev.Trace.b ~t0:ev.Trace.t0 ~t1 in
+        Hashtbl.replace tbl (ev.Trace.a, ev.Trace.b) txn;
+        order := txn :: !order
+      | _ -> ());
+  let find a b = if a = min_int then None else Hashtbl.find_opt tbl (a, b) in
+  Trace.iter tr (fun ev ->
+      match find ev.Trace.a ev.Trace.b with
+      | None -> ()
+      | Some txn -> (
+        let t1 = if ev.Trace.t1 < ev.Trace.t0 then ev.Trace.t0 else ev.Trace.t1 in
+        match ev.Trace.kind with
+        | `Span k -> (
+          match span_component k with
+          | Some comp -> add_ival txn comp ~lo:ev.Trace.t0 ~hi:t1
+          | None -> ())
+        | `Instant Trace.I_local_commit -> txn.t_local_commit <- ev.Trace.t0
+        | `Instant Trace.I_spec_commit -> txn.t_spec_commit <- ev.Trace.t0
+        | `Instant Trace.I_commit -> txn.outcome <- `Commit
+        | `Instant Trace.I_abort -> txn.outcome <- `Abort));
+  Causal.iter (Trace.causal tr) (fun e ->
+      match find e.Causal.ea e.Causal.eb with
+      | None -> ()
+      | Some txn -> add_edge txn e);
+  List.rev !order

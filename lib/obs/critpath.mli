@@ -1,0 +1,83 @@
+(** Critical-path latency decomposition over per-transaction causal
+    DAGs.
+
+    A transaction's DAG is its S_tx span plus everything recorded
+    against its identity: phase spans ({!Trace.span_kind}) and causal
+    message edges ({!Causal.edge}).  {!decompose} walks the DAG and
+    partitions the observed latency [t1 - t0] into named components —
+    {e exactly}: the component sums always add up to the span length,
+    gap-free, because uncovered time falls to the coordinator-compute
+    base layer.  {!externalized_us} / {!hidden_us} split the same span
+    into what the client observed (begin to speculative commit, when
+    one happened) and what speculation hid behind the early reply.
+
+    To add a component: add a constructor {e at the right paint
+    priority} (declaration order is priority — later overpaints
+    earlier), extend [all]/[index]/[name]/[n_components], and feed its
+    intervals from [span_component] or [add_edge].  Exactness is
+    structural, so no re-derivation is needed; the qcheck property in
+    test_obs.ml and the [trace-cp] golden pin the result. *)
+
+(** Paint layers, lowest priority first.  [C_coord_cpu] is the base:
+    any time no other component covers. *)
+type component =
+  | C_coord_cpu  (** coordinator compute + uninstrumented residue *)
+  | C_repl_wait  (** global certification: prepares in flight *)
+  | C_dep_wait  (** SPSI-4 dependency wait *)
+  | C_olc_wait  (** OLC/FFC snapshot-safety guard *)
+  | C_local_cert  (** local certification and local commit *)
+  | C_lock_wait  (** read blocked on an uncommitted version (convoy) *)
+  | C_batch_park  (** payload parked in a coalescing window *)
+  | C_queue_wait  (** destination CPU busy with earlier work *)
+  | C_dispatch_cpu  (** dispatch service time at the destination *)
+  | C_network  (** wire flight *)
+
+val all : component list
+(** Declaration (= paint-priority) order. *)
+
+val n_components : int
+
+val index : component -> int
+(** Dense index in [all] order. *)
+
+val name : component -> string
+
+(** One component interval, half-open [[lo, hi)] in sim microseconds. *)
+type ival = { comp : component; lo : int; hi : int }
+
+(** One transaction's assembled DAG evidence. *)
+type txn = {
+  ta : int;
+  tb : int;
+  tx_t0 : int;
+  tx_t1 : int;
+  mutable outcome : [ `Commit | `Abort | `Open ];
+  mutable t_local_commit : int;  (** -1 when absent *)
+  mutable t_spec_commit : int;  (** -1 when absent *)
+  mutable ivals : ival list;
+}
+
+val make_txn : a:int -> b:int -> t0:int -> t1:int -> txn
+val add_ival : txn -> component -> lo:int -> hi:int -> unit
+(** Empty and inverted intervals are dropped. *)
+
+val add_edge : txn -> Causal.edge -> unit
+(** Feed one causal edge: batch-park, network, queue-wait and
+    dispatch-cpu intervals, consecutive by construction. *)
+
+val total_us : txn -> int
+
+val decompose : txn -> int array
+(** Component sums, indexed by {!index}.  Invariant: they sum to
+    {!total_us} exactly (gap-free, overlap-free). *)
+
+val externalized_us : txn -> int
+(** Latency the client observed: begin to speculative commit when one
+    happened, else the whole span. *)
+
+val hidden_us : txn -> int
+(** {!total_us} minus {!externalized_us}: latency speculation hid. *)
+
+val of_trace : Trace.t -> txn list
+(** Assemble every S_tx transaction of an in-memory trace, in
+    recording order. *)

@@ -52,6 +52,56 @@ let add_int_obj buf pairs =
     pairs;
   Buffer.add_char buf '}'
 
+(* Causal edges as compact int rows:
+   [kind,a,b,src,dst,t_enq,t_wire,t_deliver,queue,cost], in recording
+   order.  [a]/[b] print as -1 when the send carried no transaction
+   context (min_int would survive JSON but reads badly). *)
+let add_edge_row buf (e : Causal.edge) =
+  let a, b = if e.Causal.ea = min_int then (-1, -1) else (e.Causal.ea, e.Causal.eb) in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v))
+    [
+      e.Causal.ekind;
+      a;
+      b;
+      e.Causal.esrc;
+      e.Causal.edst;
+      e.Causal.et_enq;
+      e.Causal.et_wire;
+      e.Causal.et_deliver;
+      e.Causal.equeue;
+      e.Causal.ecost;
+    ];
+  Buffer.add_char buf ']'
+
+(* Embedded time series: column names once, then compact int rows
+   [t_us,v0,v1,...]. *)
+let add_timeseries buf ts =
+  Buffer.add_string buf "{\"interval_us\":";
+  Buffer.add_string buf (string_of_int (Timeseries.interval_us ts));
+  Buffer.add_string buf ",\"cols\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_str buf c)
+    (Timeseries.cols ts);
+  Buffer.add_string buf "],\"rows\":[";
+  let first = ref true in
+  Timeseries.iter ts (fun ~time row ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_char buf '[';
+      Buffer.add_string buf (string_of_int time);
+      Array.iter
+        (fun v ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int v))
+        row;
+      Buffer.add_char buf ']');
+  Buffer.add_string buf "]}"
+
 let chrome cells =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -125,6 +175,24 @@ let chrome cells =
       add_int_obj buf (Trace.msg_counts tr);
       Buffer.add_string buf ",\"stats\":";
       add_int_obj buf (Trace.stats tr);
+      (* Post-v1 sections appear only when non-empty, so traces that
+         predate them keep their exact bytes. *)
+      let causal = Trace.causal tr in
+      if Causal.n_edges causal > 0 then begin
+        Buffer.add_string buf ",\"pid_base\":";
+        Buffer.add_string buf (string_of_int (Trace.pid_base tr));
+        Buffer.add_string buf ",\"edges\":[";
+        let first_e = ref true in
+        Causal.iter causal (fun e ->
+            if !first_e then first_e := false else Buffer.add_char buf ',';
+            add_edge_row buf e);
+        Buffer.add_char buf ']'
+      end;
+      (match Trace.timeseries tr with
+      | Some ts when Timeseries.n_rows ts > 0 ->
+        Buffer.add_string buf ",\"timeseries\":";
+        add_timeseries buf ts
+      | Some _ | None -> ());
       Buffer.add_char buf '}')
     cells;
   Buffer.add_string buf "\n]}}\n";
@@ -167,6 +235,14 @@ let jsonl cells =
             add_str buf ev.note
           end;
           Buffer.add_string buf "}\n");
+      Causal.iter (Trace.causal tr) (fun e ->
+          Buffer.add_string buf "{\"e\":\"edge\",\"row\":";
+          add_edge_row buf e;
+          Buffer.add_string buf "}\n");
+      (match Trace.timeseries tr with
+      | Some ts when Timeseries.n_rows ts > 0 ->
+        Buffer.add_string buf (Timeseries.to_jsonl ts)
+      | Some _ | None -> ());
       Buffer.add_string buf "{\"e\":\"summary\",\"aborts\":";
       add_int_obj buf (Trace.abort_counts tr);
       Buffer.add_string buf ",\"msgs\":";

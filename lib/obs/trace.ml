@@ -112,12 +112,14 @@ type t = {
   mutable n : int;
   aborts : int array;
   msgs : int array;
+  causal : Causal.t;
+  mutable tseries : Timeseries.t option;
   mutable procs : (int * string) list;  (** reverse declaration order *)
   mutable thrs : (int * int * string) list;  (** reverse declaration order *)
   mutable sts : (string * int) list;
 }
 
-let create ?(pid_base = 0) () =
+let create ?(pid_base = 0) ?(causal = true) () =
   {
     on = true;
     base = pid_base;
@@ -125,12 +127,14 @@ let create ?(pid_base = 0) () =
     n = 0;
     aborts = Array.make Taxonomy.count 0;
     msgs = Array.make n_msg_kinds 0;
+    causal = (if causal then Causal.create () else Causal.disabled ());
+    tseries = None;
     procs = [];
     thrs = [];
     sts = [];
   }
 
-let disabled () = { (create ()) with on = false }
+let disabled () = { (create ()) with on = false; causal = Causal.disabled () }
 
 let enabled t = t.on
 let pid_base t = t.base
@@ -180,6 +184,28 @@ let count_msg t kind =
     let i = msg_index kind in
     t.msgs.(i) <- t.msgs.(i) + 1
   end
+
+let causal t = t.causal
+
+let set_timeseries t ts = if t.on then t.tseries <- Some ts
+let timeseries t = t.tseries
+
+let edge t ~kind ?(a = min_int) ?(b = min_int) ~src ~dst ~t_enq ~t_wire ~t_deliver
+    ~queue ~cost () =
+  if t.on then
+    Causal.record t.causal
+      {
+        Causal.ekind = msg_index kind;
+        ea = a;
+        eb = b;
+        esrc = src;
+        edst = dst;
+        et_enq = t_enq;
+        et_wire = t_wire;
+        et_deliver = t_deliver;
+        equeue = queue;
+        ecost = cost;
+      }
 
 let declare_process t ~pid ~name = if t.on then t.procs <- (pid, name) :: t.procs
 

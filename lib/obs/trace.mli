@@ -81,8 +81,11 @@ type ev = {
 
 type t
 
-val create : ?pid_base:int -> unit -> t
-(** A recording trace.  [pid_base] (default 0) offsets every pid. *)
+val create : ?pid_base:int -> ?causal:bool -> unit -> t
+(** A recording trace.  [pid_base] (default 0) offsets every pid.
+    [causal] (default true) controls the causal-edge store: when false,
+    spans and instants record as usual but {!edge} is a single branch,
+    so the critical-path decomposition is unavailable for the run. *)
 
 val disabled : unit -> t
 (** An off sink: every emission is a single branch and records nothing. *)
@@ -133,6 +136,33 @@ val instant :
 
 val count_abort : t -> Taxonomy.t -> unit
 val count_msg : t -> msg_kind -> unit
+
+val edge :
+  t ->
+  kind:msg_kind ->
+  ?a:int ->
+  ?b:int ->
+  src:int ->
+  dst:int ->
+  t_enq:int ->
+  t_wire:int ->
+  t_deliver:int ->
+  queue:int ->
+  cost:int ->
+  unit ->
+  unit
+(** Record one causal message edge (see {!Causal.edge}); [a]/[b] carry
+    the emitting transaction's identity.  Recorded at delivery time,
+    when the destination's queue backlog and dispatch cost are known. *)
+
+val causal : t -> Causal.t
+(** The trace's causal-edge store (disabled iff the trace is). *)
+
+val set_timeseries : t -> Timeseries.t -> unit
+(** Seal a run's time series into the trace (no-op when off); exported
+    alongside the cell's aggregates. *)
+
+val timeseries : t -> Timeseries.t option
 
 val declare_process : t -> pid:int -> name:string -> unit
 val declare_thread : t -> pid:int -> tid:int -> name:string -> unit

@@ -115,9 +115,9 @@ let msg_name = function M_a -> 1 | M_b -> 2 | M_c -> 3
 let engine_sends_ok =
   src "lib/core/engine.ml"
     {fix|let run eng =
-  send eng ~kind:M_a ~cost:1 ();
-  send eng ~kind:M_b ~cost:2 ();
-  send eng ~kind:M_c ~cost:3 ()
+  send eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();
+  send eng ~kind:M_b ~ctx:(o, n) ~cost:2 ();
+  send eng ~kind:M_c ~ctx:(o, n) ~cost:3 ()
 |fix}
 
 let test_message_flow_clean () =
@@ -145,8 +145,8 @@ let test_message_flow_dead_kind () =
   let engine_partial =
     src "lib/core/engine.ml"
       {fix|let run eng =
-  send eng ~kind:M_a ~cost:1 ();
-  send eng ~kind:M_b ~cost:2 ()
+  send eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();
+  send eng ~kind:M_b ~ctx:(o, n) ~cost:2 ()
 |fix}
   in
   let report = run [ trace_ok; engine_partial ] in
@@ -162,10 +162,10 @@ let test_message_flow_unknown_kind () =
   let engine_unknown =
     src "lib/core/engine.ml"
       {fix|let run eng =
-  send eng ~kind:M_a ~cost:1 ();
-  send eng ~kind:M_b ~cost:2 ();
-  send eng ~kind:M_c ~cost:3 ();
-  send eng ~kind:M_zzz ~cost:4 ()
+  send eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();
+  send eng ~kind:M_b ~ctx:(o, n) ~cost:2 ();
+  send eng ~kind:M_c ~ctx:(o, n) ~cost:3 ();
+  send eng ~kind:M_zzz ~ctx:(o, n) ~cost:4 ()
 |fix}
   in
   let report = run [ trace_ok; engine_unknown ] in
@@ -178,9 +178,9 @@ let test_cost_coverage () =
   let engine_nocost =
     src "lib/core/engine.ml"
       {fix|let run eng =
-  send eng ~kind:M_a ~cost:1 ();
-  send eng ~kind:M_b (fun () -> deliver eng);
-  send eng ~kind:M_c ~cost:3 ()
+  send eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();
+  send eng ~kind:M_b ~ctx:(o, n) (fun () -> deliver eng);
+  send eng ~kind:M_c ~ctx:(o, n) ~cost:3 ()
 |fix}
   in
   let report = run [ trace_ok; engine_nocost ] in
@@ -193,9 +193,9 @@ let test_cost_coverage () =
     src "lib/core/engine.ml"
       {fix|let deliver eng = charge eng ~cost:5
 let run eng =
-  send eng ~kind:M_a ~cost:1 ();
-  send eng ~kind:M_b (fun () -> deliver eng);
-  send eng ~kind:M_c ~cost:3 ()
+  send eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();
+  send eng ~kind:M_b ~ctx:(o, n) (fun () -> deliver eng);
+  send eng ~kind:M_c ~ctx:(o, n) ~cost:3 ()
 |fix}
   in
   check_fired "charging callee is clean" (run [ trace_ok; charged ]) []
@@ -210,8 +210,8 @@ let msg_name = function M_a -> 1 | M_a_reply -> 2
   let engine_reply =
     src "lib/core/engine.ml"
       {fix|let run eng =
-  send eng ~kind:M_a ~cost:1 ();
-  send eng ~kind:M_a_reply ()
+  send eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();
+  send eng ~kind:M_a_reply ~ctx:(o, n) ()
 |fix}
   in
   check_fired "reply sends are exempt" (run [ trace_reply; engine_reply ]) []
@@ -232,8 +232,8 @@ let test_message_flow_batched_sites () =
   let engine_batched =
     src "lib/core/engine.ml"
       {fix|let run eng =
-  send_work eng ~kind:M_a ~cost:1 ();
-  send eng ~kind:M_b ~cost:2 ();
+  send_work eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();
+  send eng ~kind:M_b ~ctx:(o, n) ~cost:2 ();
   send_batch eng ~kind:M_ab ~n:3 ()
 |fix}
   in
@@ -241,8 +241,8 @@ let test_message_flow_batched_sites () =
   let engine_unregistered =
     src "lib/core/engine.ml"
       {fix|let run eng =
-  send_work eng ~kind:M_a ~cost:1 ();
-  send eng ~kind:M_b ~cost:2 ();
+  send_work eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();
+  send eng ~kind:M_b ~ctx:(o, n) ~cost:2 ();
   send_batch eng ~kind:M_ab ~n:3 ();
   send_batch eng ~kind:M_zz_batch ~n:2 ()
 |fix}
@@ -264,8 +264,8 @@ let test_cost_coverage_batched_sites () =
   let engine_nocost =
     src "lib/core/engine.ml"
       {fix|let run eng =
-  send_work eng ~kind:M_a ();
-  send eng ~kind:M_b ~cost:2 ();
+  send_work eng ~kind:M_a ~ctx:(o, n) ();
+  send eng ~kind:M_b ~ctx:(o, n) ~cost:2 ();
   send_batch eng ~kind:M_ab ~n:3 ()
 |fix}
   in
@@ -275,6 +275,69 @@ let test_cost_coverage_batched_sites () =
   match find_rule report "cost-coverage" with
   | [ f ] -> Alcotest.(check int) "at the send_work site" 2 f.A.line
   | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs)
+
+let test_causal_coverage () =
+  (* A send without ~ctx cannot be linked into the causal DAG. *)
+  let engine_noctx =
+    src "lib/core/engine.ml"
+      {fix|let run eng =
+  send eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();
+  send eng ~kind:M_b ~cost:2 ();
+  send eng ~kind:M_c ~ctx:(o, n) ~cost:3 ()
+|fix}
+  in
+  let report = run [ trace_ok; engine_noctx ] in
+  check_fired "context-less send fires" report [ "causal-coverage" ];
+  (match find_rule report "causal-coverage" with
+  | [ f ] ->
+    Alcotest.(check int) "at the M_b send" 3 f.A.line;
+    Alcotest.(check bool) "names the kind" true
+      (String.length f.A.message > 10
+      && String.sub f.A.message 0 10 = "send of M_")
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+  (* Repaired twin: stamping the context clears the finding. *)
+  check_fired "stamped twin is clean" (run [ trace_ok; engine_sends_ok ]) []
+
+let test_causal_coverage_batched_sites () =
+  (* [send_work] queues an item whose context must be stamped at
+     enqueue; the coalesced [send_batch] flush is exempt (it carries
+     every queued item's context, not one of its own). *)
+  let engine_noctx =
+    src "lib/core/engine.ml"
+      {fix|let run eng =
+  send_work eng ~kind:M_a ~cost:1 ();
+  send eng ~kind:M_b ~ctx:(o, n) ~cost:2 ();
+  send_batch eng ~kind:M_ab ~n:3 ()
+|fix}
+  in
+  let report = run [ trace_batched; engine_noctx ] in
+  check_fired "send_work without ctx fires; send_batch exempt" report
+    [ "causal-coverage" ];
+  (match find_rule report "causal-coverage" with
+  | [ f ] -> Alcotest.(check int) "at the send_work site" 2 f.A.line
+  | fs -> Alcotest.failf "expected 1 finding, got %d" (List.length fs));
+  let repaired =
+    src "lib/core/engine.ml"
+      {fix|let run eng =
+  send_work eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();
+  send eng ~kind:M_b ~ctx:(o, n) ~cost:2 ();
+  send_batch eng ~kind:M_ab ~n:3 ()
+|fix}
+  in
+  check_fired "stamped twin is clean" (run [ trace_batched; repaired ]) []
+
+let test_causal_coverage_allow_marker () =
+  let engine_marked =
+    src "lib/core/engine.ml"
+      {fix|let run eng =
+  send eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();
+  (* lint: allow causal-coverage *)
+  send eng ~kind:M_b ~cost:2 ();
+  send eng ~kind:M_c ~ctx:(o, n) ~cost:3 ()
+|fix}
+  in
+  check_fired "marker suppresses the context-less send"
+    (run [ trace_ok; engine_marked ]) []
 
 let test_fingerprint_coverage () =
   let types_two =
@@ -355,8 +418,8 @@ let test_span_mli_and_trace_exempt () =
   in
   let sender =
     src "lib/core/engine.ml"
-      "let run eng =\n  send eng ~kind:M_a ~cost:1 ();\n  send eng ~kind:M_b \
-       ~cost:2 ()\n"
+      "let run eng =\n  send eng ~kind:M_a ~ctx:(o, n) ~cost:1 ();\n  send eng \
+       ~kind:M_b ~ctx:(o, n) ~cost:2 ()\n"
   in
   check_fired "no span findings" (run [ mli; trace_def; sender ]) []
 
@@ -490,6 +553,15 @@ let () =
           Alcotest.test_case "fires and repaired twin clean" `Quick test_cost_coverage;
           Alcotest.test_case "replies exempt" `Quick test_cost_coverage_reply_exempt;
           Alcotest.test_case "batched sites" `Quick test_cost_coverage_batched_sites;
+        ] );
+      ( "causal-coverage",
+        [
+          Alcotest.test_case "fires and repaired twin clean" `Quick
+            test_causal_coverage;
+          Alcotest.test_case "batched sites" `Quick
+            test_causal_coverage_batched_sites;
+          Alcotest.test_case "allow marker" `Quick
+            test_causal_coverage_allow_marker;
         ] );
       ( "fingerprint-coverage",
         [

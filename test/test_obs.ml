@@ -271,6 +271,223 @@ let test_tracing_filter_pins_pids () =
   | _ -> Alcotest.fail "second cell must be traced in both");
   Alcotest.(check int) "n_selected respects filter" 1 (Harness.Tracing.n_selected t_some)
 
+(* --- critical-path decomposition ------------------------------------- *)
+
+module Critpath = Obs.Critpath
+module Ts = Obs.Timeseries
+
+let csum = Array.fold_left ( + ) 0
+
+let test_critpath_painting () =
+  let t = Critpath.make_txn ~a:0 ~b:1 ~t0:100 ~t1:200 in
+  let d0 = Critpath.decompose t in
+  Alcotest.(check int) "bare span is all coordinator" 100
+    d0.(Critpath.index Critpath.C_coord_cpu);
+  Alcotest.(check int) "bare sum" 100 (csum d0);
+  Critpath.add_ival t Critpath.C_repl_wait ~lo:120 ~hi:180;
+  Critpath.add_ival t Critpath.C_network ~lo:150 ~hi:160 (* overpaints repl-wait *);
+  Critpath.add_ival t Critpath.C_lock_wait ~lo:190 ~hi:250 (* clipped at t1 *);
+  Critpath.add_ival t Critpath.C_olc_wait ~lo:150 ~hi:150 (* empty: dropped *);
+  let d = Critpath.decompose t in
+  Alcotest.(check int) "network overpaints repl-wait" 10
+    d.(Critpath.index Critpath.C_network);
+  Alcotest.(check int) "repl-wait keeps the rest" 50
+    d.(Critpath.index Critpath.C_repl_wait);
+  Alcotest.(check int) "lock-wait clipped to the span" 10
+    d.(Critpath.index Critpath.C_lock_wait);
+  Alcotest.(check int) "base fills every hole" 30
+    d.(Critpath.index Critpath.C_coord_cpu);
+  Alcotest.(check int) "exact sum" (Critpath.total_us t) (csum d)
+
+let test_critpath_edge_and_hidden () =
+  let t = Critpath.make_txn ~a:1 ~b:2 ~t0:0 ~t1:100 in
+  Critpath.add_edge t
+    {
+      Obs.Causal.ekind = 2;
+      ea = 1;
+      eb = 2;
+      esrc = 0;
+      edst = 1;
+      et_enq = 10;
+      et_wire = 14;
+      et_deliver = 40;
+      equeue = 6;
+      ecost = 5;
+    };
+  let d = Critpath.decompose t in
+  Alcotest.(check int) "batch-park" 4 d.(Critpath.index Critpath.C_batch_park);
+  Alcotest.(check int) "network" 26 d.(Critpath.index Critpath.C_network);
+  Alcotest.(check int) "queue-wait" 6 d.(Critpath.index Critpath.C_queue_wait);
+  Alcotest.(check int) "dispatch-cpu" 5 d.(Critpath.index Critpath.C_dispatch_cpu);
+  Alcotest.(check int) "exact sum" 100 (csum d);
+  Alcotest.(check int) "no spec commit: all externalized" 100 (Critpath.externalized_us t);
+  t.Critpath.t_spec_commit <- 30;
+  Alcotest.(check int) "externalized stops at spec commit" 30 (Critpath.externalized_us t);
+  Alcotest.(check int) "hidden is the rest" 70 (Critpath.hidden_us t)
+
+(* Contended burst through a hand-built cluster, so the property can
+   range over the queue discipline (heap vs wheel) and batching —
+   dimensions the closed-loop Runner does not expose. *)
+let drive_traced ?(base_config = Core.Config.str ()) ~queue ~batch ~seed ~txs ~spread () =
+  let sim = Dsim.Sim.create ~queue () in
+  let dcs = 3 in
+  let topology = Dsim.Topology.uniform ~dcs ~rtt_ms:60. ~intra_rtt_ms:0.5 in
+  let node_dc = Array.init dcs (fun i -> i) in
+  let rng = Dsim.Rng.create ~seed in
+  let net = Dsim.Network.create ~sim ~topology ~node_dc ~jitter:0. ~rng in
+  let placement = Store.Placement.ring ~n_nodes:dcs ~replication_factor:2 () in
+  let trace = Trace.create () in
+  let config =
+    if batch then Core.Config.with_batching ~batch_window_us:300 ~batch_max:4 base_config
+    else base_config
+  in
+  let eng = Core.Engine.create ~sim ~net ~placement ~config ~trace () in
+  let key ~p name = Store.Keyspace.Key.v ~partition:p name in
+  let hot = key ~p:0 "hot" in
+  Core.Engine.load eng hot (Store.Keyspace.Value.Int 0);
+  for i = 0 to txs - 1 do
+    Dsim.Fiber.spawn sim (fun () ->
+        Dsim.Fiber.sleep sim (i * spread);
+        let tx = Core.Engine.begin_tx eng ~origin:(i mod dcs) in
+        try
+          let v = Workload.Spec.read_int eng tx hot in
+          Core.Engine.write eng tx hot (Store.Keyspace.Value.Int (v + 1));
+          Core.Engine.write eng tx
+            (key ~p:((i mod 2) + 1) (Printf.sprintf "k%d" i))
+            (Store.Keyspace.Value.Int i);
+          ignore (Core.Engine.commit eng tx)
+        with Core.Types.Tx_abort _ -> ())
+  done;
+  ignore (Dsim.Sim.run sim);
+  trace
+
+let prop_critpath_exact_sum =
+  (* The ISSUE's headline invariant: for every transaction of a traced
+     run, the component sums partition the S_tx span exactly — across
+     random contention, both simulator queues, batching on and off. *)
+  QCheck.Test.make ~name:"components sum exactly to the tx span" ~count:20
+    QCheck.(
+      quad (int_range 1 500) bool bool (int_range 100 2_500))
+    (fun (seed, wheel, batch, spread) ->
+      let queue = if wheel then `Wheel else `Heap in
+      let trace = drive_traced ~queue ~batch ~seed ~txs:12 ~spread () in
+      let txns = Critpath.of_trace trace in
+      txns <> []
+      && List.for_all
+           (fun t ->
+             csum (Critpath.decompose t) = Critpath.total_us t
+             && Critpath.externalized_us t + Critpath.hidden_us t
+                = Critpath.total_us t)
+           txns)
+
+let test_critpath_of_trace_attributes_waits () =
+  (* A contended traced run must attribute real latency to non-base
+     components.  The non-speculative baseline keeps certification
+     inside the S_tx span; there the convoy (lock-wait) and the wire
+     show up directly, while repl-wait itself is overpainted by the
+     finer per-hop components of whatever prepare is in flight — the
+     documented paint semantics. *)
+  let trace =
+    drive_traced ~base_config:(Core.Config.clocksi_rep ()) ~queue:`Heap ~batch:false
+      ~seed:5 ~txs:12 ~spread:800 ()
+  in
+  let txns = Critpath.of_trace trace in
+  let totals = Array.make Critpath.n_components 0 in
+  List.iter
+    (fun t ->
+      Array.iteri (fun i v -> totals.(i) <- totals.(i) + v) (Critpath.decompose t))
+    txns;
+  Alcotest.(check bool) "transactions assembled" true (txns <> []);
+  Alcotest.(check bool) "lock-wait attributed" true
+    (totals.(Critpath.index Critpath.C_lock_wait) > 0);
+  Alcotest.(check bool) "network attributed" true
+    (totals.(Critpath.index Critpath.C_network) > 0);
+  Alcotest.(check bool) "destination queue/dispatch attributed" true
+    (totals.(Critpath.index Critpath.C_queue_wait)
+     + totals.(Critpath.index Critpath.C_dispatch_cpu)
+    > 0);
+  (* Batching on: parked time appears. *)
+  let trb =
+    drive_traced ~base_config:(Core.Config.clocksi_rep ()) ~queue:`Heap ~batch:true
+      ~seed:5 ~txs:12 ~spread:800 ()
+  in
+  let parked =
+    List.fold_left
+      (fun acc t -> acc + (Critpath.decompose t).(Critpath.index Critpath.C_batch_park))
+      0 (Critpath.of_trace trb)
+  in
+  Alcotest.(check bool) "batch-park attributed under batching" true (parked > 0)
+
+(* --- timeseries ------------------------------------------------------- *)
+
+let test_timeseries_basics () =
+  let ts = Ts.create ~interval_us:100 ~cols:[ "a"; "b" ] in
+  Alcotest.(check int) "no rows yet" 0 (Ts.n_rows ts);
+  Ts.sample ts ~time:100 [| 3; 10 |];
+  Ts.sample ts ~time:200 [| 7; 10 |];
+  Ts.sample ts ~time:300 [| 8; 4 |];
+  Alcotest.(check int) "rows" 3 (Ts.n_rows ts);
+  Alcotest.(check int) "cols" 2 (Ts.n_cols ts);
+  Alcotest.(check (option int)) "col_index" (Some 1) (Ts.col_index ts "b");
+  Alcotest.(check int) "time" 200 (Ts.time ts 1);
+  Alcotest.(check int) "value" 7 (Ts.value ts ~row:1 ~col:0);
+  Alcotest.(check (array int)) "delta of cumulative col" [| 3; 4; 1 |]
+    (Ts.delta ts ~col:0);
+  Alcotest.(check string) "csv"
+    "t_us,a,b\n100,3,10\n200,7,10\n300,8,4\n" (Ts.to_csv ts);
+  (match Ts.to_jsonl ts |> String.split_on_char '\n' with
+  | first :: _ -> (
+    match Harness.Bench_json.parse first with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail ("jsonl row does not parse: " ^ e))
+  | [] -> Alcotest.fail "empty jsonl");
+  (* Sampling after creation validates the row width. *)
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Timeseries.sample: row width mismatch") (fun () ->
+      Ts.sample ts ~time:400 [| 1 |]);
+  Alcotest.check_raises "bad interval"
+    (Invalid_argument "Timeseries.create: interval_us <= 0") (fun () ->
+      ignore (Ts.create ~interval_us:0 ~cols:[ "a" ]))
+
+let test_timeseries_sampler_in_runner () =
+  (* A timeseries-recording run reports the same protocol outcome as a
+     plain one (sampling is observational), and the series rows land on
+     the exact interval grid with cumulative commits. *)
+  let r0 = Harness.Runner.run (small_setup ~seed:5 ()) in
+  let r1 = Harness.Runner.run ~timeseries_us:50_000 (small_setup ~seed:5 ()) in
+  Alcotest.(check int) "same commits with sampling on"
+    r0.Harness.Runner.committed r1.Harness.Runner.committed;
+  match r1.Harness.Runner.timeseries with
+  | None -> Alcotest.fail "no timeseries recorded"
+  | Some ts ->
+    Alcotest.(check (list string)) "standard columns" Harness.Runner.sample_columns
+      (Ts.cols ts);
+    Alcotest.(check bool) "rows recorded" true (Ts.n_rows ts > 0);
+    for i = 0 to Ts.n_rows ts - 1 do
+      Alcotest.(check int) (Printf.sprintf "row %d on the grid" i)
+        ((i + 1) * 50_000) (Ts.time ts i)
+    done;
+    let commits_col =
+      match Ts.col_index ts "commits" with Some i -> i | None -> -1 in
+    let last = Ts.value ts ~row:(Ts.n_rows ts - 1) ~col:commits_col in
+    Alcotest.(check bool) "cumulative commits reach the engine total" true
+      (last > 0 && last >= r1.Harness.Runner.committed)
+
+let test_timeseries_jobs_invariant () =
+  (* Same setup swept at -j1 and -j4: the recorded series must be
+     byte-identical (it rides inside the traced cells). *)
+  let run_ts () =
+    let r = Harness.Runner.run ~timeseries_us:50_000 (small_setup ~clients:4 ~seed:3 ()) in
+    match r.Harness.Runner.timeseries with Some ts -> Ts.to_csv ts | None -> ""
+  in
+  let cells jobs =
+    Harness.Sweep.run ~jobs [ Harness.Sweep.cell "a" run_ts; Harness.Sweep.cell "b" run_ts ]
+  in
+  let c1 = cells 1 and c4 = cells 4 in
+  Alcotest.(check bool) "csv bytes invariant under jobs" true
+    (List.map snd c1 = List.map snd c4);
+  Alcotest.(check bool) "non-empty" true (List.for_all (fun (_, s) -> s <> "") c1)
+
 let () =
   Alcotest.run "obs"
     [
@@ -299,5 +516,22 @@ let () =
           Alcotest.test_case "bytes invariant under jobs" `Quick
             test_export_bytes_jobs_invariant;
           Alcotest.test_case "filter pins pid bases" `Quick test_tracing_filter_pins_pids;
+        ] );
+      ( "critpath",
+        [
+          Alcotest.test_case "paint priority and clipping" `Quick test_critpath_painting;
+          Alcotest.test_case "edge intervals and hidden latency" `Quick
+            test_critpath_edge_and_hidden;
+          QCheck_alcotest.to_alcotest prop_critpath_exact_sum;
+          Alcotest.test_case "of_trace attributes real waits" `Quick
+            test_critpath_of_trace_attributes_waits;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "recorder basics" `Quick test_timeseries_basics;
+          Alcotest.test_case "sampler rides the runner" `Quick
+            test_timeseries_sampler_in_runner;
+          Alcotest.test_case "bytes invariant under jobs" `Quick
+            test_timeseries_jobs_invariant;
         ] );
     ]
